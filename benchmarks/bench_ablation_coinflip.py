@@ -1,0 +1,57 @@
+"""ABL-COIN — why Section 2.2 restricts MOEs with coin flips.
+
+Replays Borůvka phases centrally and compares the merge-component diameters
+(the quantity a sleeping-model merge's awake cost is proportional to) with
+and without the coin-flip pruning, on both the adversarial MOE chain and
+random graphs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import boruvka_merge_structure, worst_merge_diameter
+from repro.graphs import adversarial_moe_chain, random_connected_graph
+
+SIZES = (32, 64, 128, 256)
+
+
+def test_coinflip_keeps_merge_components_stars(benchmark, report):
+    rows = []
+    for n in SIZES:
+        chain = adversarial_moe_chain(n, seed=n)
+        unrestricted = worst_merge_diameter(
+            boruvka_merge_structure(chain, restricted=False, seed=1)
+        )
+        restricted = worst_merge_diameter(
+            boruvka_merge_structure(chain, restricted=True, seed=1)
+        )
+        random_graph = random_connected_graph(n, 0.08, seed=n)
+        random_unrestricted = worst_merge_diameter(
+            boruvka_merge_structure(random_graph, restricted=False, seed=1)
+        )
+        random_restricted = worst_merge_diameter(
+            boruvka_merge_structure(random_graph, restricted=True, seed=1)
+        )
+        rows.append((n, unrestricted, restricted, random_unrestricted, random_restricted))
+
+    report.record_rows(
+        "Ablation / merge-component diameter (== awake cost of a merge)",
+        f"{'n':>6} {'chain all-MOE':>14} {'chain coin':>11} "
+        f"{'rand all-MOE':>13} {'rand coin':>10}",
+        [
+            f"{n:>6} {cu:>14} {cr:>11} {ru:>13} {rr:>10}"
+            for n, cu, cr, ru, rr in rows
+        ],
+    )
+    for n, chain_unrestricted, chain_restricted, _, random_restricted in rows:
+        # Unrestricted merging on the chain builds a Θ(n)-diameter
+        # component — an Ω(n) awake merge; coin flips cap it at 2 (a star).
+        assert chain_unrestricted >= n - 2
+        assert chain_restricted <= 2
+        assert random_restricted <= 2
+
+    chain = adversarial_moe_chain(128, seed=1)
+    benchmark.pedantic(
+        lambda: boruvka_merge_structure(chain, restricted=True, seed=1),
+        rounds=3,
+        iterations=1,
+    )

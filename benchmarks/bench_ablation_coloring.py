@@ -1,0 +1,66 @@
+"""ABL-COLOR — the price of Fast-Awake-Coloring (and Corollary 1's point).
+
+The deterministic algorithm's round complexity is dominated by the
+N-stage colouring: per phase it costs Θ(nN) rounds but only O(1) awake
+rounds per node (≤ 5 stages of participation).  This bench isolates that
+trade by timing the colouring component across ID ranges and verifying the
+participation bound — the quantity Corollary 1 trades against a log* factor.
+"""
+
+from __future__ import annotations
+
+from repro.core.coloring import STAGE_BLOCKS, fast_awake_coloring
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.core.schedule import block_span
+from repro.graphs import ring_graph
+
+ID_FACTORS = (1, 4, 16, 64)
+N_NODES = 16
+
+
+def color_ring(id_factor):
+    id_range = None if id_factor == 1 else id_factor * N_NODES
+    graph = ring_graph(N_NODES, seed=3, id_range=id_range)
+
+    def procedure(ctx, ldt, clock, value):
+        outcome = yield from fast_awake_coloring(
+            ctx, ldt, clock, set(graph.neighbors(ctx.node_id)), set(ctx.ports)
+        )
+        return outcome
+
+    plan = FLDTPlan.singletons(graph)
+    return graph, run_procedure(graph, plan, procedure, refresh_neighbors=False)
+
+
+def test_coloring_rounds_linear_in_N_awake_flat(benchmark, report):
+    rows = []
+    for factor in ID_FACTORS:
+        graph, run = color_ring(factor)
+        metrics = run.simulation.metrics
+        rows.append(
+            (
+                graph.max_id,
+                metrics.max_awake,
+                metrics.rounds,
+                STAGE_BLOCKS * graph.max_id * block_span(graph.n),
+            )
+        )
+        # Proper colouring sanity.
+        colors = {node: run.returns[node][0] for node in graph.node_ids}
+        for edge in graph.edges():
+            assert colors[edge.u] != colors[edge.v]
+
+    report.record_rows(
+        "Ablation / Fast-Awake-Coloring cost vs ID range N (ring n = 16)",
+        f"{'N':>6} {'AT':>6} {'RT':>9} {'budget 5N(2n+2)':>16}",
+        [f"{N:>6} {a:>6} {r:>9} {b:>16}" for N, a, r, b in rows],
+    )
+    awakes = [a for _, a, _, _ in rows]
+    rounds = [r for _, _, r, _ in rows]
+    # Awake flat across a 64x range of N; rounds grow with N.
+    assert max(awakes) <= 2 * min(awakes)
+    assert rounds[-1] > 20 * rounds[0]
+    for N, _, r, budget in rows:
+        assert r <= budget
+
+    benchmark.pedantic(lambda: color_ring(16), rounds=3, iterations=1)

@@ -1,0 +1,67 @@
+"""BASE — the sleeping-model gap: traditional awake = rounds vs O(log n).
+
+The paper's implicit comparator: the same GHS skeleton, accounted in the
+traditional CONGEST model (idle listening counts), against the sleeping
+execution; plus classical flooding as the Θ(D)-awake primitive that the
+schedule-driven trees replace.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    run_flooding_broadcast,
+    run_pipelined_ghs,
+    run_traditional_ghs,
+)
+from repro.core import run_randomized_mst
+from repro.graphs import ring_graph
+
+SIZES = (32, 64, 128, 256)
+
+
+def test_awake_gap_traditional_vs_sleeping(benchmark, report):
+    rows = []
+    for n in SIZES:
+        graph = ring_graph(n, seed=n)
+        sleeping = run_randomized_mst(graph, seed=0, verify=True)
+        traditional = run_traditional_ghs(graph, seed=0)
+        classical = run_pipelined_ghs(graph)
+        assert classical.mst_weights == sleeping.mst_weights
+        flooding = run_flooding_broadcast(graph)
+        gap = traditional.metrics.max_awake / sleeping.metrics.max_awake
+        rows.append(
+            (
+                n,
+                sleeping.metrics.max_awake,
+                traditional.metrics.max_awake,
+                classical.metrics.max_awake,
+                gap,
+                flooding.metrics.max_awake,
+            )
+        )
+
+    report.record_rows(
+        "Baseline gap / sleeping vs traditional vs flooding (rings)",
+        f"{'n':>6} {'sleep AT':>9} {'trad AT':>9} {'GHS AT':>8} "
+        f"{'gap':>8} {'flood AT':>9}",
+        [
+            f"{n:>6} {s:>9} {t:>9} {g:>8} {gap:>8.1f} {f:>9}"
+            for n, s, t, g, gap, f in rows
+        ],
+    )
+    # The gap widens with n: traditional awake is Θ̃(n), sleeping O(log n).
+    gaps = [gap for *_, gap, _ in rows]
+    assert gaps[-1] > gaps[0]
+    assert gaps[-1] > 50
+    # The independent classical GHS also pays Θ̃(n) awake (= its rounds),
+    # though with better constants than the schedule-based skeleton.
+    for n, sleeping_awake, _, classical_awake, _, _ in rows:
+        assert classical_awake > 2 * sleeping_awake
+    # Flooding's awake complexity is Θ(D) = Θ(n) on a ring.
+    flood = [f for *_, f in rows]
+    assert flood[-1] >= 4 * flood[0]
+
+    graph = ring_graph(64, seed=64)
+    benchmark.pedantic(
+        lambda: run_pipelined_ghs(graph), rounds=3, iterations=1
+    )

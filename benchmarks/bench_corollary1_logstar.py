@@ -1,0 +1,56 @@
+"""COR1 — Corollary 1: the log*-coloring Deterministic-MST variant.
+
+Head-to-head against the paper's Fast-Awake-Coloring across ID ranges: the
+log* variant's round complexity is independent of N (paying a small log* N
+awake factor), turning Theorem 2's O(nN log n) into O(n log n log* n).
+"""
+
+from __future__ import annotations
+
+from repro.core import run_deterministic_mst
+from repro.graphs import ring_graph
+
+N_NODES = 16
+ID_FACTORS = (1, 4, 16, 64)
+
+
+def test_logstar_rounds_independent_of_N(benchmark, report):
+    rows = []
+    for factor in ID_FACTORS:
+        id_range = None if factor == 1 else factor * N_NODES
+        graph = ring_graph(N_NODES, seed=5, id_range=id_range)
+        fast = run_deterministic_mst(graph, coloring="fast-awake", verify=True)
+        star = run_deterministic_mst(graph, coloring="log-star", verify=True)
+        rows.append(
+            (
+                graph.max_id,
+                fast.metrics.max_awake,
+                fast.metrics.rounds,
+                star.metrics.max_awake,
+                star.metrics.rounds,
+            )
+        )
+
+    report.record_rows(
+        "Corollary 1 / Fast-Awake vs log*-coloring (ring n = 16)",
+        f"{'N':>6} {'fast AT':>8} {'fast RT':>9} {'log* AT':>8} {'log* RT':>9}",
+        [
+            f"{N:>6} {fa:>8} {fr:>9} {sa:>8} {sr:>9}"
+            for N, fa, fr, sa, sr in rows
+        ],
+    )
+    star_rounds = [sr for *_, sr in rows]
+    fast_rounds = [fr for _, _, fr, _, _ in rows]
+    # log* RT flat across a 64x range of N; fast-awake RT scales with N.
+    assert max(star_rounds) < 2 * min(star_rounds)
+    assert fast_rounds[-1] > 20 * fast_rounds[0]
+    # The awake price of the log* variant is a small constant factor.
+    for _, fast_awake, _, star_awake, _ in rows:
+        assert star_awake <= 5 * fast_awake
+
+    graph = ring_graph(N_NODES, seed=5, id_range=16 * N_NODES)
+    benchmark.pedantic(
+        lambda: run_deterministic_mst(graph, coloring="log-star"),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,51 @@
+"""ENERGY — the motivating claim: sleeping saves batteries.
+
+Prices both executions under the sensor-radio energy model and reports the
+battery-lifetime ratio, the practical content of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import EnergyModel
+from repro.baselines import run_traditional_ghs
+from repro.core import run_randomized_mst
+from repro.graphs import random_geometric_graph
+
+SIZES = (32, 64, 128)
+
+
+def test_energy_gap(benchmark, report):
+    model = EnergyModel()
+    rows = []
+    for n in SIZES:
+        graph = random_geometric_graph(n, 0.35, seed=n)
+        sleeping = run_randomized_mst(graph, seed=0, verify=True)
+        traditional = run_traditional_ghs(graph, seed=0)
+        sleeping_energy = model.max_node_energy(sleeping.metrics)
+        traditional_energy = model.max_node_energy(traditional.metrics)
+        rows.append(
+            (
+                n,
+                sleeping_energy,
+                traditional_energy,
+                model.executions_per_battery(sleeping.metrics),
+                model.executions_per_battery(traditional.metrics),
+            )
+        )
+
+    report.record_rows(
+        "Energy / worst-node energy per MST build (geometric graphs)",
+        f"{'n':>6} {'sleep mJ':>10} {'trad mJ':>12} "
+        f"{'sleep runs':>11} {'trad runs':>10}",
+        [
+            f"{n:>6} {se:>10.0f} {te:>12.0f} {sr:>11.1f} {tr:>10.2f}"
+            for n, se, te, sr, tr in rows
+        ],
+    )
+    for _, sleeping_energy, traditional_energy, *_ in rows:
+        assert traditional_energy > 10 * sleeping_energy
+
+    graph = random_geometric_graph(64, 0.35, seed=64)
+    benchmark.pedantic(
+        lambda: run_randomized_mst(graph, seed=0), rounds=3, iterations=1
+    )

@@ -1,0 +1,101 @@
+"""FIG1 — the G_rc lower-bound graph and the SD → DSD → CSS → MST chain.
+
+Builds Figure 1's graph in the Theorem 4 regime, asserts Observation 1
+(diameter Θ(c / log n)), and runs the full reduction: the distributed MST
+algorithm answers set-disjointness instances through the weighted encoding.
+Also measures the congestion into the binary tree's internal nodes — the
+quantity Lemma 8's awake bound is extracted from.
+"""
+
+from __future__ import annotations
+
+from repro.core import run_randomized_mst
+from repro.lower_bounds import (
+    GrcTopology,
+    awake_bound_from_congestion,
+    congestion_lower_bound_bits,
+    dsd_marked_edges,
+    middle_cut,
+    cut_crossing_bits,
+    random_sd_instance,
+    row_cut_bits,
+    solve_sd_via_mst,
+    theorem4_regime,
+)
+
+
+def test_grc_structure_and_reduction(benchmark, report):
+    r, c = theorem4_regime(240)
+    topology = GrcTopology(r, c)
+    graph, _ = topology.to_weighted_graph()
+    diameter = graph.diameter()
+    assert diameter <= topology.diameter_upper_bound()
+    assert diameter < c  # the X tree shortcuts the rows
+
+    # The reduction chain, oracle-fast across instances.
+    outcomes = []
+    for seed in range(8):
+        instance = random_sd_instance(
+            topology.r - 1, seed=seed, force_disjoint=seed % 2 == 0
+        )
+        outcome = solve_sd_via_mst(topology, instance)
+        assert outcome.correct
+        assert outcome.css_connected == outcome.truth_disjoint
+        outcomes.append(outcome)
+
+    # One full distributed run (intersecting instance) with congestion
+    # accounting on the internal tree nodes I.
+    instance = random_sd_instance(topology.r - 1, seed=99, force_disjoint=False)
+    marked_graph, threshold = topology.to_weighted_graph(
+        dsd_marked_edges(topology, instance)
+    )
+    result = run_randomized_mst(marked_graph, seed=0, verify=True, trace=True)
+    heavy_used = any(w > threshold for w in result.mst_weights)
+    assert heavy_used  # intersecting => the MST needs a heavy edge
+    tree_bits = congestion_lower_bound_bits(
+        result.simulation, topology.internal_nodes
+    )
+
+    # Lemma 8's quantity: bits crossing every R_j cut; the awake time must
+    # respect the pigeonhole bound derived from the middle cut.
+    cut_series = [
+        (j, row_cut_bits(result.simulation.trace, topology, j))
+        for j in (2, topology.c // 4, topology.c // 2, 3 * topology.c // 4)
+    ]
+    assert all(bits > 0 for _, bits in cut_series)
+    mid_bits = cut_crossing_bits(result.simulation.trace, middle_cut(topology))
+    implied = awake_bound_from_congestion(
+        mid_bits,
+        len(topology.internal_nodes) or 1,
+        4,
+        result.metrics.max_message_bits or 1,
+    )
+    assert result.metrics.max_awake >= implied
+
+    report.record(
+        "Figure 1 / G_rc structure + SD-via-MST reduction",
+        "\n".join(
+            [
+                f"r={r} c={c} n={topology.n} |X|={topology.x_size} "
+                f"edges={len(topology.edges)}",
+                f"diameter={diameter} (bound {topology.diameter_upper_bound()}, "
+                f"c={c})",
+                f"oracle reduction: {len(outcomes)}/"
+                f"{len(outcomes)} SD instances answered correctly",
+                f"distributed run: AT={result.metrics.max_awake} "
+                f"RT={result.metrics.rounds} "
+                f"bits into internal tree I={tree_bits}",
+                "Lemma 8 cut congestion (bits across R_j): "
+                + ", ".join(f"j={j}: {bits}" for j, bits in cut_series)
+                + f"; implied awake >= {implied}",
+            ]
+        ),
+    )
+
+    benchmark.pedantic(
+        lambda: solve_sd_via_mst(
+            topology, random_sd_instance(topology.r - 1, seed=5)
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,75 @@
+"""LEMMA1 — the 4/3 expected fragment contraction behind Theorem 1.
+
+Lemma 1: each phase of Randomized-MST reduces the number of fragments by a
+factor ≥ 4/3 in expectation.  We measure the per-phase ratios across many
+seeds and graph families; the geometric mean (which predicts the realised
+phase count) should sit at or above 4/3, and the paper's fixed phase
+budget should never be exceeded.  Also reproduces Lemma 2's Monte Carlo
+guarantee: fixed-budget runs output the exact MST every time at these
+sizes (failure probability ≤ 1/n³).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import contraction_statistics, fixed_mode_success_rate
+from repro.core import randomized_phase_count
+from repro.graphs import adversarial_moe_chain, random_connected_graph, ring_graph
+
+FAMILIES = (
+    ("random", lambda n: random_connected_graph(n, 0.1, seed=n)),
+    ("ring", lambda n: ring_graph(n, seed=n)),
+    ("moe-chain", lambda n: adversarial_moe_chain(n, seed=n)),
+)
+N = 128
+SEEDS = range(20)
+
+
+def test_lemma1_contraction(benchmark, report):
+    rows = []
+    for name, factory in FAMILIES:
+        graph = factory(N)
+        report_stats = contraction_statistics(graph, seeds=SEEDS)
+        rows.append(
+            (
+                name,
+                report_stats.mean_ratio,
+                report_stats.geometric_mean_ratio,
+                max(report_stats.phases),
+            )
+        )
+
+    budget = randomized_phase_count(N)
+    report.record_rows(
+        f"Lemma 1 / per-phase fragment contraction (n = {N}, 20 seeds)",
+        f"{'family':<10} {'mean ratio':>11} {'geo mean':>9} "
+        f"{'worst #phases':>14}  (paper: E >= 4/3 = 1.333; budget {budget})",
+        [
+            f"{name:<10} {mean:>11.3f} {geo:>9.3f} {phases:>14}"
+            for name, mean, geo, phases in rows
+        ],
+    )
+    for name, mean, geo, phases in rows:
+        assert mean >= 4 / 3 - 0.05, (name, mean)
+        assert phases <= budget
+        # Realised phase counts track log_{geo}(n).
+        assert phases <= 3 * math.log(N) / math.log(max(1.25, geo))
+
+    # Lemma 2: fixed-budget Monte Carlo runs are always exact here.
+    graph = random_connected_graph(32, 0.15, seed=7)
+    success = fixed_mode_success_rate(graph, seeds=range(5))
+    report.record(
+        "Lemma 2 / fixed-budget Monte Carlo success",
+        f"{success.successes}/{success.runs} exact MSTs "
+        f"(bound: failure <= 1/n^3); worst AT={success.max_awake}",
+    )
+    assert success.success_rate == 1.0
+
+    benchmark.pedantic(
+        lambda: contraction_statistics(
+            random_connected_graph(64, 0.1, seed=1), seeds=range(5)
+        ),
+        rounds=3,
+        iterations=1,
+    )

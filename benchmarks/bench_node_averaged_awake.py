@@ -1,0 +1,60 @@
+"""NODE-AVG — node-averaged awake complexity (Appendix A context).
+
+The sleeping model's companion measure (Chatterjee, Gmyr, Pandurangan
+2020): the *average* number of awake rounds per node.  For the paper's MST
+algorithms the average tracks the worst case — every node participates in
+every phase — both Θ(log n); this bench records the series and checks the
+average never exceeds the worst case and stays logarithmic, completing the
+measurement surface around Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import fit_scaling
+from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.graphs import random_connected_graph
+
+SIZES = (16, 32, 64, 128)
+
+
+def test_node_averaged_awake(benchmark, report):
+    rows = []
+    for n in SIZES:
+        graph = random_connected_graph(n, 0.1, seed=n)
+        randomized = run_randomized_mst(graph, seed=0, verify=True)
+        deterministic = run_deterministic_mst(graph, verify=True)
+        rows.append(
+            (
+                n,
+                randomized.metrics.mean_awake,
+                randomized.metrics.max_awake,
+                deterministic.metrics.mean_awake,
+                deterministic.metrics.max_awake,
+            )
+        )
+
+    report.record_rows(
+        "Node-averaged vs worst-case awake complexity",
+        f"{'n':>6} {'rand avg':>9} {'rand max':>9} {'det avg':>9} {'det max':>9}",
+        [
+            f"{n:>6} {ra:>9.1f} {rm:>9} {da:>9.1f} {dm:>9}"
+            for n, ra, rm, da, dm in rows
+        ],
+    )
+    for n, rand_avg, rand_max, det_avg, det_max in rows:
+        assert rand_avg <= rand_max
+        assert det_avg <= det_max
+        # The average stays within a small constant of the worst case
+        # (every node works every phase; there are no free riders).
+        assert rand_avg >= rand_max / 4
+    fit = fit_scaling(
+        [n for n, *_ in rows], [avg for _, avg, *_ in rows], "log"
+    )
+    assert fit.is_bounded(3.0), fit
+
+    graph = random_connected_graph(64, 0.1, seed=64)
+    benchmark.pedantic(
+        lambda: run_randomized_mst(graph, seed=0), rounds=3, iterations=1
+    )

@@ -1,0 +1,59 @@
+"""OBS1 — Observation 1: DSD is solvable in O(D) = O(c / log n) rounds.
+
+The flip side of Theorem 4: the *round* complexity of DSD on G_rc is small
+(the X-tree shortcuts make D = Θ(c / log n)) — it is the *awake* complexity
+that can't also be small.  This bench measures the direct flooding
+protocol's completion time across growing c and checks it tracks D + k,
+while its traditional-model awake complexity equals its full run time.
+"""
+
+from __future__ import annotations
+
+from repro.lower_bounds import GrcTopology, random_sd_instance, run_dsd_flooding
+
+COLUMNS = (16, 32, 64, 128)
+ROWS = 4
+
+
+def test_dsd_completion_tracks_diameter(benchmark, report):
+    rows = []
+    for c in COLUMNS:
+        topology = GrcTopology(ROWS, c)
+        graph, _ = topology.to_weighted_graph()
+        diameter = graph.diameter()
+        instance = random_sd_instance(topology.r - 1, seed=c)
+        result = run_dsd_flooding(topology, instance)
+        assert result.correct
+        rows.append(
+            (
+                c,
+                topology.n,
+                diameter,
+                result.completion_rounds,
+                result.rounds,
+            )
+        )
+
+    report.record_rows(
+        "Observation 1 / direct DSD on G_rc (r = 4)",
+        f"{'c':>6} {'n':>6} {'D':>5} {'completion':>11} {'relay RT':>9}",
+        [
+            f"{c:>6} {n:>6} {d:>5} {comp:>11} {rt:>9}"
+            for c, n, d, comp, rt in rows
+        ],
+    )
+    for c, n, diameter, completion, _ in rows:
+        # Completion = Θ(D + k): within a small additive/multiplicative
+        # envelope of the diameter (k = 3 here).
+        assert completion <= 2 * diameter + 10
+    # Completion grows with c (the Θ(c / log n) diameter term)...
+    completions = [comp for *_, comp, _ in rows]
+    assert completions[-1] > completions[0]
+    # ...but far slower than c itself thanks to the X-tree shortcuts.
+    assert completions[-1] < COLUMNS[-1]
+
+    topology = GrcTopology(ROWS, 64)
+    instance = random_sd_instance(topology.r - 1, seed=0)
+    benchmark.pedantic(
+        lambda: run_dsd_flooding(topology, instance), rounds=3, iterations=1
+    )

@@ -1,0 +1,78 @@
+"""T1-D — Table 1 row 2: Deterministic-MST, AT = O(log n), RT = O(nN log n).
+
+Also exercises Theorem 2's characteristic N-dependence: growing the ID
+range N (at fixed n) multiplies the round complexity but leaves the awake
+complexity flat.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import fit_scaling
+from repro.core import run_deterministic_mst
+from repro.graphs import random_connected_graph, ring_graph
+
+SIZES = (8, 16, 32, 64)
+SEEDS = (0, 1)
+
+
+def test_deterministic_awake_logarithmic(benchmark, report):
+    rows = []
+    for n in SIZES:
+        awake = rounds = 0.0
+        for seed in SEEDS:
+            graph = random_connected_graph(n, 0.15, seed=seed)
+            result = run_deterministic_mst(graph, verify=True)
+            awake += result.metrics.max_awake
+            rounds += result.metrics.rounds
+        rows.append((n, awake / len(SEEDS), rounds / len(SEEDS)))
+
+    ns = [n for n, _, _ in rows]
+    awake_fit = fit_scaling(ns, [a for _, a, _ in rows], "log")
+    # With IDs 1..n we have N = n, so RT = O(n^2 log n).
+    rounds_fit = fit_scaling(ns, [r for _, _, r in rows], "n2log")
+    report.record_rows(
+        "Table 1 / Deterministic-MST (random graphs, N = n)",
+        f"{'n':>6} {'AT':>9} {'AT/log2n':>9} {'RT':>11} {'RT/nNlog2n':>11}",
+        [
+            f"{n:>6} {a:>9.1f} {a / math.log2(n):>9.2f} "
+            f"{r:>11.0f} {r / (n * n * math.log2(n)):>11.2f}"
+            for n, a, r in rows
+        ],
+    )
+    assert awake_fit.is_bounded(3.5), awake_fit
+    assert rounds_fit.is_bounded(3.5), rounds_fit
+
+    graph = random_connected_graph(32, 0.15, seed=0)
+    benchmark.pedantic(lambda: run_deterministic_mst(graph), rounds=3, iterations=1)
+
+
+def test_deterministic_rounds_scale_with_id_range(benchmark, report):
+    """Fix n, grow N: rounds grow ~linearly in N, awake stays flat."""
+    n = 16
+    rows = []
+    for factor in (1, 4, 16):
+        graph = ring_graph(n, seed=7, id_range=None if factor == 1 else factor * n)
+        result = run_deterministic_mst(graph, verify=True)
+        rows.append(
+            (
+                graph.max_id,
+                result.metrics.max_awake,
+                result.metrics.rounds,
+                result.metrics.rounds / graph.max_id,
+            )
+        )
+    report.record_rows(
+        "Theorem 2 / N-dependence (ring, n = 16)",
+        f"{'N':>6} {'AT':>7} {'RT':>10} {'RT/N':>9}",
+        [f"{N:>6} {a:>7} {r:>10} {per:>9.0f}" for N, a, r, per in rows],
+    )
+    # Awake flat within 2x; RT/N flat within 3x across a 16x range of N.
+    awakes = [a for _, a, _, _ in rows]
+    assert max(awakes) <= 2 * min(awakes)
+    per_n = [per for _, _, _, per in rows]
+    assert max(per_n) <= 3 * min(per_n)
+
+    graph = ring_graph(n, seed=7, id_range=4 * n)
+    benchmark.pedantic(lambda: run_deterministic_mst(graph), rounds=3, iterations=1)

@@ -1,0 +1,76 @@
+"""T1-R — Table 1 row 1: Randomized-MST, AT = O(log n), RT = O(n log n).
+
+Regenerates the row by measuring awake and round complexity across sizes,
+asserts the claimed shapes (ratio to the model stays bounded), and times a
+representative run.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import fit_scaling
+from repro.core import run_randomized_mst
+from repro.graphs import random_connected_graph, ring_graph
+
+SIZES = (16, 32, 64, 128, 256)
+SEEDS = (0, 1, 2)
+
+
+def measure(graph_family):
+    rows = []
+    for n in SIZES:
+        awake = rounds = 0.0
+        for seed in SEEDS:
+            graph = graph_family(n, seed)
+            result = run_randomized_mst(graph, seed=seed, verify=True)
+            awake += result.metrics.max_awake
+            rounds += result.metrics.rounds
+        rows.append((n, awake / len(SEEDS), rounds / len(SEEDS)))
+    return rows
+
+
+def test_randomized_awake_is_logarithmic(benchmark, report):
+    rows = measure(lambda n, s: random_connected_graph(n, 0.1, seed=s))
+    ns = [n for n, _, _ in rows]
+    awakes = [a for _, a, _ in rows]
+    rounds = [r for _, _, r in rows]
+
+    awake_fit = fit_scaling(ns, awakes, "log")
+    rounds_fit = fit_scaling(ns, rounds, "nlog")
+    report.record_rows(
+        "Table 1 / Randomized-MST (random graphs)",
+        f"{'n':>6} {'AT':>9} {'AT/log2n':>9} {'RT':>10} {'RT/nlog2n':>10}",
+        [
+            f"{n:>6} {a:>9.1f} {a / math.log2(n):>9.2f} "
+            f"{r:>10.0f} {r / (n * math.log2(n)):>10.2f}"
+            for n, a, r in rows
+        ],
+    )
+    # Shape assertions: the paper's claimed orders.  A spread of k means
+    # the measured constant wanders by at most a factor k across a 16x
+    # range of n — linear growth would show spread ~16/log-ratio >> 4.
+    assert awake_fit.is_bounded(3.0), awake_fit
+    assert rounds_fit.is_bounded(3.0), rounds_fit
+
+    # Time one representative mid-size run.
+    graph = random_connected_graph(64, 0.1, seed=0)
+    benchmark.pedantic(
+        lambda: run_randomized_mst(graph, seed=0), rounds=3, iterations=1
+    )
+
+
+def test_randomized_on_rings_matches_table(benchmark, report):
+    rows = measure(lambda n, s: ring_graph(n, seed=s))
+    ns = [n for n, _, _ in rows]
+    awake_fit = fit_scaling(ns, [a for _, a, _ in rows], "log")
+    report.record_rows(
+        "Table 1 / Randomized-MST (rings)",
+        f"{'n':>6} {'AT':>9} {'RT':>10}",
+        [f"{n:>6} {a:>9.1f} {r:>10.0f}" for n, a, r in rows],
+    )
+    assert awake_fit.is_bounded(3.0), awake_fit
+    graph = ring_graph(64, seed=0)
+    benchmark.pedantic(
+        lambda: run_randomized_mst(graph, seed=0), rounds=3, iterations=1
+    )

@@ -1,0 +1,65 @@
+"""T1-LB2 — Theorem 4: awake x rounds is Ω̃(n) for everyone.
+
+Measures the product for both sleeping algorithms and the traditional
+comparator across sizes: every algorithm sits at or above n (up to the
+polylog the theorem hides), and the randomized algorithm — being both
+awake-optimal and near-round-optimal given that — tracks n·polylog(n),
+i.e. its product per n grows only polylogarithmically.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import run_traditional_ghs
+from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.graphs import random_connected_graph
+
+SIZES = (16, 32, 64, 128)
+
+
+SEEDS = (0, 1, 2)
+
+
+def test_product_lower_bound(benchmark, report):
+    rows = []
+    for n in SIZES:
+        graph = random_connected_graph(n, 0.1, seed=n)
+        randomized = sum(
+            run_randomized_mst(graph, seed=s, verify=True).metrics.awake_round_product
+            for s in SEEDS
+        ) / len(SEEDS)
+        deterministic = run_deterministic_mst(graph, verify=True)
+        traditional = run_traditional_ghs(graph, seed=0)
+        rows.append(
+            (
+                n,
+                randomized,
+                deterministic.metrics.awake_round_product,
+                traditional.metrics.awake_round_product,
+            )
+        )
+
+    report.record_rows(
+        "Theorem 4 / awake x rounds product (random graphs)",
+        f"{'n':>6} {'rand AT*RT':>12} {'det AT*RT':>13} {'trad AT*RT':>13} "
+        f"{'rand/n':>9}",
+        [
+            f"{n:>6} {r:>12.0f} {d:>13} {t:>13} {r / n:>9.0f}"
+            for n, r, d, t in rows
+        ],
+    )
+    for n, randomized, deterministic, traditional in rows:
+        # The Ω̃(n) bound: nobody beats n (the polylog slack means the
+        # bound in absolute terms is far below these).
+        assert randomized >= n
+        assert deterministic >= n
+        assert traditional >= n
+    # The randomized algorithm is near-optimal: product / n grows only
+    # polylogarithmically — ~log^2 n, a factor log2^2(128)/log2^2(16) ≈ 3
+    # over this range; allow 4x slack for the random phase count.
+    first, last = rows[0], rows[-1]
+    assert (last[1] / last[0]) / (first[1] / first[0]) < 12
+
+    graph = random_connected_graph(64, 0.1, seed=64)
+    benchmark.pedantic(
+        lambda: run_randomized_mst(graph, seed=0), rounds=3, iterations=1
+    )

@@ -1,0 +1,71 @@
+"""TOOLBOX — Observations 2-4: each LDT procedure is O(1) awake, O(n) rounds.
+
+Measures, across sizes, the awake rounds per node and the block length of
+each procedure; the awake cost must be a small constant independent of n
+while the round cost is exactly one 2n+2 block.
+"""
+
+from __future__ import annotations
+
+from repro.core import NOTHING, block_span
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.core.toolbox import fragment_broadcast, transmit_adjacent, upcast_min
+from repro.graphs import path_graph, random_tree
+
+SIZES = (8, 32, 128, 512)
+
+
+def broadcast(ctx, ldt, clock, value):
+    result = yield from fragment_broadcast(
+        ctx, ldt, clock.take(), 42 if ldt.is_root else NOTHING
+    )
+    return result
+
+
+def upcast(ctx, ldt, clock, value):
+    result = yield from upcast_min(ctx, ldt, clock.take(), ctx.node_id)
+    return result
+
+
+def adjacent(ctx, ldt, clock, value):
+    inbox = yield from transmit_adjacent(
+        ctx, ldt, clock.take(), ctx.broadcast(ctx.node_id)
+    )
+    return len(inbox)
+
+
+PROCEDURES = [
+    ("Fragment-Broadcast", broadcast, "tree"),
+    ("Upcast-Min", upcast, "tree"),
+    ("Transmit-Adjacent", adjacent, "singletons"),
+]
+
+
+def run_once(procedure, structure, n, seed=1):
+    graph = path_graph(n, seed=seed) if n <= 32 else random_tree(n, seed=seed)
+    if structure == "tree":
+        plan = FLDTPlan.single_tree(graph, graph.node_ids[0])
+    else:
+        plan = FLDTPlan.singletons(graph)
+    return run_procedure(graph, plan, procedure, refresh_neighbors=False)
+
+
+def test_toolbox_awake_constant_rounds_linear(benchmark, report):
+    lines = []
+    for name, procedure, structure in PROCEDURES:
+        for n in SIZES:
+            run = run_once(procedure, structure, n)
+            awake = run.simulation.metrics.max_awake
+            rounds = run.simulation.metrics.rounds
+            lines.append(
+                f"{name:<20} n={n:>4}: awake={awake} rounds={rounds} "
+                f"(block={block_span(n)})"
+            )
+            # Observations 2-4: O(1) awake (constant <= 2), one block.
+            assert awake <= 2
+            assert rounds <= block_span(n)
+    report.record("Observations 2-4 / toolbox procedures", "\n".join(lines))
+
+    benchmark.pedantic(
+        lambda: run_once(upcast, "tree", 128), rounds=3, iterations=1
+    )

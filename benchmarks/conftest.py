@@ -1,0 +1,41 @@
+"""Benchmark-suite plumbing: a reporter that prints paper-style series.
+
+Every bench records the rows/series its paper artifact reports (Table 1
+rows, the Theorem 3 awake-vs-n series, ...) through the ``report`` fixture;
+they are printed together in the terminal summary so that
+``pytest benchmarks/ --benchmark-only`` output contains the regenerated
+tables alongside the timing table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+_SERIES: List[Tuple[str, str]] = []
+
+
+class SeriesReporter:
+    """Collects named text blocks to print after the run."""
+
+    def record(self, title: str, text: str) -> None:
+        _SERIES.append((title, text))
+
+    def record_rows(self, title: str, header: str, rows) -> None:
+        lines = [header] + [str(row) for row in rows]
+        self.record(title, "\n".join(lines))
+
+
+@pytest.fixture
+def report() -> SeriesReporter:
+    return SeriesReporter()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _SERIES:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for title, text in _SERIES:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(text)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Application: energy-efficient broadcast over a freshly built MST.
+
+The paper's introduction motivates MST as the backbone for energy-efficient
+broadcast in wireless networks.  This example composes the library's
+protocol generators to build that application end to end, inside a single
+sleeping-model execution per node:
+
+1. run ``Randomized-MST`` (via ``randomized_mst_session``, which hands back
+   the final LDT and the still-aligned block clock);
+2. the MST root then broadcasts ``k`` messages down the tree, each costing
+   every node only O(1) awake rounds (``Fragment-Broadcast``), and the
+   leaves convergecast an acknowledgment (``Upcast-Min``).
+
+For comparison we run classical flooding for the same ``k`` messages: each
+flood costs Θ(depth) awake rounds per node because a listener cannot know
+when the wave arrives.
+
+Run:  python examples/broadcast_application.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import run_flooding_broadcast
+from repro.core import (
+    NOTHING,
+    fragment_broadcast,
+    randomized_mst_session,
+    upcast_min,
+)
+from repro.graphs import random_geometric_graph
+from repro.sim import simulate
+
+NUM_BROADCASTS = 5
+
+
+def mst_then_broadcast_protocol(ctx):
+    """Build the MST, then serve NUM_BROADCASTS root-to-all messages."""
+    output, ldt, clock = yield from randomized_mst_session(ctx)
+
+    received = []
+    for k in range(NUM_BROADCASTS):
+        payload = ("sensor-command", k) if ldt.is_root else NOTHING
+        message = yield from fragment_broadcast(ctx, ldt, clock.take(), payload)
+        received.append(message)
+        # Leaves acknowledge: the root learns the minimum node ID that
+        # received (all of them did — it sees the global minimum).
+        ack = yield from upcast_min(ctx, ldt, clock.take(), ctx.node_id)
+        if ldt.is_root:
+            assert ack == min(ctx.node_id, ack)
+    return {"mst": output, "broadcasts": received}
+
+
+def main() -> None:
+    n = 64
+    graph = random_geometric_graph(n, radius=0.35, seed=11)
+    print(f"sensor network: n={graph.n} m={graph.m}\n")
+
+    result = simulate(graph, mst_then_broadcast_protocol, seed=11)
+    metrics = result.metrics
+
+    # Every node received every broadcast.
+    for node, payload in result.node_results.items():
+        assert payload["broadcasts"] == [
+            ("sensor-command", k) for k in range(NUM_BROADCASTS)
+        ], f"node {node} missed a broadcast"
+
+    mst_only = simulate(
+        graph,
+        lambda ctx: _mst_only(ctx),
+        seed=11,
+    )
+    awake_for_broadcasts = metrics.max_awake - mst_only.metrics.max_awake
+    print("sleeping-model pipeline (MST + broadcasts over the LDT):")
+    print(f"  total awake complexity      : {metrics.max_awake}")
+    print(f"  ... of which the {NUM_BROADCASTS} broadcasts+acks cost "
+          f"<= {awake_for_broadcasts} awake rounds "
+          f"({awake_for_broadcasts / NUM_BROADCASTS:.1f} per broadcast)")
+    print(f"  total rounds                : {metrics.rounds}")
+
+    flood = run_flooding_broadcast(graph)
+    print("\nclassical flooding (one message, traditional model):")
+    print(f"  awake complexity            : {flood.metrics.max_awake} "
+          f"(= Θ(depth); x{NUM_BROADCASTS} messages "
+          f"= {flood.metrics.max_awake * NUM_BROADCASTS})")
+    print(f"  rounds                      : {flood.metrics.rounds}")
+
+    print("\nOnce the LDT exists, each further dissemination costs O(1) "
+          "awake rounds per node —\nthe tree amortises the paper's "
+          "O(log n) construction across the network's lifetime.")
+
+
+def _mst_only(ctx):
+    output, _, _ = yield from randomized_mst_session(ctx)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Demonstrate both lower-bound constructions (Section 3) empirically.
+
+Theorem 3 — Ω(log n) awake on rings: builds the weighted-ring family,
+tracks causal knowledge during a real MST execution, and prints the
+decision certificate: whoever omits the heaviest edge causally reached both
+heavy edges, and knowledge grows at most 3x per awake round, so
+log_3(separation) awake rounds were unavoidable.
+
+Theorem 4 — Ω̃(n) on awake x rounds: builds the Figure 1 graph G_rc,
+encodes random set-disjointness instances as MST inputs (SD → DSD → CSS →
+MST), and answers them by actually running the distributed algorithm.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import run_randomized_mst
+from repro.lower_bounds import (
+    GrcTopology,
+    certify_ring_run,
+    dsd_marked_edges,
+    random_sd_instance,
+    theorem3_ring,
+    theorem4_regime,
+)
+
+
+def theorem3_demo() -> None:
+    print("=== Theorem 3: Ω(log n) awake complexity on rings ===\n")
+    header = (f"{'ring n':>7} {'separation':>11} {'required':>9} "
+              f"{'observed':>9} {'growth':>7} {'AT':>5}")
+    print(header)
+    print("-" * len(header))
+    for n in (4, 8, 16, 32):
+        instance = theorem3_ring(n, seed=n)
+        result = run_randomized_mst(
+            instance.graph, seed=1, track_knowledge=True, verify=True
+        )
+        certificate = certify_ring_run(instance, result.simulation)
+        assert certificate.holds
+        print(f"{instance.ring_size:>7} {certificate.separation:>11} "
+              f"{certificate.required_awake:>9} "
+              f"{certificate.observed_awake:>9} "
+              f"{certificate.observed_growth:>7.2f} "
+              f"{result.metrics.max_awake:>5}")
+    print("\n'required' = ceil(log_3 separation): the awake rounds any "
+          "algorithm needs before\na node can causally know both heavy "
+          "edges.  'observed' always meets it, and the\nper-round knowledge "
+          "growth factor never exceeds 3 — the two facts the proof rests on.\n")
+
+
+def theorem4_demo() -> None:
+    print("=== Theorem 4: G_rc and the SD -> DSD -> CSS -> MST chain ===\n")
+    r, c = theorem4_regime(240)
+    topology = GrcTopology(r, c)
+    graph, _ = topology.to_weighted_graph()
+    print(f"G_rc: r={r} rows x c={c} columns, |X|={topology.x_size}, "
+          f"n={topology.n}, diameter={graph.diameter()} "
+          f"(<= {topology.diameter_upper_bound()}, vs c={c})\n")
+
+    for seed, force in ((1, True), (2, False), (3, True), (4, False)):
+        instance = random_sd_instance(topology.r - 1, seed=seed,
+                                      force_disjoint=force)
+        marked = dsd_marked_edges(topology, instance)
+        weighted, threshold = topology.to_weighted_graph(marked)
+        result = run_randomized_mst(weighted, seed=0, verify=True)
+        uses_heavy = any(w > threshold for w in result.mst_weights)
+        answer = "DISJOINT" if not uses_heavy else "INTERSECTING"
+        truth = "DISJOINT" if instance.disjoint else "INTERSECTING"
+        status = "ok" if answer == truth else "WRONG"
+        print(f"  x={instance.bits_alice} y={instance.bits_bob}: "
+              f"MST answers {answer:<12} (truth {truth:<12}) [{status}]  "
+              f"AT={result.metrics.max_awake} RT={result.metrics.rounds} "
+              f"AT*RT={result.metrics.awake_round_product} (n={topology.n})")
+    print("\nAnswering SD costs Ω(r) bits across the row cut; squeezing "
+          "them through fewer rounds\nconcentrates congestion on the "
+          "O(log n) tree nodes — hence awake x rounds = Ω̃(n).")
+
+
+if __name__ == "__main__":
+    theorem3_demo()
+    theorem4_demo()

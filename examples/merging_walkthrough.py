@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Reproduce Figures 2-5: one Merging-Fragments step, drawn in ASCII.
+
+Runs the real procedure under the simulator on the Appendix C
+configuration and prints the four conceptual snapshots: the initial
+labelled forest (Fig. 2), the path re-labelling (Fig. 3), the subtree
+re-labelling (Fig. 4, folded into the final state here since the two
+Transmission-Schedule passes commit together), and the merged LDT (Fig. 5).
+
+Run:  python examples/merging_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_merging_walkthrough
+
+
+def render(snapshots, tails_nodes):
+    lines = []
+    for node_id in sorted(snapshots):
+        snapshot = snapshots[node_id]
+        side = "tails" if node_id in tails_nodes else "heads"
+        parent = "-" if snapshot.parent is None else str(snapshot.parent)
+        lines.append(
+            f"    node {node_id:>2} [{side}]  fragment={snapshot.fragment_id:>2}"
+            f"  level={snapshot.level}  parent={parent}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    walkthrough = run_merging_walkthrough()
+    tails_nodes = set(walkthrough.tails_distance)
+
+    print("Figure 2 — initial FLDT (two fragments, MOE between "
+          f"u_T={walkthrough.u_tails} and u_H={walkthrough.u_heads}):")
+    print(render(walkthrough.before, tails_nodes))
+
+    print("\nFigures 3-4 — the two Transmission-Schedule passes compute, for"
+          "\nevery tails node v, NEW-LEVEL-NUM = level(u_H) + 1 + dist_T(u_T, v):")
+    for node in sorted(tails_nodes):
+        expected = (walkthrough.heads_root_level_of_u_heads + 1
+                    + walkthrough.tails_distance[node])
+        print(f"    node {node:>2}: {walkthrough.heads_root_level_of_u_heads}"
+              f" + 1 + {walkthrough.tails_distance[node]} = {expected}")
+
+    print("\nFigure 5 — after the commit (single LDT rooted at the heads "
+          "root, path u_T→old-root reversed):")
+    print(render(walkthrough.after, tails_nodes))
+
+    print("\nAll of this cost each node O(1) awake rounds: one "
+          "Transmit-Adjacent and two\nTransmission-Schedule passes "
+          "(Section 2.2, Procedure Merging-Fragments).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: build a graph, run both sleeping-model MST algorithms.
+
+Demonstrates the core public API:
+
+* graph generators (``repro.graphs``),
+* the two awake-optimal algorithms (``run_randomized_mst`` /
+  ``run_deterministic_mst``),
+* the metrics the paper is about (awake complexity vs round complexity),
+* correctness checking against the sequential reference MST.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import run_deterministic_mst, run_randomized_mst
+from repro.graphs import mst_weight_set, random_connected_graph
+
+
+def main() -> None:
+    n = 64
+    graph = random_connected_graph(n, extra_edge_prob=0.1, seed=7)
+    print(f"graph: n={graph.n} m={graph.m} (random connected, seed 7)")
+
+    reference = mst_weight_set(graph)
+    print(f"reference MST: {len(reference)} edges, total weight "
+          f"{sum(reference)}\n")
+
+    for name, run in (
+        ("Randomized-MST   (Theorem 1)", lambda: run_randomized_mst(graph, seed=7)),
+        ("Deterministic-MST (Theorem 2)", lambda: run_deterministic_mst(graph)),
+    ):
+        result = run()
+        assert result.mst_weights == reference, "distributed MST mismatch!"
+        metrics = result.metrics
+        print(f"{name}")
+        print(f"  phases          : {result.phases}")
+        print(f"  awake complexity: {metrics.max_awake}  "
+              f"(= {metrics.max_awake / math.log2(n):.1f} x log2 n)")
+        print(f"  round complexity: {metrics.rounds}")
+        print(f"  awake x rounds  : {metrics.awake_round_product}")
+        print(f"  messages        : {metrics.messages_delivered} delivered, "
+              f"{metrics.messages_lost} lost to sleepers")
+        print(f"  correct MST     : {result.is_correct_mst(graph)}\n")
+
+    print("Every node also knows *its own* MST edges (the paper's output "
+          "convention):")
+    some_node = graph.node_ids[0]
+    output = run_randomized_mst(graph, seed=7).node_outputs[some_node]
+    print(f"  node {some_node}: incident MST edge weights = "
+          f"{sorted(output.mst_weights)}")
+
+
+if __name__ == "__main__":
+    main()

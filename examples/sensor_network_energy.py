@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Sensor-network energy study: the paper's motivating scenario.
+
+A wireless sensor network (random geometric graph) must build an MST —
+e.g. as a backbone for energy-efficient data aggregation.  We price three
+strategies under a radio energy model (awake rounds dominate; deep sleep is
+nearly free):
+
+1. ``Randomized-MST`` in the sleeping model (this paper);
+2. ``Deterministic-MST`` in the sleeping model (this paper);
+3. the same GHS skeleton in the traditional model, where idle listening
+   burns energy every round.
+
+The punchline: the sleeping model turns an O(n log n)-round protocol into
+one whose *energy* cost per node is O(log n) radio-on rounds, multiplying
+the number of protocol executions a battery can sustain.
+
+Run:  python examples/sensor_network_energy.py
+"""
+
+from __future__ import annotations
+
+from repro import run_deterministic_mst, run_randomized_mst
+from repro.analysis import EnergyModel
+from repro.baselines import run_traditional_ghs
+from repro.graphs import random_geometric_graph
+
+
+def main() -> None:
+    model = EnergyModel(awake_mj=20.0, tx_mj=5.0, sleep_mj=0.02,
+                        battery_mj=50_000.0)
+    print("energy model: awake 20 mJ/round, tx 5 mJ/msg, sleep 0.02 mJ/round,"
+          " battery 50 J\n")
+
+    header = (f"{'n':>5} {'strategy':<22} {'AT':>6} {'RT':>9} "
+              f"{'worst mJ':>10} {'runs/battery':>13}")
+    print(header)
+    print("-" * len(header))
+
+    for n in (32, 64, 128):
+        graph = random_geometric_graph(n, radius=0.35, seed=n)
+        strategies = (
+            ("sleeping randomized", run_randomized_mst(graph, seed=0)),
+            ("sleeping deterministic", run_deterministic_mst(graph)),
+            ("traditional GHS", run_traditional_ghs(graph, seed=0)),
+        )
+        for name, result in strategies:
+            assert result.is_correct_mst(graph)
+            worst = model.max_node_energy(result.metrics)
+            runs = model.executions_per_battery(result.metrics)
+            print(f"{n:>5} {name:<22} {result.metrics.max_awake:>6} "
+                  f"{result.metrics.rounds:>9} {worst:>10.0f} {runs:>13.1f}")
+        print()
+
+    print("Note how the deterministic algorithm pays its determinism in "
+          "rounds (sleep time),\nnot in energy: its battery life tracks the "
+          "randomized algorithm, not the traditional one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — Distributed MST in the Sleeping Model.
+
+A full reproduction of *"Distributed MST Computation in the Sleeping Model:
+Awake-Optimal Algorithms and Lower Bounds"* (Augustine, Moses Jr.,
+Pandurangan; PODC 2022): the sleeping-model CONGEST simulator, the
+``O(log n)``-awake randomized and deterministic MST algorithms, the
+traditional-model baselines, and the Theorem 3 / Theorem 4 lower-bound
+constructions with empirical certificates.
+
+Quickstart
+----------
+.. code-block:: python
+
+    from repro import run_randomized_mst
+    from repro.graphs import random_connected_graph
+
+    graph = random_connected_graph(64, seed=7)
+    result = run_randomized_mst(graph, seed=7, verify=True)
+    print(result.mst_weights)           # MST edges (identified by weight)
+    print(result.metrics.max_awake)     # O(log n) awake complexity
+    print(result.metrics.rounds)        # O(n log n) round complexity
+
+Subpackages
+-----------
+``repro.sim``
+    The sleeping-model synchronous CONGEST simulator.
+``repro.graphs``
+    Weighted graphs, generators, reference MSTs.
+``repro.core``
+    LDT toolbox, ``Randomized-MST``, ``Deterministic-MST``.
+``repro.baselines``
+    Traditional-model (always-awake) comparators.
+``repro.lower_bounds``
+    Theorem 3 ring family + knowledge certificates; Theorem 4 ``G_rc`` and
+    the SD → DSD → CSS → MST reduction chain.
+``repro.analysis``
+    Complexity fits, Table 1 regeneration, ablations, energy model.
+"""
+
+from .core import (
+    MSTNodeOutput,
+    MSTRunResult,
+    run_deterministic_mst,
+    run_randomized_mst,
+)
+from .graphs import WeightedGraph
+from .sim import Awake, NodeContext, SleepingSimulator, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Awake",
+    "MSTNodeOutput",
+    "MSTRunResult",
+    "NodeContext",
+    "SleepingSimulator",
+    "WeightedGraph",
+    "__version__",
+    "run_deterministic_mst",
+    "run_randomized_mst",
+    "simulate",
+]

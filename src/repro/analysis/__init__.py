@@ -1,0 +1,78 @@
+"""Analysis and experiment harness: fits, tables, ablations, energy model."""
+
+from .ablation import PhaseStats, boruvka_merge_structure, worst_merge_diameter
+from .complexity import (
+    MODELS,
+    ScalingFit,
+    best_model,
+    doubling_ratios,
+    fit_scaling,
+    geometric_mean,
+)
+from .energy import EnergyModel
+from .phase_history import PhaseSnapshot, contraction_ratios, phase_history
+from .randomized_stats import (
+    ContractionReport,
+    SuccessReport,
+    contraction_statistics,
+    fixed_mode_success_rate,
+)
+from .sweep import (
+    FAMILIES,
+    SweepPoint,
+    fit_sweep,
+    run_sweep,
+    to_csv,
+    to_markdown,
+)
+from .timeline import Timeline, awake_timeline
+from .tables import (
+    ALGORITHMS,
+    MeasuredRow,
+    Table1,
+    generate_table1,
+    render_table,
+)
+from .walkthrough import (
+    NodeSnapshot,
+    Walkthrough,
+    build_walkthrough_instance,
+    run_merging_walkthrough,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "FAMILIES",
+    "ContractionReport",
+    "EnergyModel",
+    "SuccessReport",
+    "Timeline",
+    "awake_timeline",
+    "contraction_ratios",
+    "contraction_statistics",
+    "fixed_mode_success_rate",
+    "MODELS",
+    "MeasuredRow",
+    "NodeSnapshot",
+    "PhaseSnapshot",
+    "PhaseStats",
+    "ScalingFit",
+    "SweepPoint",
+    "Table1",
+    "Walkthrough",
+    "best_model",
+    "boruvka_merge_structure",
+    "build_walkthrough_instance",
+    "doubling_ratios",
+    "fit_scaling",
+    "fit_sweep",
+    "generate_table1",
+    "geometric_mean",
+    "phase_history",
+    "render_table",
+    "run_merging_walkthrough",
+    "run_sweep",
+    "to_csv",
+    "to_markdown",
+    "worst_merge_diameter",
+]

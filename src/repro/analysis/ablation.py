@@ -1,0 +1,145 @@
+"""Ablation of the coin-flip MOE restriction (why Section 2.2 needs it).
+
+The randomized algorithm *prunes* the MOE forest with coin flips so that
+every merge component is a star (one heads fragment plus adjacent tails
+fragments) — supergraph diameter ≤ 2 — which is what makes a merge cost
+``O(1)`` awake rounds.  Without pruning, the MOE forest's components can be
+chains of length ``Θ(#fragments)`` (e.g. on a path with monotone weights),
+and propagating the new fragment ID along a chain of ``k`` fragments costs
+``Θ(k)`` awake rounds.
+
+Implementing the unrestricted merge in the sleeping model would just be a
+slow, broken-by-design algorithm; the honest ablation is structural.  This
+module replays Borůvka phases *centrally* and measures, per phase, the
+diameter of the merge components under both policies — the exact quantity
+the awake cost of a merge is proportional to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graphs import UnionFind, WeightedGraph
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Merge-structure statistics for one Borůvka phase."""
+
+    phase: int
+    fragments_before: int
+    fragments_after: int
+    #: Largest merge-component diameter in the fragment supergraph — the
+    #: awake cost a sleeping-model merge of that component would pay.
+    max_component_diameter: int
+    #: Number of merge components this phase.
+    components: int
+
+
+def _fragment_moes(
+    graph: WeightedGraph, union_find: UnionFind
+) -> Dict[int, Tuple[int, int, int]]:
+    """Minimum outgoing edge per fragment root: root -> (w, u, v)."""
+    best: Dict[int, Tuple[int, int, int]] = {}
+    for edge in graph.edges():
+        ru, rv = union_find.find(edge.u), union_find.find(edge.v)
+        if ru == rv:
+            continue
+        candidate = (edge.weight, edge.u, edge.v)
+        for root in (ru, rv):
+            if root not in best or candidate[0] < best[root][0]:
+                best[root] = candidate
+    return best
+
+
+def _component_diameters(
+    nodes: Set[int], adjacency: Dict[int, Set[int]]
+) -> Tuple[int, int]:
+    """(number of components, max diameter) of the fragment supergraph."""
+    seen: Set[int] = set()
+    components = 0
+    max_diameter = 0
+    for start in nodes:
+        if start in seen:
+            continue
+        components += 1
+        # BFS to collect the component.
+        component = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency.get(node, ()):
+                if neighbour not in component:
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        seen |= component
+        # Exact diameter by BFS from every member (components are small
+        # relative to experiment scales; supergraphs have <= n nodes).
+        for source in component:
+            distances = {source: 0}
+            queue = [source]
+            while queue:
+                node = queue.pop(0)
+                for neighbour in adjacency.get(node, ()):
+                    if neighbour not in distances:
+                        distances[neighbour] = distances[node] + 1
+                        queue.append(neighbour)
+            max_diameter = max(max_diameter, max(distances.values(), default=0))
+    return components, max_diameter
+
+
+def boruvka_merge_structure(
+    graph: WeightedGraph,
+    restricted: bool,
+    seed: int = 0,
+    max_phases: Optional[int] = None,
+) -> List[PhaseStats]:
+    """Replay Borůvka phases; measure merge-component diameters per phase.
+
+    ``restricted=True`` applies the paper's coin-flip rule (an MOE is kept
+    iff its source fragment flips tails and its target flips heads);
+    ``restricted=False`` keeps every MOE (classical Borůvka).
+    """
+    rng = Random(f"ablation/{seed}")
+    union_find = UnionFind(graph.node_ids)
+    stats: List[PhaseStats] = []
+    phase = 0
+    while union_find.components > 1:
+        phase += 1
+        if max_phases is not None and phase > max_phases:
+            break
+        moes = _fragment_moes(graph, union_find)
+        fragments_before = union_find.components
+
+        coins = {root: rng.randrange(2) for root in moes}  # 1 = heads
+        adjacency: Dict[int, Set[int]] = {root: set() for root in moes}
+        kept_edges: List[Tuple[int, int]] = []
+        for root, (_, u, v) in moes.items():
+            source = root
+            target = union_find.find(u) if union_find.find(u) != root else union_find.find(v)
+            if restricted and not (coins[source] == 0 and coins[target] == 1):
+                continue
+            adjacency.setdefault(source, set()).add(target)
+            adjacency.setdefault(target, set()).add(source)
+            kept_edges.append((u, v))
+
+        components, max_diameter = _component_diameters(set(moes), adjacency)
+        for u, v in kept_edges:
+            union_find.union(u, v)
+        stats.append(
+            PhaseStats(
+                phase=phase,
+                fragments_before=fragments_before,
+                fragments_after=union_find.components,
+                max_component_diameter=max_diameter,
+                components=components,
+            )
+        )
+    return stats
+
+
+def worst_merge_diameter(stats: List[PhaseStats]) -> int:
+    """The largest merge-component diameter across all phases."""
+    return max((entry.max_component_diameter for entry in stats), default=0)

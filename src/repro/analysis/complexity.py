@@ -1,0 +1,95 @@
+"""Complexity-fitting helpers for the scaling experiments.
+
+The paper's claims are asymptotic (``O(log n)`` awake, ``O(n log n)`` /
+``O(nN log n)`` rounds); the benchmarks verify them by measuring the
+quantity across a range of ``n`` and checking that the ratio to the claimed
+model stays bounded (and roughly flat), via a least-squares constant fit
+plus the spread of per-point ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+#: Named asymptotic models mapping n -> predicted shape (up to a constant).
+MODELS: Dict[str, Callable[[float], float]] = {
+    "const": lambda n: 1.0,
+    "log": lambda n: math.log2(max(2.0, n)),
+    "linear": lambda n: float(n),
+    "nlog": lambda n: n * math.log2(max(2.0, n)),
+    "n2log": lambda n: n * n * math.log2(max(2.0, n)),
+    "sqrt": lambda n: math.sqrt(n),
+}
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Result of fitting ``y ≈ constant * model(n)``."""
+
+    model: str
+    #: Least-squares constant.
+    constant: float
+    #: Per-point ratios ``y_i / model(n_i)``.
+    ratios: Tuple[float, ...]
+    #: max(ratios) / min(ratios) — 1.0 means a perfect shape match.
+    ratio_spread: float
+
+    def is_bounded(self, spread_limit: float) -> bool:
+        """True iff the measured shape tracks the model within the limit.
+
+        A genuinely faster- or slower-growing measurement makes the ratios
+        drift monotonically, inflating the spread; a correct model keeps
+        the spread near 1 (noise aside).
+        """
+        return self.ratio_spread <= spread_limit
+
+
+def fit_scaling(
+    ns: Sequence[float], ys: Sequence[float], model: str
+) -> ScalingFit:
+    """Fit ``y = c * model(n)`` by least squares through the origin."""
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}; choose from {sorted(MODELS)}")
+    if len(ns) != len(ys) or not ns:
+        raise ValueError("ns and ys must be equal-length and non-empty")
+    shape = MODELS[model]
+    xs = [shape(n) for n in ns]
+    numerator = sum(x * y for x, y in zip(xs, ys))
+    denominator = sum(x * x for x in xs)
+    constant = numerator / denominator if denominator else 0.0
+    ratios = tuple(y / x for x, y in zip(xs, ys) if x > 0)
+    spread = (max(ratios) / min(ratios)) if ratios and min(ratios) > 0 else math.inf
+    return ScalingFit(
+        model=model, constant=constant, ratios=ratios, ratio_spread=spread
+    )
+
+
+def best_model(
+    ns: Sequence[float], ys: Sequence[float], candidates: Sequence[str]
+) -> str:
+    """Among candidate models, the one with the smallest ratio spread."""
+    fits = [(fit_scaling(ns, ys, model).ratio_spread, model) for model in candidates]
+    return min(fits)[1]
+
+
+def doubling_ratios(ns: Sequence[float], ys: Sequence[float]) -> List[float]:
+    """``y(2n)/y(n)`` style growth factors between consecutive sizes.
+
+    For ``O(log n)`` quantities these approach 1; for linear, the ratio of
+    sizes; for ``n log n`` slightly above it — a model-free sanity view.
+    """
+    pairs = sorted(zip(ns, ys))
+    return [
+        later / earlier
+        for (_, earlier), (_, later) in zip(pairs, pairs[1:])
+        if earlier > 0
+    ]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    positives = [value for value in values if value > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in positives) / len(positives))

@@ -1,0 +1,66 @@
+"""A sensor-network energy model over awake/sleeping rounds.
+
+The paper's motivation (Section 1): in ad-hoc wireless and sensor networks
+a node's energy consumption is dominated by the rounds its radio is on —
+transmitting, receiving, *or idle-listening* — while a sleeping radio
+spends "little or no energy".  This module prices a simulation run under a
+simple published-style radio model so the examples and the ENERGY
+experiment can convert awake-complexity gaps into battery-lifetime gaps.
+
+Default constants loosely follow classic sensor-mote numbers (order of
+magnitude only; the conclusions depend on the *ratio* awake : sleep, which
+is 3–4 orders of magnitude for real radios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim import Metrics
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-round energy prices in millijoules."""
+
+    #: Price of one awake round (radio on: listen and possibly tx/rx).
+    awake_mj: float = 20.0
+    #: Extra price per message transmitted.
+    tx_mj: float = 5.0
+    #: Price of one sleeping round (deep-sleep current).
+    sleep_mj: float = 0.02
+    #: Battery capacity.
+    battery_mj: float = 50_000.0
+
+    def node_energy(
+        self, awake_rounds: int, messages_sent: int, total_rounds: int
+    ) -> float:
+        """Energy one node spends over a run of ``total_rounds`` rounds."""
+        sleeping_rounds = max(0, total_rounds - awake_rounds)
+        return (
+            awake_rounds * self.awake_mj
+            + messages_sent * self.tx_mj
+            + sleeping_rounds * self.sleep_mj
+        )
+
+    def run_energy(self, metrics: Metrics) -> Dict[int, float]:
+        """Per-node energy for a whole run (node is asleep after it halts)."""
+        return {
+            node_id: self.node_energy(
+                node.awake_rounds, node.messages_sent, metrics.rounds
+            )
+            for node_id, node in metrics.per_node.items()
+        }
+
+    def max_node_energy(self, metrics: Metrics) -> float:
+        """Worst-case per-node energy — the network-lifetime bottleneck."""
+        energies = self.run_energy(metrics)
+        return max(energies.values()) if energies else 0.0
+
+    def executions_per_battery(self, metrics: Metrics) -> float:
+        """How many times the protocol can run before the worst node dies."""
+        worst = self.max_node_energy(metrics)
+        if worst <= 0:
+            return float("inf")
+        return self.battery_mj / worst

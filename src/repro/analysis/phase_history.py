@@ -1,0 +1,81 @@
+"""Per-phase forest snapshots of the *distributed* executions.
+
+The runners expose each node's final LDT labels, and stopping a run after
+``k`` phases (``max_phases=k``) is exact — the algorithms are
+deterministic given the seed, so the length-``k`` prefix of a run equals
+the truncated run.  Replaying ``k = 1..P`` therefore reconstructs the full
+phase-by-phase history of the real distributed execution: fragment counts,
+fragment size distributions, and the growing tree-edge set.
+
+This is the distributed counterpart of the centralised replay in
+:mod:`repro.analysis.ablation`: Lemma 1's contraction can be measured on
+the actual protocol, not just on the equivalent Markov chain.  Cost is
+quadratic in the phase count (each prefix is re-simulated), fine at test
+and bench scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set
+
+from repro.core import MSTRunResult, run_randomized_mst
+from repro.graphs import WeightedGraph
+
+
+@dataclass(frozen=True)
+class PhaseSnapshot:
+    """The forest at the end of one phase of a distributed run."""
+
+    phase: int
+    #: Fragment ID -> member count.
+    fragment_sizes: Dict[int, int]
+    #: Union of per-node incident MST weights so far.
+    tree_weights: Set[int]
+
+    @property
+    def fragments(self) -> int:
+        return len(self.fragment_sizes)
+
+
+def phase_history(
+    graph: WeightedGraph,
+    runner: Callable[..., MSTRunResult] = run_randomized_mst,
+    seed: int = 0,
+    **runner_kwargs,
+) -> List[PhaseSnapshot]:
+    """Reconstruct the per-phase forests of one distributed execution.
+
+    ``runner`` must accept ``seed`` and ``max_phases`` (both shipped
+    runners do).  Returns one snapshot per executed phase, ending with the
+    single-fragment final state.
+    """
+    snapshots: List[PhaseSnapshot] = []
+    phase = 0
+    while True:
+        phase += 1
+        result = runner(graph, seed=seed, max_phases=phase, **runner_kwargs)
+        sizes: Dict[int, int] = {}
+        weights: Set[int] = set()
+        for output in result.node_outputs.values():
+            sizes[output.fragment_id] = sizes.get(output.fragment_id, 0) + 1
+            weights |= set(output.mst_weights)
+        snapshots.append(
+            PhaseSnapshot(
+                phase=phase, fragment_sizes=sizes, tree_weights=weights
+            )
+        )
+        if len(sizes) == 1 or result.phases < phase:
+            return snapshots
+        if phase > graph.n + 1:  # pragma: no cover - progress guarantee
+            raise RuntimeError("phase history failed to converge")
+
+
+def contraction_ratios(snapshots: List[PhaseSnapshot], n: int) -> List[float]:
+    """Fragment-count ratios before/after each phase (first phase from n)."""
+    counts = [n] + [snapshot.fragments for snapshot in snapshots]
+    return [
+        before / after
+        for before, after in zip(counts, counts[1:])
+        if before >= 2
+    ]

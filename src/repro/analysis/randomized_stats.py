@@ -1,0 +1,109 @@
+"""Statistics of the randomized algorithm: Lemma 1 and Monte Carlo success.
+
+Lemma 1 claims each phase of ``Randomized-MST`` removes at least a quarter
+of the fragments *in expectation* (contraction factor ≥ 4/3), which drives
+the ``4⌈log_{4/3} n⌉ + 1`` phase budget and the w.h.p. correctness of the
+fixed-termination mode (Lemma 2).  This module measures both:
+
+* :func:`contraction_statistics` replays the coin-flip phase dynamics and
+  reports the per-phase fragment-count ratios;
+* :func:`fixed_mode_success_rate` runs the actual distributed algorithm in
+  ``"fixed"`` mode across seeds and counts how often the output is the
+  exact MST (the Monte Carlo guarantee — failures should essentially never
+  be observed at these sizes, the bound being `1 - 1/n^3`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core import run_randomized_mst
+from repro.graphs import WeightedGraph, mst_weight_set
+
+from .ablation import boruvka_merge_structure
+from .complexity import geometric_mean
+
+
+@dataclass(frozen=True)
+class ContractionReport:
+    """Per-phase fragment contraction measurements across seeds."""
+
+    #: Fragment-count ratio before/after for every (seed, phase) pair.
+    ratios: Sequence[float]
+    #: Number of phases needed per seed.
+    phases: Sequence[int]
+
+    @property
+    def mean_ratio(self) -> float:
+        """Arithmetic mean of per-phase contraction factors."""
+        if not self.ratios:
+            return 0.0
+        return sum(self.ratios) / len(self.ratios)
+
+    @property
+    def geometric_mean_ratio(self) -> float:
+        """Geometric mean — the factor that predicts total phase count."""
+        return geometric_mean(list(self.ratios))
+
+    @property
+    def worst_ratio(self) -> float:
+        """The smallest observed per-phase contraction."""
+        return min(self.ratios) if self.ratios else 0.0
+
+
+def contraction_statistics(
+    graph: WeightedGraph, seeds: Sequence[int]
+) -> ContractionReport:
+    """Measure per-phase contraction of the coin-flip merge dynamics.
+
+    Uses the centralised replay (identical merge rule to the distributed
+    algorithm: an MOE is kept iff source flipped tails and target heads) so
+    that thousands of phases across seeds are cheap; the distributed and
+    replayed dynamics are the same Markov chain.
+    """
+    ratios: List[float] = []
+    phases: List[int] = []
+    for seed in seeds:
+        stats = boruvka_merge_structure(graph, restricted=True, seed=seed)
+        phases.append(len(stats))
+        for entry in stats:
+            if entry.fragments_before >= 2:
+                ratios.append(entry.fragments_before / entry.fragments_after)
+    return ContractionReport(ratios=tuple(ratios), phases=tuple(phases))
+
+
+@dataclass(frozen=True)
+class SuccessReport:
+    """Fixed-mode Monte Carlo outcomes."""
+
+    runs: int
+    successes: int
+    #: Worst awake complexity seen across the runs.
+    max_awake: int
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.runs if self.runs else 0.0
+
+
+def fixed_mode_success_rate(
+    graph: WeightedGraph, seeds: Sequence[int]
+) -> SuccessReport:
+    """Run the distributed algorithm with the paper's fixed phase budget.
+
+    Counts exact-MST outcomes; the w.h.p. analysis promises failure
+    probability at most ``1/n^3``, so at experiment scales every run should
+    succeed — a failure here is a genuine red flag, not noise.
+    """
+    reference = mst_weight_set(graph)
+    successes = 0
+    worst_awake = 0
+    for seed in seeds:
+        result = run_randomized_mst(graph, seed=seed, termination="fixed")
+        if result.mst_weights == reference:
+            successes += 1
+        worst_awake = max(worst_awake, result.metrics.max_awake)
+    return SuccessReport(
+        runs=len(seeds), successes=successes, max_awake=worst_awake
+    )

@@ -1,0 +1,180 @@
+"""Parameter sweeps: (algorithm × graph family × n × seed) grids.
+
+The benches and EXPERIMENTS.md each measure one artifact; this module is
+the general tool — run any registered algorithms over any registered graph
+families across sizes and seeds, collect one flat record per run, and
+export CSV / Markdown for external analysis.  Used by the CLI's ``sweep``
+subcommand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.graphs import (
+    WeightedGraph,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    ring_graph,
+    star_graph,
+)
+
+from .complexity import ScalingFit, fit_scaling
+from .tables import ALGORITHMS
+
+#: Graph families available to sweeps (and the CLI).
+FAMILIES: Dict[str, Callable[[int, int, Optional[int]], WeightedGraph]] = {
+    "ring": lambda n, seed, idr: ring_graph(n, seed=seed, id_range=idr),
+    "path": lambda n, seed, idr: path_graph(n, seed=seed, id_range=idr),
+    "star": lambda n, seed, idr: star_graph(n, seed=seed, id_range=idr),
+    "complete": lambda n, seed, idr: complete_graph(n, seed=seed, id_range=idr),
+    "grid": lambda n, seed, idr: grid_graph(
+        max(2, int(math.isqrt(n))),
+        max(2, n // max(2, int(math.isqrt(n)))),
+        seed=seed,
+        id_range=idr,
+    ),
+    "gnp": lambda n, seed, idr: random_connected_graph(
+        n, extra_edge_prob=0.1, seed=seed, id_range=idr
+    ),
+    "geometric": lambda n, seed, idr: random_geometric_graph(
+        n, radius=0.35, seed=seed, id_range=idr
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (algorithm, family, n, seed) measurement."""
+
+    algorithm: str
+    family: str
+    n: int
+    m: int
+    max_id: int
+    seed: int
+    phases: int
+    max_awake: int
+    mean_awake: float
+    rounds: int
+    awake_round_product: int
+    messages: int
+    bits: int
+    correct: bool
+
+
+#: Column order for exports.
+COLUMNS = [
+    "algorithm",
+    "family",
+    "n",
+    "m",
+    "max_id",
+    "seed",
+    "phases",
+    "max_awake",
+    "mean_awake",
+    "rounds",
+    "awake_round_product",
+    "messages",
+    "bits",
+    "correct",
+]
+
+
+def run_sweep(
+    algorithms: Sequence[str],
+    families: Sequence[str],
+    sizes: Sequence[int],
+    seeds: Sequence[int],
+    id_range_factor: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Run the full grid; returns one :class:`SweepPoint` per run."""
+    for name in algorithms:
+        if name not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}")
+    for name in families:
+        if name not in FAMILIES:
+            raise ValueError(f"unknown family {name!r}; choose from {sorted(FAMILIES)}")
+
+    points: List[SweepPoint] = []
+    for family in families:
+        for n in sizes:
+            for seed in seeds:
+                id_range = None if id_range_factor is None else id_range_factor * n
+                graph = FAMILIES[family](n, seed, id_range)
+                for algorithm in algorithms:
+                    result = ALGORITHMS[algorithm](graph, seed)
+                    metrics = result.metrics
+                    points.append(
+                        SweepPoint(
+                            algorithm=algorithm,
+                            family=family,
+                            n=graph.n,
+                            m=graph.m,
+                            max_id=graph.max_id,
+                            seed=seed,
+                            phases=result.phases,
+                            max_awake=metrics.max_awake,
+                            mean_awake=round(metrics.mean_awake, 3),
+                            rounds=metrics.rounds,
+                            awake_round_product=metrics.awake_round_product,
+                            messages=metrics.messages_delivered,
+                            bits=metrics.total_bits,
+                            correct=result.is_correct_mst(graph),
+                        )
+                    )
+    return points
+
+
+def to_csv(points: Iterable[SweepPoint]) -> str:
+    """Render points as CSV (header + one line per point)."""
+    lines = [",".join(COLUMNS)]
+    for point in points:
+        record = asdict(point)
+        lines.append(",".join(str(record[column]) for column in COLUMNS))
+    return "\n".join(lines) + "\n"
+
+
+def to_markdown(points: Iterable[SweepPoint]) -> str:
+    """Render points as a GitHub-flavoured Markdown table."""
+    lines = [
+        "| " + " | ".join(COLUMNS) + " |",
+        "|" + "---|" * len(COLUMNS),
+    ]
+    for point in points:
+        record = asdict(point)
+        lines.append(
+            "| " + " | ".join(str(record[column]) for column in COLUMNS) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def fit_sweep(
+    points: Sequence[SweepPoint],
+    metric: str = "max_awake",
+    model: str = "log",
+) -> Dict[str, ScalingFit]:
+    """Per-(algorithm, family) scaling fits of ``metric`` against ``model``.
+
+    Seeds at the same size are averaged first.
+    """
+    grouped: Dict[str, Dict[int, List[float]]] = {}
+    for point in points:
+        key = f"{point.algorithm}/{point.family}"
+        grouped.setdefault(key, {}).setdefault(point.n, []).append(
+            float(getattr(point, metric))
+        )
+    fits: Dict[str, ScalingFit] = {}
+    for key, by_size in grouped.items():
+        sizes = sorted(by_size)
+        if len(sizes) < 2:
+            continue
+        values = [sum(by_size[n]) / len(by_size[n]) for n in sizes]
+        fits[key] = fit_scaling(sizes, values, model)
+    return fits

@@ -1,0 +1,149 @@
+"""Regenerate Table 1 of the paper from measured executions.
+
+The paper's Table 1 states, per algorithm, the awake time (AT), the run
+time (RT), and the two lower bounds.  Being a theory table, "reproducing"
+it means measuring AT and RT across sizes and exhibiting that
+
+* `Randomized-MST`: AT = Θ(log n), RT = Θ(n log n);
+* `Deterministic-MST`: AT = Θ(log n), RT = Θ(nN log n);
+* both sit above the AT bound Ω(log n) and the AT × RT bound Ω̃(n);
+* the traditional-model comparator pays AT = RT.
+
+:func:`generate_table1` runs everything and returns structured rows;
+:func:`render_table` prints them in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import run_pipelined_ghs, run_traditional_ghs
+from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.graphs import WeightedGraph, random_connected_graph
+
+from .complexity import fit_scaling
+
+
+@dataclass(frozen=True)
+class MeasuredRow:
+    """One (algorithm, n) measurement averaged over seeds."""
+
+    algorithm: str
+    n: int
+    max_id: int
+    max_awake: float
+    rounds: float
+    product: float
+    correct_runs: int
+    total_runs: int
+
+    @property
+    def awake_per_log(self) -> float:
+        return self.max_awake / math.log2(max(2, self.n))
+
+    @property
+    def rounds_per_nlog(self) -> float:
+        return self.rounds / (self.n * math.log2(max(2, self.n)))
+
+    @property
+    def rounds_per_nNlog(self) -> float:
+        return self.rounds / (self.n * self.max_id * math.log2(max(2, self.n)))
+
+
+@dataclass
+class Table1:
+    """All measurements plus the fitted asymptotic constants."""
+
+    rows: List[MeasuredRow] = field(default_factory=list)
+
+    def rows_for(self, algorithm: str) -> List[MeasuredRow]:
+        return sorted(
+            (row for row in self.rows if row.algorithm == algorithm),
+            key=lambda row: row.n,
+        )
+
+    def awake_fit(self, algorithm: str):
+        rows = self.rows_for(algorithm)
+        return fit_scaling(
+            [row.n for row in rows], [row.max_awake for row in rows], "log"
+        )
+
+    def rounds_fit(self, algorithm: str, model: str = "nlog"):
+        rows = self.rows_for(algorithm)
+        return fit_scaling(
+            [row.n for row in rows], [row.rounds for row in rows], model
+        )
+
+
+#: The runners behind each Table 1 row (+ the traditional comparator).
+ALGORITHMS: Dict[str, Callable] = {
+    "Randomized-MST": lambda graph, seed: run_randomized_mst(graph, seed=seed),
+    "Deterministic-MST": lambda graph, seed: run_deterministic_mst(graph, seed=seed),
+    "LogStar-MST": lambda graph, seed: run_deterministic_mst(
+        graph, seed=seed, coloring="log-star"
+    ),
+    "Traditional-GHS": lambda graph, seed: run_traditional_ghs(graph, seed=seed),
+    "Pipelined-GHS": lambda graph, seed: run_pipelined_ghs(graph, seed=seed),
+}
+
+
+def generate_table1(
+    sizes: Sequence[int] = (16, 32, 64, 128),
+    seeds: Sequence[int] = (0, 1, 2),
+    graph_factory: Optional[Callable[[int, int], WeightedGraph]] = None,
+    algorithms: Optional[Sequence[str]] = None,
+) -> Table1:
+    """Measure every Table 1 algorithm across ``sizes`` x ``seeds``."""
+    factory = graph_factory or (
+        lambda n, seed: random_connected_graph(n, extra_edge_prob=0.1, seed=seed)
+    )
+    chosen = list(algorithms) if algorithms else list(ALGORITHMS)
+    table = Table1()
+    for name in chosen:
+        runner = ALGORITHMS[name]
+        for n in sizes:
+            awake_total = rounds_total = product_total = 0.0
+            correct = 0
+            for seed in seeds:
+                graph = factory(n, seed)
+                result = runner(graph, seed)
+                awake_total += result.metrics.max_awake
+                rounds_total += result.metrics.rounds
+                product_total += result.metrics.awake_round_product
+                if result.is_correct_mst(graph):
+                    correct += 1
+            count = len(seeds)
+            table.rows.append(
+                MeasuredRow(
+                    algorithm=name,
+                    n=n,
+                    max_id=factory(n, seeds[0]).max_id,
+                    max_awake=awake_total / count,
+                    rounds=rounds_total / count,
+                    product=product_total / count,
+                    correct_runs=correct,
+                    total_runs=count,
+                )
+            )
+    return table
+
+
+def render_table(table: Table1) -> str:
+    """Render the measured Table 1 as aligned ASCII text."""
+    header = (
+        f"{'Algorithm':<18} {'n':>5} {'AT':>8} {'AT/log2 n':>10} "
+        f"{'RT':>10} {'RT/(n log n)':>13} {'AT*RT':>12} {'MST ok':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted({row.algorithm for row in table.rows}):
+        for row in table.rows_for(name):
+            lines.append(
+                f"{row.algorithm:<18} {row.n:>5} {row.max_awake:>8.1f} "
+                f"{row.awake_per_log:>10.2f} {row.rounds:>10.0f} "
+                f"{row.rounds_per_nlog:>13.2f} {row.product:>12.0f} "
+                f"{row.correct_runs:>4}/{row.total_runs}"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Reproduce the Figures 2–5 ``Merging-Fragments`` walk-through.
+
+Appendix C illustrates one merge: a Tails fragment (rooted tree) with an
+MOE into a Heads fragment.  Figure 2 shows the initial labelled forest;
+Figures 3–4 the two ``Transmission-Schedule`` passes updating
+``NEW-LEVEL-NUM`` / ``NEW-FRAGMENT-ID``; Figure 5 the final re-oriented
+single fragment whose levels are distances from the Heads root.
+
+:func:`run_merging_walkthrough` builds an equivalent instance, executes the
+real ``merging_fragments`` procedure under the simulator, and returns the
+before/after snapshots plus the invariant checks that make the figures'
+claims precise:
+
+* every old-Tails node's new level equals
+  ``level(u_H) + 1 + dist_T(u_T, node)``;
+* the ``u_T → old root`` path reversed its parent pointers;
+* all nodes carry the Heads fragment ID; the merged structure is an LDT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.core.ldt import LDTState, check_fldt
+from repro.core.merging import merging_fragments
+from repro.graphs import WeightedGraph
+
+
+@dataclass(frozen=True)
+class NodeSnapshot:
+    """One node's labels at a walk-through step (what the figures draw)."""
+
+    node_id: int
+    fragment_id: int
+    level: int
+    parent: Optional[int]
+
+
+@dataclass
+class Walkthrough:
+    """Before/after states of the Appendix C merge."""
+
+    graph: WeightedGraph
+    u_tails: int
+    u_heads: int
+    before: Dict[int, NodeSnapshot]
+    after: Dict[int, NodeSnapshot]
+    #: Old-tree distances from u_T within the Tails fragment.
+    tails_distance: Dict[int, int]
+    heads_root_level_of_u_heads: int
+
+
+def build_walkthrough_instance() -> Tuple[WeightedGraph, FLDTPlan, int, int]:
+    """An instance shaped like Figure 2.
+
+    Heads fragment: root 10 — 11 — 12 (a path, levels 0/1/2).
+    Tails fragment: root 1 with children 2, 3; 2 has children 4, 5 (levels
+    drawn in the figure).  The MOE (weight 1, the lightest inter-fragment
+    edge) joins tails node 5 (= ``u_T``, old level 2) to heads node 11
+    (= ``u_H``, level 1).  A second, heavier inter-fragment edge (4 — 12)
+    exists so the merge edge is genuinely the *minimum* outgoing edge.
+    """
+    nodes = [1, 2, 3, 4, 5, 10, 11, 12]
+    edges = [
+        # Tails tree edges (weights arbitrary but distinct).
+        (1, 2, 10),
+        (1, 3, 11),
+        (2, 4, 12),
+        (2, 5, 13),
+        # Heads tree edges.
+        (10, 11, 20),
+        (11, 12, 21),
+        # Inter-fragment edges: the MOE (weight 1) and a heavier rival.
+        (5, 11, 1),
+        (4, 12, 30),
+    ]
+    graph = WeightedGraph(nodes, edges)
+    plan = FLDTPlan(
+        {
+            1: None,
+            2: 1,
+            3: 1,
+            4: 2,
+            5: 2,
+            10: None,
+            11: 10,
+            12: 11,
+        }
+    )
+    return graph, plan, 5, 11
+
+
+def _snapshot(
+    graph: WeightedGraph, states: Dict[int, LDTState]
+) -> Dict[int, NodeSnapshot]:
+    snapshots = {}
+    for node, state in states.items():
+        parent = None
+        if state.parent_port is not None:
+            parent = graph.ports_of(node)[state.parent_port][0]
+        snapshots[node] = NodeSnapshot(
+            node_id=node,
+            fragment_id=state.fragment_id,
+            level=state.level,
+            parent=parent,
+        )
+    return snapshots
+
+
+def run_merging_walkthrough() -> Walkthrough:
+    """Execute the Appendix C merge and verify every figure-level claim."""
+    graph, plan, u_tails, u_heads = build_walkthrough_instance()
+    before_states = plan.build_states(graph)
+    tails_members = {
+        node for node, state in before_states.items() if state.fragment_id == 1
+    }
+
+    def procedure(ctx, ldt, clock, value):
+        merge_port = None
+        merging = ctx.node_id in tails_members
+        if ctx.node_id == u_tails:
+            ports = {
+                port: neighbour
+                for port, (neighbour, _, _) in graph.ports_of(u_tails).items()
+            }
+            merge_port = next(
+                port for port, neighbour in ports.items() if neighbour == u_heads
+            )
+        outcome = yield from merging_fragments(
+            ctx, ldt, clock, merge_port=merge_port, fragment_merging=merging
+        )
+        return outcome
+
+    run = run_procedure(graph, plan, procedure, refresh_neighbors=False)
+    after_states = run.states
+
+    # Figure 5's invariants.
+    fragments = check_fldt(graph, after_states)
+    if set(fragments) != {10}:
+        raise AssertionError(
+            f"merge did not produce the single Heads fragment: {sorted(fragments)}"
+        )
+    tails_distance = _tree_distances_from(graph, before_states, u_tails, tails_members)
+    u_heads_level = before_states[u_heads].level
+    for node in tails_members:
+        expected = u_heads_level + 1 + tails_distance[node]
+        actual = after_states[node].level
+        if actual != expected:
+            raise AssertionError(
+                f"node {node}: level {actual}, expected "
+                f"{u_heads_level} + 1 + {tails_distance[node]}"
+            )
+
+    return Walkthrough(
+        graph=graph,
+        u_tails=u_tails,
+        u_heads=u_heads,
+        before=_snapshot(graph, before_states),
+        after=_snapshot(graph, after_states),
+        tails_distance=tails_distance,
+        heads_root_level_of_u_heads=u_heads_level,
+    )
+
+
+def _tree_distances_from(
+    graph: WeightedGraph,
+    states: Dict[int, LDTState],
+    source: int,
+    members,
+) -> Dict[int, int]:
+    """Hop distances from ``source`` using only the fragment's tree edges."""
+    tree_adjacency: Dict[int, set] = {node: set() for node in members}
+    for node in members:
+        ports = graph.ports_of(node)
+        for port in states[node].tree_ports():
+            neighbour = ports[port][0]
+            if neighbour in tree_adjacency:
+                tree_adjacency[node].add(neighbour)
+    distances = {source: 0}
+    frontier = [source]
+    while frontier:
+        node = frontier.pop(0)
+        for neighbour in tree_adjacency[node]:
+            if neighbour not in distances:
+                distances[neighbour] = distances[node] + 1
+                frontier.append(neighbour)
+    return distances

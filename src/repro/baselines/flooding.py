@@ -1,0 +1,93 @@
+"""Flooding-based primitives in the traditional model.
+
+These baselines make the sleeping model's benefit concrete on *global*
+problems: a node running classical flooding cannot know in advance when a
+message will reach it, so it must stay awake listening — its awake
+complexity is its receipt time, ``Θ(D)`` in the worst case — whereas the
+paper's schedule-driven trees deliver the same information with ``O(1)``
+awake rounds per procedure (and ``O(log n)`` for global construction, cf.
+Barenboim–Maimon for spanning trees and this paper for MSTs).
+
+``flooding_broadcast_protocol``
+    A designated root floods a token; every node records its BFS depth and
+    parent, yielding a BFS spanning tree.  Node ``v`` stays awake from
+    round 1 until it has received and forwarded the token:
+    ``awake(v) = depth(v) + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.graphs import WeightedGraph
+from repro.sim import Awake, NodeContext, SimulationResult, simulate
+
+
+@dataclass(frozen=True)
+class FloodingOutput:
+    """Per-node result of a flooding broadcast / BFS tree construction."""
+
+    node_id: int
+    #: BFS hop distance from the root (0 at the root).
+    depth: int
+    #: Port towards the BFS parent (``None`` at the root).
+    parent_port: Optional[int]
+    #: The broadcast payload as received.
+    payload: Any
+
+
+def flooding_broadcast_protocol(ctx: NodeContext, root_id: int, payload: Any = 1):
+    """Classical flooding from ``root_id`` in the traditional model.
+
+    The root sends in round 1; every other node listens **every round**
+    (it cannot know when the wave arrives) until it receives, then forwards
+    once and terminates.  Awake complexity: ``depth + 1`` per node, i.e.
+    ``Θ(D)`` in the worst case — the quantity the sleeping model avoids.
+    """
+    if ctx.node_id == root_id:
+        yield Awake(1, ctx.broadcast(payload))
+        return FloodingOutput(ctx.node_id, 0, None, payload)
+
+    round_number = 0
+    while True:
+        round_number += 1
+        inbox = yield Awake(round_number)
+        if inbox:
+            parent_port = min(inbox)
+            received = inbox[parent_port]
+            # Forward to everyone else next round, then stop.
+            others = {port: received for port in ctx.ports if port != parent_port}
+            yield Awake(round_number + 1, others)
+            return FloodingOutput(
+                ctx.node_id, round_number, parent_port, received
+            )
+
+
+def run_flooding_broadcast(
+    graph: WeightedGraph,
+    root_id: Optional[int] = None,
+    payload: Any = 1,
+    **sim_kwargs: Any,
+) -> SimulationResult:
+    """Run classical flooding; returns the raw simulation result.
+
+    The resulting metrics show awake complexity ``Θ(D)`` (e.g. ``Θ(n)`` on
+    a ring) against round complexity ``Θ(D)`` — traditional flooding is
+    round-optimal but awake-terrible.
+    """
+    chosen_root = root_id if root_id is not None else min(graph.node_ids)
+    if chosen_root not in graph.node_ids:
+        raise ValueError(f"root {chosen_root} is not a node of the graph")
+
+    def factory(ctx: NodeContext):
+        return flooding_broadcast_protocol(ctx, chosen_root, payload)
+
+    result = simulate(graph, factory, **sim_kwargs)
+    depths: Dict[int, int] = {
+        node: output.depth for node, output in result.node_results.items()
+    }
+    reference = graph.bfs_distances(chosen_root)
+    if depths != reference:
+        raise AssertionError("flooding produced non-BFS depths")
+    return result

@@ -1,0 +1,252 @@
+"""Pipelined synchronous GHS/Borůvka in the traditional CONGEST model.
+
+An independent, from-scratch implementation of the classical synchronous
+MST algorithm the paper builds on — *without* any sleeping-model machinery:
+every node is awake in **every** round until it terminates (so its awake
+complexity genuinely equals its termination round), convergecasts are
+pipelined (a node forwards as soon as all children reported, no
+``Transmission-Schedule``), and merging is the classical *full* MOE-forest
+merge (no coin flips — the traditional model can afford Θ(n)-deep merge
+floods because idle listening is already being paid for).
+
+Phase structure (all segments have fixed, globally known budgets, so the
+phases stay synchronised):
+
+1. **Exchange** (1 round): all nodes trade fragment IDs; each computes its
+   local minimum outgoing edge (MOE) candidate.
+2. **Convergecast** (n+1 rounds): pipelined min-aggregation to the
+   fragment root — a node reports up as soon as every child has reported.
+3. **Broadcast** (n+1 rounds): the fragment MOE weight (or a halt flag if
+   the fragment has no outgoing edge) relays down the tree.
+4. **Merge request** (1 round): each fragment's MOE owner sends a request
+   across its MOE.  The union of old tree edges and this phase's MOE edges
+   is a forest (MOE digraph components contain exactly one cycle, always a
+   mutual 2-cycle); the mutual edge's larger-ID endpoint roots the merged
+   fragment.
+5. **Re-orientation flood** (n+1 rounds): BFS from each new root over the
+   merge structure assigns the new fragment ID and parent/child pointers.
+
+Every fragment merges in every phase, so fragments at least halve per
+phase: ``⌈log₂ n⌉ + 1`` phases of ``3n + 5`` rounds — the classical
+``O(n log n)`` GHS round complexity, with awake complexity equal to it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Set
+
+from repro.core.mst_randomized import MSTNodeOutput
+from repro.core.runner import MSTRunResult
+from repro.graphs import (
+    WeightedGraph,
+    check_local_mst_outputs,
+    require_sleeping_model_inputs,
+)
+from repro.sim import Awake, NodeContext, SleepingSimulator
+
+#: Marker for "no outgoing edge" in convergecast reports.
+NO_MOE = 0
+
+#: Halt flag values carried by the broadcast segment.
+CONTINUE, HALT = 0, 1
+
+
+def ghs_phase_rounds(n: int) -> int:
+    """Rounds per phase: exchange + convergecast + broadcast + request + flood."""
+    return 3 * (n + 1) + 2
+
+
+def ghs_phase_budget(n: int) -> int:
+    """Full Borůvka at least halves fragments per phase (+1 halt phase)."""
+    if n < 2:
+        return 0
+    return math.ceil(math.log2(n)) + 1
+
+
+def pipelined_ghs_protocol(ctx: NodeContext):
+    """Protocol generator: classical always-awake synchronous GHS."""
+    n = ctx.n
+    fragment_id = ctx.node_id
+    parent_port: Optional[int] = None
+    children_ports: Set[int] = set()
+    current_round = 0
+    phases = 0
+
+    if n == 1 or not ctx.ports:
+        return _ghs_output(ctx, fragment_id, parent_port, children_ports, phases)
+
+    for _ in range(ghs_phase_budget(n) + 1):
+        phases += 1
+        tree_ports = set(children_ports)
+        if parent_port is not None:
+            tree_ports.add(parent_port)
+
+        # ----- Segment 1: exchange fragment IDs (1 round). -----
+        current_round += 1
+        inbox = yield Awake(current_round, ctx.broadcast(fragment_id))
+        neighbor_fragment = dict(inbox)
+        candidate: Optional[int] = None
+        for port in ctx.ports:
+            if neighbor_fragment.get(port) == fragment_id:
+                continue
+            weight = ctx.port_weights[port]
+            if candidate is None or weight < candidate:
+                candidate = weight
+
+        # ----- Segment 2: pipelined convergecast (n + 1 rounds). -----
+        segment_end = current_round + n + 1
+        pending_children = set(children_ports)
+        best = candidate
+        reported_up = False
+        while current_round < segment_end:
+            sends: Dict[int, Any] = {}
+            if (
+                not reported_up
+                and not pending_children
+                and parent_port is not None
+            ):
+                sends[parent_port] = best if best is not None else NO_MOE
+                reported_up = True
+            current_round += 1
+            inbox = yield Awake(current_round, sends)
+            for port, report in inbox.items():
+                if port in pending_children:
+                    pending_children.discard(port)
+                    if report != NO_MOE and (best is None or report < best):
+                        best = report
+
+        # ----- Segment 3: broadcast fragment MOE / halt (n + 1 rounds). -----
+        segment_end = current_round + n + 1
+        if parent_port is None:
+            fragment_moe = best if best is not None else NO_MOE
+            halt = HALT if fragment_moe == NO_MOE else CONTINUE
+            outgoing_message: Optional[Any] = (fragment_moe, halt)
+        else:
+            fragment_moe = None
+            halt = None
+            outgoing_message = None
+        while current_round < segment_end:
+            sends = {}
+            if outgoing_message is not None:
+                sends = {port: outgoing_message for port in children_ports}
+                outgoing_message = None
+            current_round += 1
+            inbox = yield Awake(current_round, sends)
+            if parent_port is not None and parent_port in inbox:
+                fragment_moe, halt = inbox[parent_port]
+                outgoing_message = (fragment_moe, halt)
+        if halt == HALT:
+            break
+
+        # ----- Segment 4: merge requests across MOEs (1 round). -----
+        own_moe_port: Optional[int] = None
+        if fragment_moe != NO_MOE:
+            for port in ctx.ports:
+                if (
+                    ctx.port_weights[port] == fragment_moe
+                    and neighbor_fragment.get(port) != fragment_id
+                ):
+                    own_moe_port = port
+        sends = {}
+        if own_moe_port is not None:
+            sends[own_moe_port] = ("merge", ctx.node_id)
+        current_round += 1
+        inbox = yield Awake(current_round, sends)
+        merge_ports = set(tree_ports)
+        mutual = False
+        peer_id: Optional[int] = None
+        if own_moe_port is not None:
+            merge_ports.add(own_moe_port)
+            if own_moe_port in inbox:
+                mutual = True
+                peer_id = inbox[own_moe_port][1]
+        for port, message in inbox.items():
+            if isinstance(message, tuple) and message[0] == "merge":
+                merge_ports.add(port)
+
+        # ----- Segment 5: re-orientation flood (n + 1 rounds). -----
+        segment_end = current_round + n + 1
+        is_new_root = mutual and ctx.node_id > peer_id
+        new_fragment: Optional[int] = ctx.node_id if is_new_root else None
+        new_parent: Optional[int] = None
+        pending_flood: Optional[Dict[int, Any]] = None
+        if is_new_root:
+            pending_flood = {port: ctx.node_id for port in merge_ports}
+        while current_round < segment_end:
+            sends = pending_flood or {}
+            pending_flood = None
+            current_round += 1
+            inbox = yield Awake(current_round, sends)
+            if new_fragment is None:
+                arrived = [port for port in inbox if port in merge_ports]
+                if arrived:
+                    # The merge structure is a tree: exactly one arrival.
+                    new_parent = arrived[0]
+                    new_fragment = inbox[new_parent]
+                    pending_flood = {
+                        port: new_fragment
+                        for port in merge_ports
+                        if port != new_parent
+                    }
+        if new_fragment is None:
+            raise RuntimeError(
+                f"node {ctx.node_id}: flood never reached it — the merge "
+                "structure was not connected"
+            )
+        fragment_id = new_fragment
+        parent_port = new_parent
+        children_ports = merge_ports - (
+            {new_parent} if new_parent is not None else set()
+        )
+
+    return _ghs_output(ctx, fragment_id, parent_port, children_ports, phases)
+
+
+def _ghs_output(
+    ctx: NodeContext,
+    fragment_id: int,
+    parent_port: Optional[int],
+    children_ports: Set[int],
+    phases: int,
+) -> MSTNodeOutput:
+    tree_ports = set(children_ports)
+    if parent_port is not None:
+        tree_ports.add(parent_port)
+    return MSTNodeOutput(
+        node_id=ctx.node_id,
+        mst_weights=frozenset(ctx.port_weights[p] for p in tree_ports),
+        fragment_id=fragment_id,
+        level=0,
+        phases=phases,
+        parent_port=parent_port,
+        children_ports=frozenset(children_ports),
+    )
+
+
+def run_pipelined_ghs(
+    graph: WeightedGraph, seed: int = 0, **sim_kwargs: Any
+) -> MSTRunResult:
+    """Run the classical pipelined GHS; awake complexity == round complexity.
+
+    This is the *independent* traditional baseline (its own message flow,
+    pipelined aggregation, full-forest merging); compare with
+    :func:`repro.baselines.always_awake.run_traditional_ghs`, which
+    re-accounts the sleeping-model skeleton.
+    """
+    require_sleeping_model_inputs(graph)
+    simulation = SleepingSimulator(
+        graph, pipelined_ghs_protocol, seed=seed, **sim_kwargs
+    ).run()
+    outputs: Dict[int, MSTNodeOutput] = dict(simulation.node_results)
+    mst_weights = check_local_mst_outputs(
+        graph, {node: out.mst_weights for node, out in outputs.items()}
+    )
+    return MSTRunResult(
+        algorithm="Pipelined-GHS",
+        mst_weights=mst_weights,
+        node_outputs=outputs,
+        metrics=simulation.metrics,
+        phases=max((out.phases for out in outputs.values()), default=0),
+        simulation=simulation,
+    )

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro.cli`` (or ``repro-mst``).
+
+Subcommands
+-----------
+``run``
+    Run one algorithm on a generated graph and print the metrics the paper
+    is about (awake complexity, round complexity, their product,
+    correctness).
+``table1``
+    Regenerate Table 1 across sizes and print the fitted constants.
+``experiments``
+    Run the full experiment suite (delegates to
+    :mod:`repro.analysis.experiments`).
+``walkthrough``
+    Print the Figures 2-5 merging walk-through.
+
+Examples::
+
+    python -m repro.cli run --algorithm randomized --graph ring --n 64
+    python -m repro.cli run --algorithm deterministic --coloring log-star \
+        --graph gnp --n 32 --id-range 512
+    python -m repro.cli table1 --sizes 16 32 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.baselines import run_sleeping_spanning_tree, run_traditional_ghs
+from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.graphs import (
+    WeightedGraph,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    ring_graph,
+    star_graph,
+)
+
+GRAPH_FAMILIES: Dict[str, Callable[[int, int, Optional[int]], WeightedGraph]] = {
+    "ring": lambda n, seed, idr: ring_graph(n, seed=seed, id_range=idr),
+    "path": lambda n, seed, idr: path_graph(n, seed=seed, id_range=idr),
+    "star": lambda n, seed, idr: star_graph(n, seed=seed, id_range=idr),
+    "complete": lambda n, seed, idr: complete_graph(n, seed=seed, id_range=idr),
+    "grid": lambda n, seed, idr: grid_graph(
+        max(2, int(math.isqrt(n))), max(2, n // max(2, int(math.isqrt(n)))),
+        seed=seed, id_range=idr,
+    ),
+    "gnp": lambda n, seed, idr: random_connected_graph(
+        n, extra_edge_prob=0.1, seed=seed, id_range=idr
+    ),
+    "geometric": lambda n, seed, idr: random_geometric_graph(
+        n, radius=0.35, seed=seed, id_range=idr
+    ),
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = GRAPH_FAMILIES[args.graph](args.n, args.seed, args.id_range)
+    sim_kwargs = {"trace": True} if args.save_trace else {}
+    if args.algorithm == "randomized":
+        result = run_randomized_mst(
+            graph, seed=args.seed, termination=args.termination, **sim_kwargs
+        )
+    elif args.algorithm == "deterministic":
+        result = run_deterministic_mst(
+            graph, coloring=args.coloring, **sim_kwargs
+        )
+    elif args.algorithm == "traditional":
+        result = run_traditional_ghs(graph, seed=args.seed, **sim_kwargs)
+    else:
+        result = run_sleeping_spanning_tree(graph, seed=args.seed, **sim_kwargs)
+
+    if args.save_trace:
+        from repro.sim import save_trace
+
+        events = save_trace(result.simulation, args.save_trace)
+        print(f"trace            : {events} events -> {args.save_trace}")
+
+    metrics = result.metrics
+    print(f"algorithm        : {result.algorithm}")
+    print(f"graph            : {args.graph} n={graph.n} m={graph.m} N={graph.max_id}")
+    print(f"phases           : {result.phases}")
+    print(f"awake complexity : {metrics.max_awake} "
+          f"({metrics.max_awake / math.log2(max(2, graph.n)):.1f} x log2 n)")
+    print(f"mean awake       : {metrics.mean_awake:.1f}")
+    print(f"round complexity : {metrics.rounds}")
+    print(f"awake x rounds   : {metrics.awake_round_product}")
+    print(f"messages         : {metrics.messages_delivered} delivered / "
+          f"{metrics.messages_lost} lost")
+    print(f"max message bits : {metrics.max_message_bits}")
+    if args.algorithm in ("randomized", "deterministic", "traditional"):
+        correct = result.is_correct_mst(graph)
+        print(f"correct MST      : {correct}")
+        return 0 if correct else 1
+    from repro.graphs import is_spanning_tree
+
+    ok = is_spanning_tree(graph, result.mst_weights)
+    print(f"spanning tree    : {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis import generate_table1, render_table
+
+    table = generate_table1(
+        sizes=tuple(args.sizes),
+        seeds=tuple(range(args.seeds)),
+        algorithms=args.algorithms,
+    )
+    print(render_table(table))
+    for name in args.algorithms or []:
+        fit = table.awake_fit(name)
+        print(f"{name}: awake = {fit.constant:.2f} x log2 n "
+              f"(spread {fit.ratio_spread:.2f})")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import main as experiments_main
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    for name in args.only or []:
+        forwarded.extend(["--only", name])
+    experiments_main(forwarded)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import fit_sweep, run_sweep, to_csv, to_markdown
+
+    points = run_sweep(
+        algorithms=args.algorithms,
+        families=args.families,
+        sizes=args.sizes,
+        seeds=list(range(args.seeds)),
+        id_range_factor=args.id_range_factor,
+    )
+    rendered = to_csv(points) if args.format == "csv" else to_markdown(points)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {len(points)} runs to {args.output}")
+    else:
+        print(rendered, end="")
+    for key, fit in sorted(fit_sweep(points).items()):
+        print(
+            f"# {key}: max_awake = {fit.constant:.2f} x log2 n "
+            f"(spread {fit.ratio_spread:.2f})"
+        )
+    return 0
+
+
+def _cmd_walkthrough(_args: argparse.Namespace) -> int:
+    from repro.analysis import run_merging_walkthrough
+
+    walkthrough = run_merging_walkthrough()
+    print("Figure 2 (before):")
+    for node, snapshot in sorted(walkthrough.before.items()):
+        print(f"  node {node:>2}: fragment={snapshot.fragment_id} "
+              f"level={snapshot.level} parent={snapshot.parent}")
+    print("Figure 5 (after):")
+    for node, snapshot in sorted(walkthrough.after.items()):
+        print(f"  node {node:>2}: fragment={snapshot.fragment_id} "
+              f"level={snapshot.level} parent={snapshot.parent}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mst",
+        description="Sleeping-model distributed MST (PODC 2022 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one algorithm")
+    run_parser.add_argument(
+        "--algorithm",
+        choices=("randomized", "deterministic", "traditional", "spanning-tree"),
+        default="randomized",
+    )
+    run_parser.add_argument("--graph", choices=sorted(GRAPH_FAMILIES), default="gnp")
+    run_parser.add_argument("--n", type=int, default=64)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--id-range", type=int, default=None)
+    run_parser.add_argument(
+        "--termination", choices=("adaptive", "fixed"), default="adaptive"
+    )
+    run_parser.add_argument(
+        "--coloring", choices=("fast-awake", "log-star"), default="fast-awake"
+    )
+    run_parser.add_argument(
+        "--save-trace",
+        default=None,
+        metavar="PATH",
+        help="record the execution trace and save it as JSONL",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    table_parser = subparsers.add_parser("table1", help="regenerate Table 1")
+    table_parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])
+    table_parser.add_argument("--seeds", type=int, default=2)
+    table_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["Randomized-MST", "Traditional-GHS"],
+        choices=["Randomized-MST", "Deterministic-MST", "Traditional-GHS"],
+    )
+    table_parser.set_defaults(func=_cmd_table1)
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="run the experiment suite"
+    )
+    experiments_parser.add_argument("--quick", action="store_true")
+    experiments_parser.add_argument("--only", action="append")
+    experiments_parser.set_defaults(func=_cmd_experiments)
+
+    walkthrough_parser = subparsers.add_parser(
+        "walkthrough", help="print the Figures 2-5 merge walk-through"
+    )
+    walkthrough_parser.set_defaults(func=_cmd_walkthrough)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run an (algorithm x family x n x seed) grid"
+    )
+    sweep_parser.add_argument(
+        "--algorithms", nargs="+", default=["Randomized-MST"]
+    )
+    sweep_parser.add_argument("--families", nargs="+", default=["gnp"])
+    sweep_parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])
+    sweep_parser.add_argument("--seeds", type=int, default=2)
+    sweep_parser.add_argument("--id-range-factor", type=int, default=None)
+    sweep_parser.add_argument(
+        "--format", choices=("csv", "markdown"), default="csv"
+    )
+    sweep_parser.add_argument(
+        "--output", default=None, help="write to a file instead of stdout"
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Harness for exercising toolbox procedures on prebuilt FLDTs.
+
+The MST algorithms build their Labeled Distance Trees on the fly, but unit
+tests, the toolbox benchmarks, and the Figures 2–5 merging walk-through all
+want to run a *single* procedure on a *chosen* forest.  This module lets
+callers describe a forest by a parent map, start every node in that state,
+run one procedure (a generator taking ``(ctx, ldt, clock, value)``), and
+collect each node's return value plus its final LDT state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.graphs import WeightedGraph
+from repro.sim import NodeContext, SimulationResult, simulate
+
+from .ldt import LDTState
+from .schedule import BlockClock
+
+#: A procedure under test: generator of Awake actions returning a value.
+Procedure = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class FLDTPlan:
+    """A forest described centrally: node -> parent node (or ``None``)."""
+
+    #: Parent node ID per node; roots map to ``None``.
+    parents: Dict[int, Optional[int]]
+
+    @staticmethod
+    def singletons(graph: WeightedGraph) -> "FLDTPlan":
+        """Every node its own fragment (the algorithms' initial state)."""
+        return FLDTPlan({node: None for node in graph.node_ids})
+
+    @staticmethod
+    def single_tree(graph: WeightedGraph, root: int) -> "FLDTPlan":
+        """One fragment spanning the whole graph: a BFS tree from ``root``."""
+        parents: Dict[int, Optional[int]] = {root: None}
+        frontier = [root]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbour in graph.neighbors(node):
+                    if neighbour not in parents:
+                        parents[neighbour] = node
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        if len(parents) != graph.n:
+            raise ValueError("graph is disconnected; BFS tree is partial")
+        return FLDTPlan(parents)
+
+    def build_states(self, graph: WeightedGraph) -> Dict[int, LDTState]:
+        """Materialise per-node :class:`LDTState` records from the plan."""
+        roots = [node for node, parent in self.parents.items() if parent is None]
+        # Depths per tree (validates acyclicity per root's component).
+        depths: Dict[int, int] = {}
+        fragment_of: Dict[int, int] = {}
+        children_of: Dict[int, Set[int]] = {node: set() for node in self.parents}
+        for node, parent in self.parents.items():
+            if parent is not None:
+                children_of[parent].add(node)
+        for root in roots:
+            stack = [(root, 0)]
+            while stack:
+                node, depth = stack.pop()
+                depths[node] = depth
+                fragment_of[node] = root
+                for child in children_of[node]:
+                    stack.append((child, depth + 1))
+        missing = set(self.parents) - set(depths)
+        if missing:
+            raise ValueError(
+                f"nodes {sorted(missing)[:5]} unreachable from any root — "
+                "the parent map has a cycle"
+            )
+
+        states: Dict[int, LDTState] = {}
+        for node in graph.node_ids:
+            ports = graph.ports_of(node)
+            port_of = {neighbour: port for port, (neighbour, _, _) in ports.items()}
+            parent = self.parents[node]
+            if parent is not None and parent not in port_of:
+                raise ValueError(f"{parent} is not adjacent to {node}")
+            for child in children_of[node]:
+                if child not in port_of:
+                    raise ValueError(f"{child} is not adjacent to {node}")
+            states[node] = LDTState(
+                node_id=node,
+                fragment_id=fragment_of[node],
+                level=depths[node],
+                parent_port=None if parent is None else port_of[parent],
+                children_ports={
+                    port_of[child] for child in children_of[node]
+                },
+            )
+        return states
+
+
+@dataclass
+class ProcedureRun:
+    """Outcome of :func:`run_procedure`."""
+
+    #: Each node's procedure return value.
+    returns: Dict[int, Any]
+    #: Each node's LDT state after the procedure.
+    states: Dict[int, LDTState]
+    #: The underlying simulation (metrics, optional trace).
+    simulation: SimulationResult
+
+
+def run_procedure(
+    graph: WeightedGraph,
+    plan: FLDTPlan,
+    procedure: Procedure,
+    inputs: Optional[Mapping[int, Any]] = None,
+    refresh_neighbors: bool = True,
+    repeat: int = 1,
+    **sim_kwargs: Any,
+) -> ProcedureRun:
+    """Run ``procedure`` once (or ``repeat`` times) on the planned forest.
+
+    ``procedure(ctx, ldt, clock, value)`` must be a generator; ``value`` is
+    taken from ``inputs`` (default ``None``).  When ``refresh_neighbors``
+    is set, a ``neighbor_refresh`` block runs first so procedures that
+    consult the neighbour cache (e.g. ``local_moe``) work standalone.
+    Returns per-node return values (a list when ``repeat > 1``) and final
+    states.
+    """
+    from .toolbox import neighbor_refresh  # local import avoids cycles
+
+    initial_states = plan.build_states(graph)
+    given = dict(inputs or {})
+
+    def factory(ctx: NodeContext):
+        return _procedure_protocol(
+            ctx,
+            initial_states[ctx.node_id],
+            procedure,
+            given.get(ctx.node_id),
+            refresh_neighbors,
+            repeat,
+            neighbor_refresh,
+        )
+
+    simulation = simulate(graph, factory, **sim_kwargs)
+    returns = {
+        node: payload[0] for node, payload in simulation.node_results.items()
+    }
+    states = {
+        node: payload[1] for node, payload in simulation.node_results.items()
+    }
+    return ProcedureRun(returns=returns, states=states, simulation=simulation)
+
+
+def _procedure_protocol(
+    ctx: NodeContext,
+    initial: LDTState,
+    procedure: Procedure,
+    value: Any,
+    refresh_neighbors: bool,
+    repeat: int,
+    neighbor_refresh,
+):
+    ldt = replace(
+        initial,
+        children_ports=set(initial.children_ports),
+        neighbor_fragment=dict(initial.neighbor_fragment),
+        neighbor_level=dict(initial.neighbor_level),
+    )
+    clock = BlockClock(ctx.n)
+    if refresh_neighbors:
+        yield from neighbor_refresh(ctx, ldt, clock.take())
+    outcomes = []
+    for _ in range(repeat):
+        outcome = yield from procedure(ctx, ldt, clock, value)
+        outcomes.append(outcome)
+    result = outcomes[0] if repeat == 1 else outcomes
+    return (result, ldt)

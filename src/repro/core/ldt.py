@@ -1,0 +1,192 @@
+"""Labeled Distance Trees (LDT) and forests thereof (FLDT).
+
+The paper's central structure (Section 2.1): at every phase boundary the
+graph is partitioned into a forest of disjoint trees where each node knows
+
+* the ID of its tree's root (the **fragment ID**),
+* its parent and children within the tree (as local ports), and
+* its hop distance from the root (its **level**).
+
+:class:`LDTState` is the per-node record of exactly that knowledge, plus the
+per-port cache of neighbouring nodes' ``(fragment ID, level)`` pairs that
+``Transmit-Adjacent`` refreshes each phase.
+
+:func:`check_fldt` is a *global* invariant checker used by the test suite:
+given every node's state it verifies that the states jointly describe a
+valid FLDT over the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.graphs import WeightedGraph
+
+
+@dataclass
+class LDTState:
+    """One node's view of its Labeled Distance Tree."""
+
+    #: ID of this node (never changes).
+    node_id: int
+    #: ID of the fragment root (initially the node itself).
+    fragment_id: int
+    #: Hop distance from the fragment root (0 at the root).
+    level: int = 0
+    #: Port towards the parent; ``None`` at the root.
+    parent_port: Optional[int] = None
+    #: Ports towards children.
+    children_ports: Set[int] = field(default_factory=set)
+    #: Last-heard fragment ID of the neighbour on each port.
+    neighbor_fragment: Dict[int, int] = field(default_factory=dict)
+    #: Last-heard level of the neighbour on each port.
+    neighbor_level: Dict[int, int] = field(default_factory=dict)
+
+    @staticmethod
+    def singleton(node_id: int) -> "LDTState":
+        """Initial state: every node is the root of its own fragment."""
+        return LDTState(node_id=node_id, fragment_id=node_id)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_port is None
+
+    def tree_ports(self) -> Set[int]:
+        """Ports carrying tree (i.e. MST) edges at this node."""
+        ports = set(self.children_ports)
+        if self.parent_port is not None:
+            ports.add(self.parent_port)
+        return ports
+
+    def outgoing_ports(self, all_ports: Tuple[int, ...]) -> List[int]:
+        """Ports whose neighbour is (last heard) in a different fragment.
+
+        Ports with no cached neighbour information are treated as outgoing —
+        that only happens before the first ``Transmit-Adjacent`` of a phase,
+        and callers always refresh first.
+        """
+        return [
+            port
+            for port in all_ports
+            if self.neighbor_fragment.get(port) != self.fragment_id
+        ]
+
+    def record_neighbor(self, port: int, fragment_id: int, level: int) -> None:
+        self.neighbor_fragment[port] = fragment_id
+        self.neighbor_level[port] = level
+
+
+def check_fldt(
+    graph: WeightedGraph, states: Mapping[int, LDTState]
+) -> Dict[int, Set[int]]:
+    """Verify that per-node states form a valid FLDT; return the fragments.
+
+    Checks, for every fragment (group of nodes sharing a fragment ID):
+
+    * exactly one root, whose ID equals the fragment ID and whose level is 0;
+    * parent/child pointers are symmetric (``v`` is a child of ``u`` on port
+      ``p`` iff ``u`` is ``v``'s parent via the matching port);
+    * every non-root's level is its parent's level plus one (hence levels
+      are exact hop distances from the root and the structure is acyclic);
+    * fragments are connected.
+
+    Returns ``{fragment_id: set of member node IDs}``.  Raises
+    ``AssertionError`` with a diagnostic message on any violation.
+    """
+    # Pass 1: pointer symmetry and level arithmetic.
+    for node_id, state in states.items():
+        if state.node_id != node_id:
+            raise AssertionError(f"state of node {node_id} claims ID {state.node_id}")
+        ports = graph.ports_of(node_id)
+        if state.is_root:
+            if state.level != 0:
+                raise AssertionError(
+                    f"root {node_id} has level {state.level} (must be 0)"
+                )
+            if state.fragment_id != node_id:
+                raise AssertionError(
+                    f"root {node_id} has fragment ID {state.fragment_id}"
+                )
+        else:
+            if state.parent_port not in ports:
+                raise AssertionError(
+                    f"node {node_id} has invalid parent port {state.parent_port}"
+                )
+            parent_id, parent_port, _ = ports[state.parent_port]
+            parent_state = states[parent_id]
+            if parent_port not in parent_state.children_ports:
+                raise AssertionError(
+                    f"node {node_id} claims parent {parent_id}, but the parent "
+                    f"does not list it as a child"
+                )
+            if parent_state.fragment_id != state.fragment_id:
+                raise AssertionError(
+                    f"node {node_id} (fragment {state.fragment_id}) has parent "
+                    f"{parent_id} in fragment {parent_state.fragment_id}"
+                )
+            if state.level != parent_state.level + 1:
+                raise AssertionError(
+                    f"node {node_id} has level {state.level} but its parent "
+                    f"{parent_id} has level {parent_state.level}"
+                )
+        for child_port in state.children_ports:
+            if child_port == state.parent_port:
+                raise AssertionError(
+                    f"node {node_id}: port {child_port} is both parent and child"
+                )
+            if child_port not in ports:
+                raise AssertionError(
+                    f"node {node_id} has invalid child port {child_port}"
+                )
+            child_id, its_port, _ = ports[child_port]
+            child_state = states[child_id]
+            if child_state.parent_port != its_port:
+                raise AssertionError(
+                    f"node {node_id} lists {child_id} as child, but {child_id}'s "
+                    f"parent port is {child_state.parent_port} (expected {its_port})"
+                )
+
+    # Pass 2: group into fragments, check unique roots and connectivity.
+    fragments: Dict[int, Set[int]] = {}
+    for node_id, state in states.items():
+        fragments.setdefault(state.fragment_id, set()).add(node_id)
+    for fragment_id, members in fragments.items():
+        roots = [m for m in members if states[m].is_root]
+        if len(roots) != 1:
+            raise AssertionError(
+                f"fragment {fragment_id} has {len(roots)} roots: {sorted(roots)}"
+            )
+        if roots[0] != fragment_id:
+            raise AssertionError(
+                f"fragment {fragment_id} is rooted at {roots[0]}"
+            )
+        # Connectivity: walk down from the root over child ports.
+        seen = {roots[0]}
+        stack = [roots[0]]
+        while stack:
+            node = stack.pop()
+            ports = graph.ports_of(node)
+            for child_port in states[node].children_ports:
+                child_id = ports[child_port][0]
+                if child_id not in seen:
+                    seen.add(child_id)
+                    stack.append(child_id)
+        if seen != members:
+            raise AssertionError(
+                f"fragment {fragment_id}: root reaches {len(seen)} nodes but the "
+                f"fragment has {len(members)}"
+            )
+    return fragments
+
+
+def fragment_tree_edges(
+    graph: WeightedGraph, states: Mapping[int, LDTState]
+) -> Set[int]:
+    """Return the weights of every tree edge across all fragments."""
+    weights: Set[int] = set()
+    for node_id, state in states.items():
+        ports = graph.ports_of(node_id)
+        for port in state.tree_ports():
+            weights.add(ports[port][2])
+    return weights

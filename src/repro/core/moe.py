@@ -1,0 +1,141 @@
+"""MOE sparsification for ``Deterministic-MST`` (Section 2.3, step (i)).
+
+The deterministic algorithm bounds the fragment supergraph's degree by 4 so
+that a 5-colour palette suffices: each fragment keeps its (single) outgoing
+MOE only if the *target* fragment selects it, and each fragment selects at
+most 3 of its incoming MOEs as *valid*.
+
+Selection is implemented with the paper's virtual tokens over one
+``Transmission-Schedule`` up pass and one down pass:
+
+* **up pass** — every node reports how many incoming-MOE edges live in its
+  subtree (a node may host several: multiple fragments' MOEs may point at
+  it, so we count *edges*, the natural generalisation of the paper's
+  "incoming MOE nodes");
+* **down pass** — the root mints ``min(3, total)`` tokens and pushes them
+  down; each node first satisfies its own incoming-MOE edges (cheapest edge
+  first — the paper says "arbitrarily"; we fix the canonical deterministic
+  choice), then forwards leftovers to children in ascending port order.
+
+Both passes cost ``O(1)`` awake rounds per node and one block each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.sim import Awake, NodeContext
+
+from .ldt import LDTState
+from .schedule import BlockClock
+
+#: Maximum number of incoming MOEs a fragment accepts as valid.
+MAX_VALID_INCOMING = 3
+
+#: Direction tags for NBR-INFO entries (who initiated the valid MOE).
+DIR_IN, DIR_OUT = 0, 1
+
+#: One NBR-INFO entry: (neighbour fragment ID, edge weight, direction).
+NbrEntry = Tuple[int, int, int]
+
+
+def incoming_moe_ports(
+    ctx: NodeContext,
+    ldt: LDTState,
+    neighbor_moe: Dict[int, int],
+) -> List[int]:
+    """Ports of this node that carry an incoming MOE.
+
+    ``neighbor_moe`` maps each port to the *fragment MOE weight* announced
+    by the neighbour on that port.  The port's edge is an incoming MOE iff
+    the neighbour is in another fragment and that fragment's MOE is exactly
+    this edge (weights are distinct, so weight equality identifies it).
+    """
+    ports = []
+    for port in ctx.ports:
+        if ldt.neighbor_fragment.get(port) == ldt.fragment_id:
+            continue
+        if neighbor_moe.get(port) == ctx.port_weights[port]:
+            ports.append(port)
+    return ports
+
+
+def select_incoming_moes(
+    ctx: NodeContext,
+    ldt: LDTState,
+    clock: BlockClock,
+    incoming_ports: Iterable[int],
+):
+    """Token-select at most :data:`MAX_VALID_INCOMING` incoming MOEs.
+
+    Returns the set of this node's *selected* incoming-MOE ports.  Uses two
+    blocks.  Nodes whose subtree contains no incoming MOE sleep through
+    both (their parents send them no tokens and expect no counts).
+    """
+    block_up = clock.take()
+    block_down = clock.take()
+
+    own_ports = sorted(incoming_ports, key=lambda port: ctx.port_weights[port])
+    child_counts: Dict[int, int] = {}
+    total = len(own_ports)
+
+    # Up pass: aggregate subtree counts of incoming-MOE edges.
+    if ldt.children_ports:
+        inbox = yield Awake(block_up.up_receive(ldt.level))
+        for port in ldt.children_ports:
+            count = inbox.get(port, 0)
+            child_counts[port] = count
+            total += count
+    if not ldt.is_root and total > 0:
+        yield Awake(block_up.up_send(ldt.level), {ldt.parent_port: total})
+
+    if total == 0:
+        # Nothing below us: no tokens will ever arrive.
+        return set()
+
+    # Down pass: receive tokens, keep some, forward the rest.
+    if ldt.is_root:
+        tokens = min(MAX_VALID_INCOMING, total)
+    else:
+        inbox = yield Awake(block_down.down_receive(ldt.level))
+        tokens = inbox.get(ldt.parent_port, 0)
+
+    keep = min(tokens, len(own_ports))
+    selected: Set[int] = set(own_ports[:keep])
+    tokens -= keep
+
+    if ldt.children_ports:
+        sends: Dict[int, int] = {}
+        for port in sorted(child_counts):
+            if tokens <= 0:
+                break
+            grant = min(tokens, child_counts[port])
+            if grant > 0:
+                sends[port] = grant
+                tokens -= grant
+        if sends:
+            # Children with incoming MOEs below them wake to listen; an
+            # empty inbox means zero tokens, so we only wake when we
+            # actually grant some.
+            yield Awake(block_down.down_send(ldt.level), sends)
+    return selected
+
+
+def merge_nbr_info(a: Tuple[NbrEntry, ...], b: Tuple[NbrEntry, ...]):
+    """Associative merge for NBR-INFO convergecasts: sorted union.
+
+    A fragment has at most 3 valid incoming MOEs and 1 valid outgoing MOE,
+    so the union can never exceed 4 entries; exceeding it indicates a
+    protocol bug and raises.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    union = tuple(sorted(set(a) | set(b)))
+    if len(union) > MAX_VALID_INCOMING + 1:
+        raise RuntimeError(
+            f"NBR-INFO overflow: {union} has more than "
+            f"{MAX_VALID_INCOMING + 1} entries"
+        )
+    return union

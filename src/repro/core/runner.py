@@ -1,0 +1,181 @@
+"""High-level entry points: run an MST algorithm on a graph, get results.
+
+This is the public API most users want:
+
+.. code-block:: python
+
+    from repro import run_randomized_mst
+    from repro.graphs import random_connected_graph
+
+    graph = random_connected_graph(64, seed=7)
+    result = run_randomized_mst(graph, seed=7)
+    print(result.mst_weights)          # the MST edge set (by weight)
+    print(result.metrics.max_awake)    # awake complexity of this run
+    print(result.metrics.rounds)       # round complexity of this run
+
+Each runner executes the corresponding node protocol on every node under
+:class:`repro.sim.SleepingSimulator`, validates the paper's output
+convention (every node knows its incident MST edges and endpoint views
+agree), and packages metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set
+
+from repro.graphs import (
+    WeightedGraph,
+    check_local_mst_outputs,
+    mst_weight_set,
+    require_sleeping_model_inputs,
+)
+from repro.sim import Metrics, SimulationResult, SleepingSimulator
+
+from .mst_randomized import MSTNodeOutput, randomized_mst_protocol
+
+
+@dataclass
+class MSTRunResult:
+    """Outcome of one distributed-MST execution."""
+
+    #: Which algorithm produced this result.
+    algorithm: str
+    #: Globally claimed MST edge set (union of per-node outputs, validated
+    #: for endpoint agreement).
+    mst_weights: Set[int]
+    #: Per-node outputs keyed by node ID.
+    node_outputs: Dict[int, MSTNodeOutput]
+    #: Simulation metrics (awake complexity, round complexity, messages...).
+    metrics: Metrics
+    #: Maximum number of phases executed by any node.
+    phases: int
+    #: The raw simulation result (trace/knowledge when enabled).
+    simulation: SimulationResult
+
+    @property
+    def max_awake(self) -> int:
+        return self.metrics.max_awake
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    def is_correct_mst(self, graph: WeightedGraph) -> bool:
+        """Check against the (unique) reference MST."""
+        return self.mst_weights == mst_weight_set(graph)
+
+
+def _run(
+    graph: WeightedGraph,
+    algorithm: str,
+    protocol_factory: Any,
+    *,
+    seed: int,
+    verify: bool,
+    **sim_kwargs: Any,
+) -> MSTRunResult:
+    require_sleeping_model_inputs(graph)
+    simulator = SleepingSimulator(
+        graph, protocol_factory, seed=seed, **sim_kwargs
+    )
+    simulation = simulator.run()
+    outputs: Dict[int, MSTNodeOutput] = dict(simulation.node_results)
+    mst_weights = check_local_mst_outputs(
+        graph, {node: out.mst_weights for node, out in outputs.items()}
+    )
+    result = MSTRunResult(
+        algorithm=algorithm,
+        mst_weights=mst_weights,
+        node_outputs=outputs,
+        metrics=simulation.metrics,
+        phases=max((out.phases for out in outputs.values()), default=0),
+        simulation=simulation,
+    )
+    if verify and not result.is_correct_mst(graph):
+        raise AssertionError(
+            f"{algorithm} produced a wrong edge set on n={graph.n}: "
+            f"{sorted(mst_weights)[:10]}..."
+        )
+    return result
+
+
+def run_randomized_mst(
+    graph: WeightedGraph,
+    seed: int = 0,
+    termination: str = "adaptive",
+    max_phases: Optional[int] = None,
+    verify: bool = False,
+    **sim_kwargs: Any,
+) -> MSTRunResult:
+    """Run ``Randomized-MST`` (Section 2.2 / Theorem 1) on ``graph``.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all node coins; identical seeds reproduce identical
+        executions.
+    termination:
+        ``"adaptive"`` (default) or ``"fixed"`` — see
+        :func:`repro.core.mst_randomized.randomized_mst_protocol`.
+    max_phases:
+        Optional phase-budget override.
+    verify:
+        When true, assert the output equals the reference MST (the
+        algorithm is Monte Carlo under ``"fixed"`` termination, so a
+        negligible failure probability exists there).
+    sim_kwargs:
+        Forwarded to :class:`repro.sim.SleepingSimulator` (e.g. ``trace=True``,
+        ``strict_congest=False``).
+    """
+
+    def factory(ctx):
+        return randomized_mst_protocol(
+            ctx, termination=termination, max_phases=max_phases
+        )
+
+    return _run(
+        graph,
+        "Randomized-MST",
+        factory,
+        seed=seed,
+        verify=verify,
+        **sim_kwargs,
+    )
+
+
+def run_deterministic_mst(
+    graph: WeightedGraph,
+    seed: int = 0,
+    termination: str = "adaptive",
+    max_phases: Optional[int] = None,
+    verify: bool = False,
+    coloring: str = "fast-awake",
+    **sim_kwargs: Any,
+) -> MSTRunResult:
+    """Run ``Deterministic-MST`` (Section 2.3 / Theorem 2) on ``graph``.
+
+    ``seed`` only affects nothing algorithmic (the algorithm is
+    deterministic); it is accepted for interface symmetry.  ``coloring``
+    selects the fragment-colouring subroutine: ``"fast-awake"`` is the
+    paper's ``Fast-Awake-Coloring`` (``O(1)`` awake, ``O(nN)`` rounds per
+    phase).
+    """
+    from .mst_deterministic import deterministic_mst_protocol
+
+    def factory(ctx):
+        return deterministic_mst_protocol(
+            ctx,
+            termination=termination,
+            max_phases=max_phases,
+            coloring=coloring,
+        )
+
+    return _run(
+        graph,
+        "Deterministic-MST",
+        factory,
+        seed=seed,
+        verify=verify,
+        **sim_kwargs,
+    )

@@ -1,0 +1,56 @@
+"""Graph substrate: weighted graphs, generators, and reference MSTs."""
+
+from .generators import (
+    adversarial_moe_chain,
+    caterpillar_graph,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    random_tree,
+    ring_graph,
+    star_graph,
+)
+from .mst_reference import (
+    UnionFind,
+    boruvka_mst,
+    is_spanning_tree,
+    kruskal_mst,
+    mst_weight_set,
+    prim_mst,
+    verify_mst,
+)
+from .validation import (
+    check_local_mst_outputs,
+    require_connected,
+    require_sleeping_model_inputs,
+    tree_depths,
+)
+from .weighted_graph import Edge, WeightedGraph
+
+__all__ = [
+    "Edge",
+    "UnionFind",
+    "WeightedGraph",
+    "adversarial_moe_chain",
+    "boruvka_mst",
+    "caterpillar_graph",
+    "check_local_mst_outputs",
+    "complete_graph",
+    "grid_graph",
+    "is_spanning_tree",
+    "kruskal_mst",
+    "mst_weight_set",
+    "path_graph",
+    "prim_mst",
+    "random_connected_graph",
+    "random_geometric_graph",
+    "random_tree",
+    "require_connected",
+    "require_sleeping_model_inputs",
+    "ring_graph",
+    "star_graph",
+    "tree_depths",
+    "verify_mst",
+]

@@ -1,0 +1,251 @@
+"""Graph families used by the experiments.
+
+Every generator returns a connected :class:`~repro.graphs.weighted_graph.
+WeightedGraph` with **distinct** positive integer weights (the paper's
+assumption making the MST unique) and is fully deterministic given its seed.
+
+ID assignment: by default nodes receive IDs ``1..n``.  Passing
+``id_range=N > n`` draws ``n`` distinct random IDs from ``[1, N]`` and sets
+the graph's ``max_id`` to ``N`` — exercising the deterministic algorithm's
+dependence on the ID range (its round complexity is ``O(nN log n)``).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Optional, Sequence, Tuple
+
+from .weighted_graph import WeightedGraph
+
+#: Weights are drawn from [1, WEIGHT_SPACE_FACTOR * m] so that they remain
+#: O(log n)-bit values while being comfortably collision-free to sample.
+WEIGHT_SPACE_FACTOR = 8
+
+
+def _draw_ids(n: int, rng: Random, id_range: Optional[int]) -> Tuple[List[int], int]:
+    """Return (node IDs, max_id bound N)."""
+    if id_range is None:
+        return list(range(1, n + 1)), n
+    if id_range < n:
+        raise ValueError(f"id_range={id_range} < n={n}")
+    return sorted(rng.sample(range(1, id_range + 1), n)), id_range
+
+
+def _draw_weights(m: int, rng: Random) -> List[int]:
+    """Return ``m`` distinct positive weights in random order."""
+    return rng.sample(range(1, WEIGHT_SPACE_FACTOR * m + 2), m)
+
+
+def _assemble(
+    n: int,
+    pairs: Sequence[Tuple[int, int]],
+    seed: int,
+    id_range: Optional[int],
+) -> WeightedGraph:
+    """Attach random IDs and distinct random weights to index pairs.
+
+    ``pairs`` are edges over node *indices* ``0..n-1``; indices are mapped to
+    IDs so that the topology is independent of the ID draw.  IDs and weights
+    come from independent streams, so changing ``id_range`` re-labels nodes
+    without disturbing the weight assignment.
+    """
+    ids, max_id = _draw_ids(n, Random(f"{seed}/ids"), id_range)
+    weights = _draw_weights(len(pairs), Random(f"{seed}/weights"))
+    edges = [
+        (ids[a], ids[b], weight) for (a, b), weight in zip(pairs, weights)
+    ]
+    return WeightedGraph(ids, edges, max_id=max_id)
+
+
+# ----------------------------------------------------------------------
+# Deterministic topologies
+# ----------------------------------------------------------------------
+
+
+def path_graph(n: int, seed: int = 0, id_range: Optional[int] = None) -> WeightedGraph:
+    """A path on ``n`` nodes — worst case for fragment-tree depth."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return _assemble(n, [(i, i + 1) for i in range(n - 1)], seed, id_range)
+
+
+def ring_graph(n: int, seed: int = 0, id_range: Optional[int] = None) -> WeightedGraph:
+    """A cycle on ``n`` nodes — the Theorem 3 lower-bound topology."""
+    if n < 3:
+        raise ValueError("a ring needs n >= 3")
+    pairs = [(i, (i + 1) % n) for i in range(n)]
+    return _assemble(n, pairs, seed, id_range)
+
+
+def star_graph(n: int, seed: int = 0, id_range: Optional[int] = None) -> WeightedGraph:
+    """A star: node index 0 is the hub."""
+    if n < 2:
+        raise ValueError("a star needs n >= 2")
+    return _assemble(n, [(0, i) for i in range(1, n)], seed, id_range)
+
+
+def complete_graph(
+    n: int, seed: int = 0, id_range: Optional[int] = None
+) -> WeightedGraph:
+    """The complete graph ``K_n``."""
+    if n < 2:
+        raise ValueError("K_n needs n >= 2")
+    pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    return _assemble(n, pairs, seed, id_range)
+
+
+def grid_graph(
+    rows: int, cols: int, seed: int = 0, id_range: Optional[int] = None
+) -> WeightedGraph:
+    """A ``rows x cols`` grid (4-neighbour mesh)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    if rows * cols < 2:
+        raise ValueError("grid needs at least 2 nodes")
+
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    pairs: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                pairs.append((index(r, c), index(r, c + 1)))
+            if r + 1 < rows:
+                pairs.append((index(r, c), index(r + 1, c)))
+    return _assemble(rows * cols, pairs, seed, id_range)
+
+
+def caterpillar_graph(
+    spine: int, legs_per_node: int = 1, seed: int = 0, id_range: Optional[int] = None
+) -> WeightedGraph:
+    """A caterpillar: a path spine with pendant legs.
+
+    Used by the coin-flip ablation: with increasing weights along the spine,
+    every fragment's MOE points the same way and unrestricted merging builds
+    a single long merge chain.
+    """
+    if spine < 2:
+        raise ValueError("caterpillar needs spine >= 2")
+    pairs = [(i, i + 1) for i in range(spine - 1)]
+    next_index = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            pairs.append((i, next_index))
+            next_index += 1
+    return _assemble(next_index, pairs, seed, id_range)
+
+
+# ----------------------------------------------------------------------
+# Random families
+# ----------------------------------------------------------------------
+
+
+def random_tree(n: int, seed: int = 0, id_range: Optional[int] = None) -> WeightedGraph:
+    """A uniformly random labelled tree (random-attachment construction)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = Random(f"{seed}/tree")
+    pairs = [(rng.randrange(i), i) for i in range(1, n)]
+    return _assemble(n, pairs, seed, id_range)
+
+
+def random_connected_graph(
+    n: int,
+    extra_edge_prob: float = 0.1,
+    seed: int = 0,
+    id_range: Optional[int] = None,
+) -> WeightedGraph:
+    """A connected Erdős–Rényi-style graph.
+
+    Construction: a uniformly random spanning tree guarantees connectivity;
+    every non-tree pair is then added independently with probability
+    ``extra_edge_prob``.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise ValueError("extra_edge_prob must be in [0, 1]")
+    rng = Random(f"{seed}/gnp")
+    pairs = {(rng.randrange(i), i) for i in range(1, n)}
+    for a in range(n):
+        for b in range(a + 1, n):
+            if (a, b) not in pairs and rng.random() < extra_edge_prob:
+                pairs.add((a, b))
+    return _assemble(n, sorted(pairs), seed, id_range)
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float = 0.35,
+    seed: int = 0,
+    id_range: Optional[int] = None,
+) -> WeightedGraph:
+    """A unit-square geometric graph, patched to be connected.
+
+    Models the ad-hoc wireless / sensor networks that motivate the paper:
+    nodes are random points, edges join points within ``radius``.  If the
+    radius leaves the graph disconnected, the closest pair between
+    components is linked (a standard patch-up, keeping the topology
+    geometric in spirit).
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    rng = Random(f"{seed}/geo")
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+
+    def dist2(a: int, b: int) -> float:
+        dx = points[a][0] - points[b][0]
+        dy = points[a][1] - points[b][1]
+        return dx * dx + dy * dy
+
+    pairs = {
+        (a, b)
+        for a in range(n)
+        for b in range(a + 1, n)
+        if dist2(a, b) <= radius * radius
+    }
+
+    # Patch connectivity: union-find over current components, linking the
+    # geometrically closest inter-component pair until one component remains.
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in pairs:
+        parent[find(a)] = find(b)
+    while len({find(i) for i in range(n)}) > 1:
+        roots = {find(i) for i in range(n)}
+        representative = next(iter(roots))
+        inside = [i for i in range(n) if find(i) == representative]
+        outside = [i for i in range(n) if find(i) != representative]
+        a, b = min(
+            ((i, j) for i in inside for j in outside),
+            key=lambda pair: dist2(*pair),
+        )
+        pairs.add((min(a, b), max(a, b)))
+        parent[find(a)] = find(b)
+
+    return _assemble(n, sorted(pairs), seed, id_range)
+
+
+def adversarial_moe_chain(
+    n: int, seed: int = 0, id_range: Optional[int] = None
+) -> WeightedGraph:
+    """A path whose weights strictly increase along the path.
+
+    Every prefix fragment's minimum outgoing edge points right, so the
+    supergraph of fragments-plus-MOEs is a single long chain — the worst
+    case the coin-flip restriction (Section 2.2) exists to avoid.  Weights
+    are assigned positionally, then IDs are randomised as usual.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    rng = Random(seed)
+    ids, max_id = _draw_ids(n, rng, id_range)
+    edges = [(ids[i], ids[i + 1], i + 1) for i in range(n - 1)]
+    return WeightedGraph(ids, edges, max_id=max_id)

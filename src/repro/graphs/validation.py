@@ -1,0 +1,109 @@
+"""Structural validation helpers for graphs and distributed outputs.
+
+These checks back the test-suite invariants and are also exported so users
+can sanity-check their own graph inputs before running the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set
+
+from .weighted_graph import WeightedGraph
+
+
+def require_connected(graph: WeightedGraph) -> None:
+    """Raise ``ValueError`` if the graph is disconnected.
+
+    The MST algorithms assume a connected input (Section 1.1); on a
+    disconnected graph "the MST" does not exist.
+    """
+    if not graph.is_connected():
+        raise ValueError("graph must be connected for MST computation")
+
+
+def require_sleeping_model_inputs(graph: WeightedGraph) -> None:
+    """Validate every assumption of the paper's input model at once."""
+    require_connected(graph)
+    # Distinct weights and positive IDs are enforced at construction time by
+    # WeightedGraph; re-checking here keeps the contract explicit for graphs
+    # constructed by external code paths.
+    weights = [edge.weight for edge in graph.edges()]
+    if len(weights) != len(set(weights)):
+        raise ValueError("edge weights must be distinct")
+    if any(node_id < 1 for node_id in graph.node_ids):
+        raise ValueError("node IDs must be >= 1")
+    if graph.max_id < max(graph.node_ids):
+        raise ValueError("max_id must bound every node ID")
+
+
+def check_local_mst_outputs(
+    graph: WeightedGraph, node_outputs: Mapping[int, Iterable[int]]
+) -> Set[int]:
+    """Validate the paper's *output convention* and return the global edge set.
+
+    "The goal ... is for every node to know which of its incident edges
+    belong to the MST."  Each node therefore reports a set of incident edge
+    weights.  This function checks:
+
+    * every node reported;
+    * every reported weight is an incident edge of that node;
+    * the two endpoints of every edge agree (both report it or neither).
+
+    Returns the union — the globally claimed MST edge set.
+    """
+    missing = [node for node in graph.node_ids if node not in node_outputs]
+    if missing:
+        raise AssertionError(f"nodes missing MST output: {missing[:10]}")
+
+    incident: Dict[int, Set[int]] = {
+        node: {weight for (_, _, weight) in graph.ports_of(node).values()}
+        for node in graph.node_ids
+    }
+    reported: Dict[int, Set[int]] = {}
+    for node, weights in node_outputs.items():
+        weight_set = set(weights)
+        foreign = weight_set - incident[node]
+        if foreign:
+            raise AssertionError(
+                f"node {node} reported non-incident edge weights {sorted(foreign)[:10]}"
+            )
+        reported[node] = weight_set
+
+    union: Set[int] = set()
+    for node, weight_set in reported.items():
+        union |= weight_set
+    for weight in union:
+        edge = graph.edge_by_weight(weight)
+        u_has = weight in reported[edge.u]
+        v_has = weight in reported[edge.v]
+        if not (u_has and v_has):
+            raise AssertionError(
+                f"endpoints disagree on edge weight {weight}: "
+                f"{edge.u} reported={u_has}, {edge.v} reported={v_has}"
+            )
+    return union
+
+
+def tree_depths(
+    parents: Mapping[int, int], root: int
+) -> Dict[int, int]:
+    """Compute depths from a parent map; raises on cycles or unreachable nodes.
+
+    Utility shared by LDT invariant checks: ``parents`` maps each non-root
+    node to its parent.
+    """
+    depths: Dict[int, int] = {root: 0}
+    for start in parents:
+        path: List[int] = []
+        node = start
+        while node not in depths:
+            path.append(node)
+            if node not in parents:
+                raise AssertionError(f"node {node} has no parent and is not root")
+            node = parents[node]
+            if len(path) > len(parents) + 1:
+                raise AssertionError("cycle detected in parent map")
+        base = depths[node]
+        for offset, member in enumerate(reversed(path), start=1):
+            depths[member] = base + offset
+    return depths

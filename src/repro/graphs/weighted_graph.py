@@ -1,0 +1,255 @@
+"""Weighted graph model with CONGEST-style ports.
+
+The paper's input model (Section 1.1): an undirected connected weighted
+graph ``G(V, E, w)`` with distinct edge weights; every node has locally
+numbered ports, one per incident edge, and initially knows only its own ID,
+``n``, ``N``, and the weights on its ports.
+
+:class:`WeightedGraph` is the single graph type used across the library.  It
+assigns each endpoint of each edge a local port number and exposes the
+``node_ids`` / ``ports_of`` interface consumed by
+:class:`repro.sim.SleepingSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """An undirected weighted edge; ``u < v`` is normalised at construction."""
+
+    weight: int
+    u: int
+    v: int
+
+    @staticmethod
+    def make(u: int, v: int, weight: int) -> "Edge":
+        if u == v:
+            raise ValueError(f"self-loop at node {u} is not allowed")
+        if u > v:
+            u, v = v, u
+        return Edge(weight=int(weight), u=u, v=v)
+
+    @property
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.u, self.v)
+
+    def other(self, node_id: int) -> int:
+        """Return the endpoint that is not ``node_id``."""
+        if node_id == self.u:
+            return self.v
+        if node_id == self.v:
+            return self.u
+        raise ValueError(f"node {node_id} is not an endpoint of {self}")
+
+
+class WeightedGraph:
+    """An undirected weighted graph with per-node port numbering.
+
+    Parameters
+    ----------
+    node_ids:
+        Distinct positive integer IDs.  IDs need not be contiguous; the
+        deterministic algorithm's ``N`` is ``max(node_ids)`` unless
+        overridden via ``max_id``.
+    edges:
+        ``(u, v, weight)`` triples.  Weights must be distinct positive
+        integers (distinctness makes the MST unique, as the paper assumes).
+    max_id:
+        Optional explicit ``N >= max(node_ids)``; lets experiments vary the
+        ID range independently of ``n``.
+    """
+
+    def __init__(
+        self,
+        node_ids: Iterable[int],
+        edges: Iterable[Tuple[int, int, int]],
+        max_id: Optional[int] = None,
+    ) -> None:
+        self._node_ids: List[int] = sorted(set(int(x) for x in node_ids))
+        if not self._node_ids:
+            raise ValueError("graph must have at least one node")
+        if self._node_ids[0] < 1:
+            raise ValueError("node IDs must be positive integers")
+        id_set = set(self._node_ids)
+
+        self._edges: List[Edge] = []
+        seen_pairs: Set[Tuple[int, int]] = set()
+        seen_weights: Set[int] = set()
+        for u, v, weight in edges:
+            edge = Edge.make(int(u), int(v), int(weight))
+            if edge.u not in id_set or edge.v not in id_set:
+                raise ValueError(f"edge {edge} references unknown node")
+            if edge.endpoints in seen_pairs:
+                raise ValueError(f"duplicate edge between {edge.u} and {edge.v}")
+            if edge.weight in seen_weights:
+                raise ValueError(
+                    f"duplicate edge weight {edge.weight}; the paper assumes "
+                    "distinct weights (unique MST)"
+                )
+            if edge.weight < 1:
+                raise ValueError("edge weights must be positive integers")
+            seen_pairs.add(edge.endpoints)
+            seen_weights.add(edge.weight)
+            self._edges.append(edge)
+
+        declared_max = max(self._node_ids)
+        if max_id is not None and max_id < declared_max:
+            raise ValueError(f"max_id={max_id} < largest node ID {declared_max}")
+        self._max_id = max_id if max_id is not None else declared_max
+
+        # Port assignment: each node numbers its incident edges 0..deg-1 in
+        # edge-insertion order (an arbitrary but deterministic choice; the
+        # algorithms never rely on port semantics).
+        self._ports: Dict[int, Dict[int, Tuple[int, int, int]]] = {
+            node_id: {} for node_id in self._node_ids
+        }
+        next_port: Dict[int, int] = {node_id: 0 for node_id in self._node_ids}
+        self._edge_ports: Dict[FrozenSet[int], Tuple[int, int]] = {}
+        self._by_weight: Dict[int, Edge] = {}
+        for edge in self._edges:
+            pu, pv = next_port[edge.u], next_port[edge.v]
+            next_port[edge.u] += 1
+            next_port[edge.v] += 1
+            self._ports[edge.u][pu] = (edge.v, pv, edge.weight)
+            self._ports[edge.v][pv] = (edge.u, pu, edge.weight)
+            self._edge_ports[frozenset(edge.endpoints)] = (pu, pv)
+            self._by_weight[edge.weight] = edge
+
+    # ------------------------------------------------------------------
+    # Simulator interface
+    # ------------------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[int]:
+        return list(self._node_ids)
+
+    def ports_of(self, node_id: int) -> Dict[int, Tuple[int, int, int]]:
+        """Return ``{port: (neighbour_id, neighbour_port, weight)}``."""
+        return dict(self._ports[node_id])
+
+    # ------------------------------------------------------------------
+    # Graph queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self._node_ids)
+
+    @property
+    def m(self) -> int:
+        return len(self._edges)
+
+    @property
+    def max_id(self) -> int:
+        """The ID-range bound ``N`` known to deterministic algorithms."""
+        return self._max_id
+
+    @property
+    def max_weight(self) -> int:
+        return max((edge.weight for edge in self._edges), default=1)
+
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def edge_weights(self) -> Set[int]:
+        return set(self._by_weight)
+
+    def edge_by_weight(self, weight: int) -> Edge:
+        """Weights are distinct, so a weight is a global edge identifier."""
+        return self._by_weight[weight]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return frozenset((u, v)) in self._edge_ports
+
+    def weight(self, u: int, v: int) -> int:
+        for neighbour, _, weight in self._ports[u].values():
+            if neighbour == v:
+                return weight
+        raise KeyError(f"no edge between {u} and {v}")
+
+    def neighbors(self, node_id: int) -> List[int]:
+        return [entry[0] for entry in self._ports[node_id].values()]
+
+    def degree(self, node_id: int) -> int:
+        return len(self._ports[node_id])
+
+    def total_weight(self) -> int:
+        return sum(edge.weight for edge in self._edges)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        if self.n <= 1:
+            return True
+        seen = {self._node_ids[0]}
+        stack = [self._node_ids[0]]
+        while stack:
+            node = stack.pop()
+            for neighbour in self.neighbors(node):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return len(seen) == self.n
+
+    def bfs_distances(self, source: int) -> Dict[int, int]:
+        """Hop distances from ``source`` (unweighted BFS)."""
+        distances = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbour in self.neighbors(node):
+                    if neighbour not in distances:
+                        distances[neighbour] = distances[node] + 1
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return distances
+
+    def diameter(self) -> int:
+        """Exact hop diameter (O(n·m); fine at experiment scales)."""
+        best = 0
+        for node in self._node_ids:
+            distances = self.bfs_distances(node)
+            if len(distances) < self.n:
+                raise ValueError("diameter undefined: graph is disconnected")
+            best = max(best, max(distances.values()))
+        return best
+
+    def subgraph_weights(self, weights: Iterable[int]) -> "WeightedGraph":
+        """Return the subgraph induced by the edges with the given weights."""
+        chosen = set(weights)
+        return WeightedGraph(
+            self._node_ids,
+            [
+                (edge.u, edge.v, edge.weight)
+                for edge in self._edges
+                if edge.weight in chosen
+            ],
+            max_id=self._max_id,
+        )
+
+    def to_networkx(self):  # pragma: no cover - convenience for notebooks
+        """Return a ``networkx.Graph`` copy (weights as edge attributes)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self._node_ids)
+        graph.add_weighted_edges_from(
+            (edge.u, edge.v, edge.weight) for edge in self._edges
+        )
+        return graph
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._node_ids)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._ports
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedGraph(n={self.n}, m={self.m}, N={self._max_id})"

@@ -1,0 +1,70 @@
+"""Lower-bound constructions and empirical certificates (Section 3)."""
+
+from .cuts import (
+    awake_bound_from_congestion,
+    cut_crossing_bits,
+    middle_cut,
+    r_j_cut,
+    row_cut_bits,
+)
+from .dsd import (
+    DSDNodeOutput,
+    DSDRunResult,
+    dsd_deadline,
+    dsd_flooding_protocol,
+    run_dsd_flooding,
+)
+from .grc import GrcEdge, GrcTopology, theorem4_regime
+from .knowledge import (
+    DecisionCertificate,
+    RING_GROWTH_FACTOR,
+    certify_ring_run,
+    knowledge_growth_curve,
+    max_growth_factor,
+    minimum_awake_for_reach,
+)
+from .reductions import (
+    ReductionOutcome,
+    SDInstance,
+    congestion_lower_bound_bits,
+    css_is_connected_spanning,
+    dsd_marked_edges,
+    mst_uses_heavy_edge,
+    random_sd_instance,
+    solve_sd_via_mst,
+)
+from .ring import RingInstance, expected_omitted_weight, ring_family, theorem3_ring
+
+__all__ = [
+    "DSDNodeOutput",
+    "DSDRunResult",
+    "DecisionCertificate",
+    "awake_bound_from_congestion",
+    "cut_crossing_bits",
+    "GrcEdge",
+    "GrcTopology",
+    "RING_GROWTH_FACTOR",
+    "ReductionOutcome",
+    "RingInstance",
+    "SDInstance",
+    "certify_ring_run",
+    "congestion_lower_bound_bits",
+    "css_is_connected_spanning",
+    "dsd_deadline",
+    "dsd_flooding_protocol",
+    "dsd_marked_edges",
+    "expected_omitted_weight",
+    "knowledge_growth_curve",
+    "max_growth_factor",
+    "middle_cut",
+    "minimum_awake_for_reach",
+    "mst_uses_heavy_edge",
+    "r_j_cut",
+    "random_sd_instance",
+    "row_cut_bits",
+    "ring_family",
+    "run_dsd_flooding",
+    "solve_sd_via_mst",
+    "theorem3_ring",
+    "theorem4_regime",
+]

@@ -1,0 +1,85 @@
+"""Cut-congestion accounting — the measurable core of Lemma 8.
+
+Lemma 8 lower-bounds awake time by *congestion*: Alice can simulate the
+regions ``R_j`` of ``G_rc`` on her own, except for the bits that protocol
+messages carry **across the cut** into the internal tree nodes; solving
+set disjointness forces ``Ω(r)`` such bits, and squeezing them through the
+``O(log n)`` tree nodes makes some node awake for ``Ω(r / log² n)`` rounds.
+
+The quantity the argument turns on — bits crossing a node cut during an
+execution — is directly measurable from a traced run.  This module
+provides:
+
+* :func:`cut_crossing_bits` — total payload bits carried by messages whose
+  endpoints lie on opposite sides of an arbitrary node partition;
+* :func:`r_j_cut` — the paper's ``R_j`` regions of ``G_rc`` (the first
+  ``j`` vertices of every row, plus the internal tree nodes ``I``);
+* :func:`awake_bound_from_congestion` — Lemma 8's arithmetic: ``B`` bits
+  through ``k`` constant-degree nodes under a ``w``-bit message budget
+  force some node to be awake ``≥ B / (k · degree · w)`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Set
+
+from repro.sim import EventTrace
+from repro.sim.congest import payload_bits
+
+from .grc import GrcTopology
+
+
+def cut_crossing_bits(trace: EventTrace, left_nodes: Iterable[int]) -> int:
+    """Total bits of *delivered* messages crossing the (left, right) cut.
+
+    ``deliver`` events carry (receiver=node, sender=peer); a message
+    crosses iff exactly one endpoint is in ``left_nodes``.
+    """
+    left = set(left_nodes)
+    total = 0
+    for event in trace.of_kind("deliver"):
+        receiver, sender = event.node, event.peer
+        if (receiver in left) != (sender in left):
+            total += payload_bits(event.detail)
+    return total
+
+
+def r_j_cut(topology: GrcTopology, j: int) -> Set[int]:
+    """The paper's region ``R_j``: first ``j`` columns of every row + ``I``."""
+    if not 1 <= j <= topology.c:
+        raise ValueError(f"j must be in [1, {topology.c}]")
+    region = {
+        topology.node_at(row, column)
+        for row in range(1, topology.r + 1)
+        for column in range(1, j + 1)
+    }
+    region.update(topology.internal_nodes)
+    return region
+
+
+def middle_cut(topology: GrcTopology) -> Set[int]:
+    """``R_{c/2}`` — the canonical cut for congestion measurements."""
+    return r_j_cut(topology, topology.c // 2)
+
+
+def row_cut_bits(trace: EventTrace, topology: GrcTopology, j: int) -> int:
+    """Bits crossing ``(R_j, complement)`` during a traced run."""
+    return cut_crossing_bits(trace, r_j_cut(topology, j))
+
+
+def awake_bound_from_congestion(
+    bits: int, bottleneck_nodes: int, max_degree: int, message_bits: int
+) -> int:
+    """Lemma 8's pigeonhole: the awake rounds congestion forces.
+
+    ``bits`` crossing into a set of ``bottleneck_nodes`` nodes, each of
+    degree ≤ ``max_degree``, with at most ``message_bits`` per message,
+    means some node in the set received ``≥ bits / bottleneck_nodes`` bits,
+    which takes ``≥ bits / (bottleneck_nodes · max_degree · message_bits)``
+    awake rounds (it can hear at most ``max_degree`` messages per round).
+    """
+    if bits <= 0:
+        return 0
+    per_node = bits / bottleneck_nodes
+    return math.ceil(per_node / (max_degree * message_bits))

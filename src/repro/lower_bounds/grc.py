@@ -1,0 +1,233 @@
+"""The Theorem 4 lower-bound graph family ``G_rc`` (Figure 1).
+
+``G_rc`` consists of:
+
+* ``r`` parallel row paths ``p_1 .. p_r`` of ``c`` nodes each, with **Alice**
+  the first node of ``p_1`` and **Bob** the last;
+* Alice connected to the first node, and Bob to the last node, of every
+  other row;
+* a set ``X`` of ``Θ(log n)`` equally spaced columns of ``p_1`` (cardinality
+  a power of two, containing Alice's and Bob's columns); each ``x ∈ X`` at
+  column ``j`` has a *spoke* to the ``j``-th node of every other row;
+* a balanced binary tree built over ``X`` as leaves, whose internal nodes
+  ``I`` are fresh nodes.
+
+Total size ``n = r·c + |X| - 1``; the interesting regime of Theorem 4 is
+``c ∈ ω(√n · log² n)`` and ``r ∈ o(√n / log² n)``.  The spokes and tree
+give the graph hop diameter ``Θ(c / log n)`` (Observation 1) while the
+``r`` parallel paths form the communication bottleneck that forces either
+many rounds or much congestion — hence the awake × rounds trade-off.
+
+This module builds the topology and its derived weighted instances; the
+SD → DSD → CSS → MST encodings live in
+:mod:`repro.lower_bounds.reductions`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.graphs import WeightedGraph
+
+
+@dataclass(frozen=True)
+class GrcEdge:
+    """One edge of ``G_rc`` with its structural role."""
+
+    u: int
+    v: int
+    #: One of ``"row"``, ``"alice"``, ``"bob"``, ``"spoke"``, ``"tree"``.
+    category: str
+    #: The row this edge belongs to / attaches (``None`` for tree edges).
+    row: Optional[int] = None
+
+    @property
+    def key(self) -> FrozenSet[int]:
+        return frozenset((self.u, self.v))
+
+
+class GrcTopology:
+    """The unweighted structure of ``G_rc`` for given ``r`` rows, ``c`` columns.
+
+    Node IDs: row ``ℓ`` (1-based), column ``j`` (1-based) is node
+    ``(ℓ-1)·c + j``; the ``|X| - 1`` internal tree nodes follow.
+    """
+
+    def __init__(self, r: int, c: int) -> None:
+        if r < 2:
+            raise ValueError("G_rc needs r >= 2 rows")
+        x_size = _x_cardinality(r * c)
+        if c < x_size:
+            raise ValueError(
+                f"c={c} too small: need at least |X|={x_size} columns"
+            )
+        self.r = r
+        self.c = c
+        self.x_size = x_size
+
+        self.alice = self.node_at(1, 1)
+        self.bob = self.node_at(1, c)
+
+        # Equally spaced X columns including the first and last.
+        self.x_columns: List[int] = [
+            1 + (t * (c - 1)) // (x_size - 1) for t in range(x_size)
+        ]
+        self.x_nodes: List[int] = [self.node_at(1, j) for j in self.x_columns]
+        self.internal_nodes: List[int] = [
+            r * c + i for i in range(1, x_size)
+        ]
+
+        self.edges: List[GrcEdge] = []
+        self._build_edges()
+        self._keys: Set[FrozenSet[int]] = {edge.key for edge in self.edges}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def node_at(self, row: int, column: int) -> int:
+        """ID of the ``column``-th node of row path ``p_row`` (both 1-based)."""
+        if not (1 <= row <= self.r and 1 <= column <= self.c):
+            raise ValueError(f"({row}, {column}) outside {self.r}x{self.c}")
+        return (row - 1) * self.c + column
+
+    def _build_edges(self) -> None:
+        # Row paths.
+        for row in range(1, self.r + 1):
+            for column in range(1, self.c):
+                self.edges.append(
+                    GrcEdge(
+                        self.node_at(row, column),
+                        self.node_at(row, column + 1),
+                        "row",
+                        row,
+                    )
+                )
+        # Alice / Bob attachments to every other row.
+        for row in range(2, self.r + 1):
+            self.edges.append(
+                GrcEdge(self.alice, self.node_at(row, 1), "alice", row)
+            )
+            self.edges.append(
+                GrcEdge(self.bob, self.node_at(row, self.c), "bob", row)
+            )
+        # Spokes from interior X columns (Alice's and Bob's columns already
+        # have their attachments above — the paper's spokes coincide there).
+        for column, x_node in zip(self.x_columns, self.x_nodes):
+            if column in (1, self.c):
+                continue
+            for row in range(2, self.r + 1):
+                self.edges.append(
+                    GrcEdge(x_node, self.node_at(row, column), "spoke", row)
+                )
+        # Balanced binary tree over X: heap layout, internal node with heap
+        # index i (1-based, i < x_size) links to heap children 2i and 2i+1;
+        # heap indices >= x_size are the leaves (the X nodes in order).
+        base = self.r * self.c
+        for heap_index in range(1, self.x_size):
+            parent = base + heap_index
+            for child_heap in (2 * heap_index, 2 * heap_index + 1):
+                if child_heap < self.x_size:
+                    child = base + child_heap
+                else:
+                    child = self.x_nodes[child_heap - self.x_size]
+                self.edges.append(GrcEdge(parent, child, "tree"))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.r * self.c + self.x_size - 1
+
+    @property
+    def node_ids(self) -> List[int]:
+        return list(range(1, self.n + 1))
+
+    def edges_of_category(self, category: str) -> List[GrcEdge]:
+        return [edge for edge in self.edges if edge.category == category]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return frozenset((u, v)) in self._keys
+
+    def baseline_marked_keys(self) -> Set[FrozenSet[int]]:
+        """Edges marked in every DSD instance: all row paths + all tree edges."""
+        return {
+            edge.key
+            for edge in self.edges
+            if edge.category in ("row", "tree")
+        }
+
+    # ------------------------------------------------------------------
+    # Weighted instances
+    # ------------------------------------------------------------------
+
+    def to_weighted_graph(
+        self, marked: Optional[Set[FrozenSet[int]]] = None
+    ) -> Tuple[WeightedGraph, int]:
+        """Build the CSS→MST weighted instance.
+
+        Marked edges receive the light weights ``1..k`` and unmarked edges
+        heavy weights above ``HEAVY = 2·m``; returns ``(graph, HEAVY)``.
+        The paper's reduction (weight 1 vs ``n``) needs distinct weights in
+        our model, so each class is spread over distinct values while
+        preserving the invariant that *every* marked edge is lighter than
+        *every* unmarked edge — which is all the reduction uses: the MST
+        contains a heavy edge iff the marked subgraph is not a connected
+        spanning subgraph.
+
+        With ``marked=None`` every edge is light (weights ``1..m``).
+        """
+        marked_keys = marked if marked is not None else {e.key for e in self.edges}
+        heavy_threshold = 2 * len(self.edges)
+        light = 1
+        heavy = heavy_threshold + 1
+        triples: List[Tuple[int, int, int]] = []
+        for edge in self.edges:
+            if edge.key in marked_keys:
+                triples.append((edge.u, edge.v, light))
+                light += 1
+            else:
+                triples.append((edge.u, edge.v, heavy))
+                heavy += 1
+        graph = WeightedGraph(self.node_ids, triples)
+        return graph, heavy_threshold
+
+    # ------------------------------------------------------------------
+    # Structural assertions (Observation 1)
+    # ------------------------------------------------------------------
+
+    def diameter_upper_bound(self) -> int:
+        """Analytic bound: spacing along rows + across the X tree.
+
+        Any node reaches an X column within ``⌈(c-1)/(|X|-1)⌉`` row hops
+        (+1 spoke hop), any two X nodes are ``≤ 2 log2 |X|`` tree hops
+        apart.
+        """
+        row_to_x = math.ceil((self.c - 1) / (self.x_size - 1)) + 1
+        across_tree = 2 * max(1, int(math.log2(self.x_size)))
+        return 2 * row_to_x + across_tree
+
+
+def _x_cardinality(grid_size: int) -> int:
+    """``|X|``: the smallest power of two >= max(2, log2(grid size))."""
+    target = max(2, round(math.log2(max(2, grid_size))))
+    return 1 << max(1, math.ceil(math.log2(target)))
+
+
+def theorem4_regime(n_target: int) -> Tuple[int, int]:
+    """Pick ``(r, c)`` near the Theorem 4 regime for a target size.
+
+    Theorem 4 wants ``c ∈ ω(√n log² n)`` and ``r ∈ o(√n / log² n)``; at
+    experiment scales we take ``r ≈ n^(1/3)`` and ``c = n_target // r``,
+    which keeps ``r`` well below ``√n`` and ``c`` well above it while
+    giving row paths long enough to expose the congestion bottleneck.
+    """
+    if n_target < 16:
+        raise ValueError("n_target too small for a meaningful G_rc")
+    r = max(2, round(n_target ** (1.0 / 3.0)))
+    c = max(2, n_target // r)
+    return r, c

@@ -1,0 +1,126 @@
+"""Empirical causal-knowledge analysis backing the Theorem 3 argument.
+
+The ``Ω(log n)`` awake lower bound rests on an information-flow fact: a
+node's state after ``a`` awake rounds is a function of the initial inputs
+of a bounded set of nodes ``S(u, a)``, and that set can only grow
+geometrically — each awake round merges in the (snapshot) knowledge of the
+awake neighbours, at most tripling a contiguous segment on a ring.
+
+:class:`repro.sim.KnowledgeTracker` records exactly these sets during real
+executions.  This module turns a tracked run into the lower-bound
+quantities:
+
+* the growth curve ``a ↦ max_u |S(u, a)|`` and its per-round growth factor
+  (which on a ring must stay ≤ 3);
+* a *decision certificate* for MST on a ring: the endpoints of the omitted
+  (heaviest) edge must have both heavy edges in their causal past, so their
+  awake count is at least ``log_3`` of the heavy edges' separation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.sim import KnowledgeTracker, SimulationResult
+
+from .ring import RingInstance
+
+#: On a ring each awake round can merge at most the two neighbouring
+#: segments into one's own: |S(u,a)| <= 3 * max_v |S(v,a-1)|.
+RING_GROWTH_FACTOR = 3
+
+
+def knowledge_growth_curve(tracker: KnowledgeTracker) -> List[Tuple[int, int]]:
+    """Return ``(a, max_u |S(u, a)|)`` for every awake count ``a`` observed."""
+    max_awake = max(
+        (samples[-1][0] for samples in tracker.history.values()), default=0
+    )
+    return [
+        (a, tracker.max_knowledge_after(a)) for a in range(max_awake + 1)
+    ]
+
+
+def max_growth_factor(curve: Sequence[Tuple[int, int]]) -> float:
+    """Largest single-awake-round growth ratio ``M(a) / M(a-1)``."""
+    worst = 1.0
+    for (_, previous), (_, current) in zip(curve, curve[1:]):
+        if previous > 0:
+            worst = max(worst, current / previous)
+    return worst
+
+
+def minimum_awake_for_reach(reach: int, factor: int = RING_GROWTH_FACTOR) -> int:
+    """Awake rounds needed before any knowledge set can reach size ``reach``.
+
+    Starting from ``|S(u, 0)| = 1`` and growing by at most ``factor`` per
+    awake round, reaching ``reach`` nodes requires at least
+    ``ceil(log_factor(reach))`` awake rounds — the quantitative core of the
+    ``Ω(log n)`` bound.
+    """
+    if reach <= 1:
+        return 0
+    return math.ceil(math.log(reach) / math.log(factor))
+
+
+@dataclass(frozen=True)
+class DecisionCertificate:
+    """Evidence that an MST run on a ring respected the lower bound."""
+
+    #: Hop separation of the two heaviest edges.
+    separation: int
+    #: Lower bound on awake rounds implied by the separation.
+    required_awake: int
+    #: Minimum awake rounds over nodes that causally knew both heavy edges.
+    observed_awake: int
+    #: Largest per-round knowledge growth factor observed in the run.
+    observed_growth: float
+
+    @property
+    def holds(self) -> bool:
+        """True iff the run's behaviour is consistent with Theorem 3."""
+        return self.observed_awake >= self.required_awake
+
+
+def certify_ring_run(
+    instance: RingInstance, simulation: SimulationResult
+) -> DecisionCertificate:
+    """Build the Theorem 3 certificate for a knowledge-tracked ring run.
+
+    The MST of a ring is every edge except the heaviest, so the endpoints
+    of the heaviest edge must decide to *omit* it — a decision that (per
+    the paper's argument) requires knowing the second-heaviest edge as
+    well.  We locate every node whose final causal knowledge contains all
+    four heavy-edge endpoints and report the minimum awake count among
+    them; Theorem 3 says it cannot be below ``log_3(separation)``.
+    """
+    tracker = simulation.knowledge
+    if tracker is None:
+        raise ValueError("run the simulation with track_knowledge=True")
+
+    heavy_nodes = {
+        instance.heaviest.u,
+        instance.heaviest.v,
+        instance.second_heaviest.u,
+        instance.second_heaviest.v,
+    }
+    observed = None
+    for node_id in instance.graph.node_ids:
+        if heavy_nodes <= tracker.known_nodes(node_id):
+            awake = tracker.history[node_id][-1][0]
+            if observed is None or awake < observed:
+                observed = awake
+    if observed is None:
+        raise AssertionError(
+            "no node causally knew both heavy edges, yet the run claimed to "
+            "have computed the MST"
+        )
+
+    curve = knowledge_growth_curve(tracker)
+    return DecisionCertificate(
+        separation=instance.separation,
+        required_awake=minimum_awake_for_reach(max(2, instance.separation)),
+        observed_awake=observed,
+        observed_growth=max_growth_factor(curve),
+    )

@@ -1,0 +1,124 @@
+"""The Theorem 3 lower-bound family: weighted rings with random inputs.
+
+Theorem 3 proves that any algorithm solving MST with probability exceeding
+1/8 on a ring needs ``Ω(log n)`` awake time, via a weighted ring of
+``4n + 4`` nodes with IDs and weights drawn uniformly from a ``poly(n)``
+space.  The two heaviest edges are ``Ω(n)`` apart (with constant
+probability); the MST omits exactly the heavier of the two, so some node
+must causally learn about *both* before deciding — and the knowledge a node
+can gather grows only geometrically with its awake rounds.
+
+This module builds the instances and extracts the quantities the argument
+is about (heaviest edges, their hop separation, which edge the MST omits).
+The companion :mod:`repro.lower_bounds.knowledge` measures the causal
+knowledge sets during real executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Tuple
+
+from repro.graphs import Edge, WeightedGraph
+
+
+@dataclass(frozen=True)
+class RingInstance:
+    """One Theorem 3 instance plus its analysis-relevant facts."""
+
+    graph: WeightedGraph
+    #: The unique heaviest edge — the one the MST must omit.
+    heaviest: Edge
+    #: The second-heaviest edge.
+    second_heaviest: Edge
+    #: Hop distance between the two heavy edges around the ring (minimum of
+    #: the two arc lengths between their nearer endpoints).
+    separation: int
+    #: Node IDs in cyclic order around the ring.
+    order: Tuple[int, ...] = ()
+
+    @property
+    def ring_size(self) -> int:
+        return self.graph.n
+
+    def is_contiguous_segment(self, nodes) -> bool:
+        """Is ``nodes`` a contiguous arc of the ring?
+
+        Lemma 11 reasons about knowledge sets as *segments*; this check
+        lets experiments verify that structure on real executions: a
+        node's causal knowledge on a ring is always one contiguous arc.
+        """
+        members = set(nodes)
+        if not members or not self.order:
+            return False
+        size = len(self.order)
+        positions = sorted(
+            index for index, node in enumerate(self.order) if node in members
+        )
+        if len(positions) != len(members):
+            raise ValueError("nodes outside this ring")
+        if len(positions) == size:
+            return True
+        # Contiguous on a cycle iff exactly one gap between consecutive
+        # occupied positions (cyclically) exceeds 1.
+        gaps = [
+            (positions[(i + 1) % len(positions)] - positions[i]) % size
+            for i in range(len(positions))
+        ]
+        return sum(1 for gap in gaps if gap != 1) == 1
+
+
+def theorem3_ring(n: int, seed: int = 0) -> RingInstance:
+    """Build the Theorem 3 ring of ``4n + 4`` nodes.
+
+    IDs are drawn uniformly without replacement from ``[1, (4n+4)^2]`` and
+    weights from ``[1, (4n+4)^3]`` — both ``poly(n)`` spaces, so IDs and
+    weights stay ``O(log n)``-bit values, and all are distinct (the paper
+    conditions on distinctness, which holds w.h.p.; sampling without
+    replacement realises that conditioning exactly).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    size = 4 * n + 4
+    rng = Random(f"thm3/{seed}/{n}")
+    ids = sorted(rng.sample(range(1, size * size + 1), size))
+    # Random placement around the ring so positions and IDs are independent.
+    placed = list(ids)
+    rng.shuffle(placed)
+    weights = rng.sample(range(1, size ** 3 + 1), size)
+    edges = [
+        (placed[i], placed[(i + 1) % size], weights[i]) for i in range(size)
+    ]
+    graph = WeightedGraph(placed, edges, max_id=size * size)
+
+    ordered = sorted(graph.edges())
+    heaviest, second = ordered[-1], ordered[-2]
+    separation = _edge_separation(placed, weights, size)
+    return RingInstance(
+        graph=graph,
+        heaviest=heaviest,
+        second_heaviest=second,
+        separation=separation,
+        order=tuple(placed),
+    )
+
+
+def _edge_separation(placed: List[int], weights: List[int], size: int) -> int:
+    """Hop distance around the ring between the two heaviest edges."""
+    order = sorted(range(size), key=lambda index: weights[index])
+    first_position, second_position = order[-1], order[-2]
+    around = abs(first_position - second_position)
+    return min(around, size - around)
+
+
+def expected_omitted_weight(instance: RingInstance) -> int:
+    """The weight the MST must exclude: a ring's MST is all edges but the max."""
+    return instance.heaviest.weight
+
+
+def ring_family(
+    sizes: Tuple[int, ...], seed: int = 0
+) -> List[RingInstance]:
+    """Instances across a range of ``n`` for the scaling experiments."""
+    return [theorem3_ring(n, seed=seed + n) for n in sizes]

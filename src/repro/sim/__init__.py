@@ -1,0 +1,54 @@
+"""Sleeping-model synchronous CONGEST simulator.
+
+Public surface:
+
+* :class:`~repro.sim.engine.SleepingSimulator` / :func:`~repro.sim.engine.simulate`
+  — run protocols over a graph.
+* :class:`~repro.sim.node.Awake`, :class:`~repro.sim.node.NodeContext`
+  — the protocol-side API.
+* :class:`~repro.sim.metrics.Metrics` — awake/round/message accounting.
+* :class:`~repro.sim.tracing.EventTrace`, :class:`~repro.sim.tracing.KnowledgeTracker`
+  — optional observers.
+* :mod:`repro.sim.congest` — CONGEST message-size policy.
+"""
+
+from .congest import CongestPolicy, congest_budget_bits, payload_bits
+from .engine import SimulationResult, SleepingSimulator, simulate
+from .errors import (
+    CongestViolation,
+    NodeCrashed,
+    ProtocolViolation,
+    SimulationError,
+    SimulationLimitExceeded,
+)
+from .metrics import Metrics, NodeMetrics
+from .node import Awake, Inbox, NodeContext, Protocol, ProtocolFactory
+from .replay import LoadedRun, load_trace, save_trace
+from .tracing import EventTrace, KnowledgeTracker, TraceEvent
+
+__all__ = [
+    "Awake",
+    "CongestPolicy",
+    "CongestViolation",
+    "EventTrace",
+    "Inbox",
+    "KnowledgeTracker",
+    "LoadedRun",
+    "Metrics",
+    "NodeContext",
+    "NodeCrashed",
+    "NodeMetrics",
+    "Protocol",
+    "ProtocolFactory",
+    "ProtocolViolation",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "SimulationResult",
+    "SleepingSimulator",
+    "TraceEvent",
+    "congest_budget_bits",
+    "payload_bits",
+    "load_trace",
+    "save_trace",
+    "simulate",
+]

@@ -1,0 +1,372 @@
+"""The sleeping-model synchronous CONGEST simulation engine.
+
+The engine executes a set of node protocols (see :mod:`repro.sim.node`) over
+a weighted graph, faithfully implementing the sleeping model of Section 1.1
+of the paper:
+
+* Computation proceeds in synchronous rounds ``1, 2, 3, ...``; every node
+  knows the current round number whenever it is awake.
+* A node is awake exactly in the rounds its protocol yields; in all other
+  rounds it is asleep — it sends nothing, receives nothing, and messages
+  addressed to it are **lost**.
+* In an awake round a node may send a (possibly distinct) message through
+  each incident port and receives whatever its awake neighbours sent to it
+  in the same round.
+* Only awake rounds are charged to a node's awake complexity; the run time
+  (round complexity) counts every round up to the last node's termination.
+
+Sparse execution
+----------------
+Round complexities in this paper are huge (``Θ(n log n)`` randomized,
+``Θ(nN log n)`` deterministic) while total awake work is tiny
+(``O(n log n)`` node-rounds).  The engine therefore never iterates over
+rounds in which everybody sleeps: it keeps a min-heap of scheduled wake-ups
+and jumps directly from one populated round to the next.  Round *numbers*
+remain exact, so reported round complexities are exact, but the wall-clock
+cost of a simulation is proportional to awake work plus messages, not to
+the round count.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Dict, List, Optional, Tuple
+
+from .congest import CongestPolicy
+from .errors import (
+    CongestViolation,
+    NodeCrashed,
+    ProtocolViolation,
+    SimulationLimitExceeded,
+)
+from .metrics import Metrics
+from .node import (
+    Awake,
+    NodeContext,
+    ProtocolFactory,
+    prime_protocol,
+    run_protocol_step,
+)
+from .tracing import EventTrace, KnowledgeTracker
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    #: Per-node protocol return values, keyed by node ID.
+    node_results: Dict[int, Any]
+    #: Aggregate and per-node counters.
+    metrics: Metrics
+    #: Event trace (only populated when tracing was enabled).
+    trace: Optional[EventTrace] = None
+    #: Knowledge tracker (only populated when knowledge tracking was enabled).
+    knowledge: Optional[KnowledgeTracker] = None
+
+    @property
+    def max_awake(self) -> int:
+        return self.metrics.max_awake
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+
+@dataclass
+class _NodeRuntime:
+    """Engine-internal per-node state."""
+
+    context: NodeContext
+    protocol: Any
+    #: Sends scheduled for the pending awake round: port -> payload.
+    pending_sends: Dict[int, Any] = field(default_factory=dict)
+    #: Knowledge mask snapshot taken when the pending sends were scheduled.
+    pending_knowledge: int = 0
+    last_awake_round: int = 0
+    finished: bool = False
+
+
+class SleepingSimulator:
+    """Run node protocols over a graph under sleeping-model semantics.
+
+    Parameters
+    ----------
+    graph:
+        Any object exposing ``node_ids`` (iterable of distinct int IDs) and
+        ``ports_of(node_id)`` returning ``{port: (neighbour_id,
+        neighbour_port, weight)}``.  :class:`repro.graphs.WeightedGraph`
+        satisfies this.
+    protocol_factory:
+        Called once per node with its :class:`~repro.sim.node.NodeContext`;
+        must return the node's protocol generator.
+    seed:
+        Master seed; each node's private RNG is derived from it and the
+        node's ID, so runs are exactly reproducible.
+    congest_universe:
+        Upper bound on message-field magnitudes for the CONGEST size budget.
+        Defaults to ``max(n, N, max edge weight)`` derived from the graph.
+    strict_congest:
+        If true (default), oversized messages raise
+        :class:`~repro.sim.errors.CongestViolation`; otherwise they are
+        merely counted.
+    trace:
+        Record an :class:`~repro.sim.tracing.EventTrace`.
+    track_knowledge:
+        Maintain causal knowledge sets (Theorem 3 experiments).
+    max_rounds:
+        Abort if the simulation reaches a round beyond this cap.
+    max_awake_events:
+        Abort after this many node-awake events (guards against protocols
+        that never terminate).
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        protocol_factory: ProtocolFactory,
+        *,
+        seed: int = 0,
+        congest_universe: Optional[int] = None,
+        strict_congest: bool = True,
+        congest_factor: Optional[int] = None,
+        trace: bool = False,
+        track_knowledge: bool = False,
+        max_rounds: Optional[int] = None,
+        max_awake_events: int = 50_000_000,
+    ) -> None:
+        self.graph = graph
+        self.protocol_factory = protocol_factory
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.max_awake_events = max_awake_events
+
+        self._node_ids: List[int] = sorted(graph.node_ids)
+        if not self._node_ids:
+            raise ValueError("graph has no nodes")
+        self._adjacency: Dict[int, Dict[int, Tuple[int, int, int]]] = {
+            node_id: dict(graph.ports_of(node_id)) for node_id in self._node_ids
+        }
+
+        n = len(self._node_ids)
+        max_id = max(self._node_ids)
+        max_weight = 1
+        for ports in self._adjacency.values():
+            for _, _, weight in ports.values():
+                max_weight = max(max_weight, abs(int(weight)))
+        universe = congest_universe or max(n, max_id, max_weight)
+        congest_kwargs = {} if congest_factor is None else {"factor": congest_factor}
+        self.congest = CongestPolicy(universe, strict=strict_congest, **congest_kwargs)
+
+        self.trace = EventTrace() if trace else None
+        self.knowledge = (
+            KnowledgeTracker(self._node_ids) if track_knowledge else None
+        )
+        self._n = n
+        self._max_id = max_id
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _make_context(self, node_id: int) -> NodeContext:
+        ports = self._adjacency[node_id]
+        return NodeContext(
+            node_id=node_id,
+            n=self._n,
+            max_id=self._max_id,
+            ports=tuple(sorted(ports)),
+            port_weights={port: ports[port][2] for port in ports},
+            rng=Random(f"{self.seed}/{node_id}"),
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation to completion and return its result."""
+        metrics = Metrics()
+        results: Dict[int, Any] = {}
+        runtimes: Dict[int, _NodeRuntime] = {}
+        # Heap of (round, node_id); each live node has exactly one entry.
+        wakeups: List[Tuple[int, int]] = []
+
+        for node_id in self._node_ids:
+            context = self._make_context(node_id)
+            protocol = self.protocol_factory(context)
+            runtime = _NodeRuntime(context=context, protocol=protocol)
+            runtimes[node_id] = runtime
+            metrics.node(node_id)  # ensure every node appears in per_node
+            finished, value = prime_protocol(protocol)
+            if finished:
+                self._finish_node(node_id, runtime, value, 0, results, metrics)
+                continue
+            self._accept_action(node_id, runtime, value, current_round=0)
+            heapq.heappush(wakeups, (value.round, node_id))
+
+        awake_events = 0
+        while wakeups:
+            current_round = wakeups[0][0]
+            if self.max_rounds is not None and current_round > self.max_rounds:
+                raise SimulationLimitExceeded(
+                    f"round {current_round} exceeds max_rounds={self.max_rounds}"
+                )
+            awake_now: List[int] = []
+            while wakeups and wakeups[0][0] == current_round:
+                _, node_id = heapq.heappop(wakeups)
+                awake_now.append(node_id)
+            awake_set = set(awake_now)
+            metrics.rounds = current_round
+
+            # Phase A: transmit.  All sends scheduled for this round go out
+            # simultaneously; only awake receivers hear them.
+            inboxes: Dict[int, Dict[int, Any]] = {node_id: {} for node_id in awake_now}
+            received_masks: Dict[int, List[int]] = {node_id: [] for node_id in awake_now}
+            for node_id in awake_now:
+                runtime = runtimes[node_id]
+                sender_metrics = metrics.node(node_id)
+                for port, payload in runtime.pending_sends.items():
+                    neighbour_id, neighbour_port, _ = self._adjacency[node_id][port]
+                    bits = self.congest.check(payload)
+                    sender_metrics.messages_sent += 1
+                    sender_metrics.bits_sent += bits
+                    metrics.total_bits += bits
+                    metrics.max_message_bits = max(metrics.max_message_bits, bits)
+                    if self.congest.is_over_budget(bits):
+                        metrics.congest_violations += 1
+                        if self.congest.strict:
+                            raise CongestViolation(
+                                node_id, port, bits, self.congest.budget
+                            )
+                    if self.trace is not None:
+                        self.trace.record(
+                            current_round, "send", node_id, neighbour_id, payload
+                        )
+                    if neighbour_id in awake_set:
+                        inboxes[neighbour_id][neighbour_port] = payload
+                        metrics.messages_delivered += 1
+                        receiver = metrics.node(neighbour_id)
+                        receiver.messages_received += 1
+                        receiver.bits_received += bits
+                        if self.knowledge is not None:
+                            received_masks[neighbour_id].append(
+                                runtime.pending_knowledge
+                            )
+                        if self.trace is not None:
+                            self.trace.record(
+                                current_round,
+                                "deliver",
+                                neighbour_id,
+                                node_id,
+                                payload,
+                            )
+                    else:
+                        metrics.messages_lost += 1
+                        metrics.node(neighbour_id).messages_lost_as_receiver += 1
+                        if self.trace is not None:
+                            self.trace.record(
+                                current_round, "lose", neighbour_id, node_id, payload
+                            )
+                runtime.pending_sends = {}
+
+            # Phase B: local computation.  Resume every awake node with its
+            # inbox; it either terminates or schedules its next awake round.
+            for node_id in awake_now:
+                runtime = runtimes[node_id]
+                node_metrics = metrics.node(node_id)
+                node_metrics.awake_rounds += 1
+                metrics.total_awake_rounds += 1
+                awake_events += 1
+                runtime.last_awake_round = current_round
+                if self.trace is not None:
+                    self.trace.record(current_round, "wake", node_id)
+                if self.knowledge is not None:
+                    self.knowledge.absorb(node_id, received_masks[node_id])
+                    self.knowledge.note_awake(node_id)
+                try:
+                    finished, value = run_protocol_step(
+                        runtime.protocol, inboxes[node_id]
+                    )
+                except (ProtocolViolation, CongestViolation):
+                    raise
+                except Exception as error:  # noqa: BLE001 - wrapped deliberately
+                    raise NodeCrashed(node_id, current_round, error) from error
+                if finished:
+                    self._finish_node(
+                        node_id, runtime, value, current_round, results, metrics
+                    )
+                else:
+                    self._accept_action(node_id, runtime, value, current_round)
+                    heapq.heappush(wakeups, (value.round, node_id))
+
+            if awake_events > self.max_awake_events:
+                raise SimulationLimitExceeded(
+                    f"exceeded max_awake_events={self.max_awake_events}; "
+                    "a protocol is probably not terminating"
+                )
+
+        return SimulationResult(
+            node_results=results,
+            metrics=metrics,
+            trace=self.trace,
+            knowledge=self.knowledge,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _accept_action(
+        self,
+        node_id: int,
+        runtime: _NodeRuntime,
+        action: Any,
+        current_round: int,
+    ) -> None:
+        """Validate a yielded action and stage its sends."""
+        if not isinstance(action, Awake):
+            raise ProtocolViolation(
+                node_id,
+                f"protocol yielded {type(action).__name__!r}; expected Awake",
+            )
+        if action.round <= current_round:
+            raise ProtocolViolation(
+                node_id,
+                f"scheduled awake round {action.round} is not after the "
+                f"current round {current_round}",
+            )
+        sends = dict(action.sends)
+        for port in sends:
+            if port not in self._adjacency[node_id]:
+                raise ProtocolViolation(
+                    node_id, f"send on unknown port {port}"
+                )
+        runtime.pending_sends = sends
+        if self.knowledge is not None:
+            runtime.pending_knowledge = self.knowledge.snapshot(node_id)
+
+    def _finish_node(
+        self,
+        node_id: int,
+        runtime: _NodeRuntime,
+        value: Any,
+        current_round: int,
+        results: Dict[int, Any],
+        metrics: Metrics,
+    ) -> None:
+        runtime.finished = True
+        results[node_id] = value
+        metrics.node(node_id).terminated_round = current_round
+        if self.trace is not None:
+            self.trace.record(current_round, "terminate", node_id, detail=value)
+
+
+def simulate(
+    graph: Any,
+    protocol_factory: ProtocolFactory,
+    **kwargs: Any,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`SleepingSimulator` and run it."""
+    return SleepingSimulator(graph, protocol_factory, **kwargs).run()

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the sleeping-model simulator.
+
+All simulator-raised errors derive from :class:`SimulationError` so callers
+can catch substrate failures separately from ordinary Python errors raised by
+protocol code.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation engine."""
+
+
+class ProtocolViolation(SimulationError):
+    """A node protocol broke the rules of the sleeping model.
+
+    Examples: scheduling an awake round in the past, sending on an invalid
+    port, or yielding an object that is not an :class:`~repro.sim.node.Awake`
+    action.
+    """
+
+    def __init__(self, node_id: int, message: str) -> None:
+        super().__init__(f"node {node_id}: {message}")
+        self.node_id = node_id
+
+
+class CongestViolation(SimulationError):
+    """A message exceeded the CONGEST size budget in strict mode.
+
+    The CONGEST model allows only ``O(log n)``-bit messages per edge per
+    round; :mod:`repro.sim.congest` estimates payload sizes and the engine
+    raises this error when a payload exceeds the configured budget.
+    """
+
+    def __init__(self, node_id: int, port: int, bits: int, budget: int) -> None:
+        super().__init__(
+            f"node {node_id} sent {bits}-bit message on port {port}; "
+            f"CONGEST budget is {budget} bits"
+        )
+        self.node_id = node_id
+        self.port = port
+        self.bits = bits
+        self.budget = budget
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The engine hit a configured safety limit (rounds or events).
+
+    This usually indicates a protocol that fails to terminate, e.g. a node
+    that keeps scheduling wake-ups forever.
+    """
+
+
+class NodeCrashed(SimulationError):
+    """A node protocol raised an exception; wraps the original error."""
+
+    def __init__(self, node_id: int, round_number: int, cause: BaseException) -> None:
+        super().__init__(
+            f"node {node_id} crashed in round {round_number}: {cause!r}"
+        )
+        self.node_id = node_id
+        self.round_number = round_number
+        self.__cause__ = cause

@@ -1,0 +1,115 @@
+"""Execution metrics for sleeping-model simulations.
+
+The central quantities of the paper are:
+
+* **awake complexity** — the maximum, over nodes, of the number of rounds the
+  node spends awake before it terminates (``max_awake``);
+* **round complexity** (run time) — the total number of rounds until the last
+  node terminates (``rounds``), counting sleeping rounds.
+
+:class:`Metrics` tracks both, plus message/bit counts, per-node breakdowns,
+and messages lost to sleeping receivers (a defining feature of the sleeping
+model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class NodeMetrics:
+    """Per-node counters accumulated by the engine."""
+
+    awake_rounds: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    messages_lost_as_receiver: int = 0
+    bits_sent: int = 0
+    bits_received: int = 0
+    terminated_round: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "awake_rounds": self.awake_rounds,
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "messages_lost_as_receiver": self.messages_lost_as_receiver,
+            "bits_sent": self.bits_sent,
+            "bits_received": self.bits_received,
+            "terminated_round": self.terminated_round,
+        }
+
+
+@dataclass
+class Metrics:
+    """Aggregate metrics for one simulation run."""
+
+    #: Round number of the last executed round (the paper's run time).
+    rounds: int = 0
+    #: Total awake rounds summed over all nodes.
+    total_awake_rounds: int = 0
+    #: Total messages delivered to awake receivers.
+    messages_delivered: int = 0
+    #: Messages sent to sleeping receivers (lost per the model).
+    messages_lost: int = 0
+    #: Total payload bits across delivered + lost messages.
+    total_bits: int = 0
+    #: Largest single-message payload observed, in bits.
+    max_message_bits: int = 0
+    #: Number of messages that exceeded the CONGEST budget (lenient mode).
+    congest_violations: int = 0
+    #: Per-node counters keyed by node ID.
+    per_node: Dict[int, NodeMetrics] = field(default_factory=dict)
+
+    @property
+    def max_awake(self) -> int:
+        """Worst-case awake complexity: ``max_v A_v`` over all nodes."""
+        if not self.per_node:
+            return 0
+        return max(node.awake_rounds for node in self.per_node.values())
+
+    @property
+    def mean_awake(self) -> float:
+        """Node-averaged awake complexity (cf. Chatterjee et al. 2020)."""
+        if not self.per_node:
+            return 0.0
+        return self.total_awake_rounds / len(self.per_node)
+
+    @property
+    def awake_round_product(self) -> int:
+        """The paper's trade-off quantity: awake complexity x round complexity."""
+        return self.max_awake * self.rounds
+
+    def node(self, node_id: int) -> NodeMetrics:
+        """Return (creating if needed) the counters for ``node_id``."""
+        metrics = self.per_node.get(node_id)
+        if metrics is None:
+            metrics = NodeMetrics()
+            self.per_node[node_id] = metrics
+        return metrics
+
+    def awake_distribution(self) -> List[int]:
+        """Return the sorted list of per-node awake counts."""
+        return sorted(node.awake_rounds for node in self.per_node.values())
+
+    def summary(self) -> Dict[str, float]:
+        """Return a flat summary dictionary convenient for tables/benchmarks."""
+        return {
+            "rounds": self.rounds,
+            "max_awake": self.max_awake,
+            "mean_awake": round(self.mean_awake, 3),
+            "awake_round_product": self.awake_round_product,
+            "messages_delivered": self.messages_delivered,
+            "messages_lost": self.messages_lost,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "congest_violations": self.congest_violations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Metrics(rounds={self.rounds}, max_awake={self.max_awake}, "
+            f"msgs={self.messages_delivered}, lost={self.messages_lost})"
+        )

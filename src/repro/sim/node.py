@@ -1,0 +1,125 @@
+"""Node-side API of the sleeping-model simulator.
+
+A distributed algorithm is expressed as a *protocol*: a generator function
+that receives a :class:`NodeContext` and yields :class:`Awake` actions.  Each
+yield corresponds to exactly one awake round:
+
+.. code-block:: python
+
+    def my_protocol(ctx):
+        # Round 1: send our ID to every neighbour and hear theirs.
+        inbox = yield Awake(1, {port: ctx.node_id for port in ctx.ports})
+        neighbour_ids = dict(inbox)
+        # Sleep until round 100, then wake silently (listen only).
+        inbox = yield Awake(100)
+        return neighbour_ids  # becomes the node's result
+
+Between yields the node is asleep: it sends nothing, hears nothing, and
+messages addressed to it are lost — exactly the sleeping model of
+Chatterjee, Gmyr, and Pandurangan (PODC 2020) used by the paper.
+
+Local computation between yields is free (the model charges only awake
+rounds), but each yield must schedule a strictly later round than the
+previous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable, Dict, Generator, Mapping, Tuple
+
+#: Inbox type: port number -> payload received on that port this round.
+Inbox = Dict[int, Any]
+
+#: A protocol is a generator: yields Awake, receives Inbox, returns a result.
+Protocol = Generator["Awake", Inbox, Any]
+
+#: Factory invoked once per node to create its protocol generator.
+ProtocolFactory = Callable[["NodeContext"], Protocol]
+
+
+@dataclass(frozen=True)
+class Awake:
+    """One awake round: wake at ``round``, transmitting ``sends``.
+
+    Parameters
+    ----------
+    round:
+        Absolute round number (1-based) in which to be awake.  Must be
+        strictly greater than the node's previous awake round.
+    sends:
+        Mapping from local port number to payload.  Ports not listed send
+        nothing.  An empty mapping (the default) means listen-only.
+    """
+
+    round: int
+    sends: Mapping[int, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.round < 1:
+            raise ValueError(f"awake round must be >= 1, got {self.round}")
+
+
+@dataclass
+class NodeContext:
+    """Everything a node knows at the start of the computation.
+
+    Matches Section 1.1 of the paper: a node knows its own ID, the weights of
+    its incident edges (keyed by local port number), the network size ``n``,
+    the maximum possible ID ``max_id`` (``N``; only the deterministic
+    algorithm relies on it), and has a private source of randomness.  It does
+    *not* know its neighbours' IDs (KT0) — protocols that need them exchange
+    IDs in an explicit awake round.
+    """
+
+    #: This node's unique ID (an integer in ``[1, max_id]``).
+    node_id: int
+    #: Number of nodes in the network (globally known).
+    n: int
+    #: Largest possible node ID ``N`` (globally known; ``>= n``).
+    max_id: int
+    #: Local port numbers, ``0 .. degree-1``.
+    ports: Tuple[int, ...]
+    #: Weight of the incident edge on each port.
+    port_weights: Dict[int, int]
+    #: Private randomness, seeded deterministically by the engine.
+    rng: Random
+
+    @property
+    def degree(self) -> int:
+        return len(self.ports)
+
+    def min_weight_port(self) -> int:
+        """Return the port with the lightest incident edge."""
+        return min(self.ports, key=lambda port: self.port_weights[port])
+
+    def broadcast(self, payload: Any) -> Dict[int, Any]:
+        """Convenience: a ``sends`` mapping addressing every port."""
+        return {port: payload for port in self.ports}
+
+
+def run_protocol_step(
+    protocol: Protocol, inbox: Inbox
+) -> Tuple[bool, Any]:
+    """Advance ``protocol`` by one awake round.
+
+    Returns ``(finished, value)`` where ``value`` is the next
+    :class:`Awake` action if not finished, or the protocol's return value
+    if finished.  This helper exists so the engine and tests share identical
+    resumption semantics.
+    """
+    try:
+        action = protocol.send(inbox)
+    except StopIteration as stop:
+        return True, stop.value
+    return False, action
+
+
+def prime_protocol(protocol: Protocol) -> Tuple[bool, Any]:
+    """Start ``protocol``, returning its first action (or immediate result)."""
+    try:
+        action = next(protocol)
+    except StopIteration as stop:
+        return True, stop.value
+    return False, action

@@ -1,0 +1,118 @@
+"""Trace serialization: persist executions as JSONL, reload for analysis.
+
+A traced run can be saved to a compact JSON-lines file (one event per
+line, plus a header with metrics) and reloaded later into an
+:class:`~repro.sim.tracing.EventTrace` and metric summary — so experiment
+artifacts can be archived, diffed across versions, or analysed outside
+Python without re-running simulations.
+
+Payloads are restricted to the same flat values the CONGEST checker
+accepts (tuples/ints/strings/None/bools/floats); tuples round-trip through
+JSON lists and are restored on load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .engine import SimulationResult
+from .tracing import EventTrace
+
+#: Schema version written into every file header.
+FORMAT_VERSION = 1
+
+
+def _encode_payload(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_encode_payload(field) for field in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Non-message details (e.g. protocol return values attached to
+    # terminate events) are stored lossily as their repr; message payloads
+    # are always flat tuples/scalars and round-trip exactly.
+    return {"__repr__": repr(value)}
+
+
+def _decode_repr(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"__repr__"}:
+        return value["__repr__"]
+    return value
+
+
+def _decode_payload(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_decode_payload(field) for field in value)
+    return _decode_repr(value)
+
+
+def save_trace(result: SimulationResult, path: Union[str, Path]) -> int:
+    """Write a traced run to ``path``; returns the number of events written.
+
+    Raises ``ValueError`` if the run was not executed with ``trace=True``.
+    """
+    if result.trace is None:
+        raise ValueError("simulation was run without trace=True")
+    target = Path(path)
+    events = result.trace.events
+    with target.open("w") as handle:
+        header = {
+            "format": FORMAT_VERSION,
+            "events": len(events),
+            "metrics": result.metrics.summary(),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for event in events:
+            handle.write(
+                json.dumps(
+                    [
+                        event.round,
+                        event.kind,
+                        event.node,
+                        event.peer,
+                        _encode_payload(event.detail),
+                    ]
+                )
+                + "\n"
+            )
+    return len(events)
+
+
+@dataclass
+class LoadedRun:
+    """A reloaded run: the trace plus the saved metric summary."""
+
+    trace: EventTrace
+    metrics_summary: Dict[str, Any]
+    format_version: int
+
+
+def load_trace(path: Union[str, Path]) -> LoadedRun:
+    """Reload a file written by :func:`save_trace`."""
+    source = Path(path)
+    with source.open() as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise ValueError(f"{source}: empty trace file")
+    header = json.loads(lines[0])
+    if header.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"{source}: unsupported format {header.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    trace = EventTrace()
+    for line in lines[1:]:
+        round_number, kind, node, peer, detail = json.loads(line)
+        trace.record(round_number, kind, node, peer, _decode_payload(detail))
+    if len(trace) != header["events"]:
+        raise ValueError(
+            f"{source}: header promises {header['events']} events, "
+            f"found {len(trace)}"
+        )
+    return LoadedRun(
+        trace=trace,
+        metrics_summary=header["metrics"],
+        format_version=header["format"],
+    )

@@ -1,0 +1,52 @@
+"""Distributed per-phase history (the distributed side of Lemma 1)."""
+
+from __future__ import annotations
+
+from repro.analysis import contraction_ratios, phase_history
+from repro.core import run_deterministic_mst
+from repro.graphs import mst_weight_set, random_connected_graph, ring_graph
+
+
+class TestPhaseHistory:
+    def test_fragment_counts_strictly_decrease_to_one(self):
+        graph = ring_graph(16, seed=1)
+        history = phase_history(graph, seed=0)
+        counts = [snapshot.fragments for snapshot in history]
+        assert counts[-1] == 1
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_sizes_partition_the_nodes(self):
+        graph = random_connected_graph(20, 0.2, seed=2)
+        for snapshot in phase_history(graph, seed=1):
+            assert sum(snapshot.fragment_sizes.values()) == graph.n
+
+    def test_tree_weights_grow_monotonically_into_mst(self):
+        graph = random_connected_graph(18, 0.2, seed=3)
+        history = phase_history(graph, seed=0)
+        previous = set()
+        for snapshot in history:
+            assert previous <= snapshot.tree_weights
+            previous = snapshot.tree_weights
+        assert history[-1].tree_weights == mst_weight_set(graph)
+
+    def test_edge_count_matches_forest_identity(self):
+        """A forest with f fragments over n nodes has n - f tree edges."""
+        graph = ring_graph(12, seed=4)
+        for snapshot in phase_history(graph, seed=2):
+            assert len(snapshot.tree_weights) == graph.n - snapshot.fragments
+
+    def test_deterministic_runner_supported(self):
+        graph = random_connected_graph(12, 0.25, seed=5)
+        history = phase_history(graph, runner=run_deterministic_mst)
+        assert history[-1].fragments == 1
+
+    def test_distributed_contraction_matches_lemma1(self):
+        """Average contraction of the actual distributed run ≥ 4/3-ish
+        (aggregated over several seeds to tame the variance)."""
+        graph = random_connected_graph(32, 0.15, seed=6)
+        ratios = []
+        for seed in range(5):
+            history = phase_history(graph, seed=seed)
+            ratios.extend(contraction_ratios(history, graph.n))
+        mean = sum(ratios) / len(ratios)
+        assert mean >= 4 / 3 - 0.1

@@ -1,0 +1,51 @@
+"""Lemma 1 / Lemma 2 measurement helpers."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    contraction_statistics,
+    fixed_mode_success_rate,
+)
+from repro.graphs import random_connected_graph, ring_graph
+
+
+class TestContractionStatistics:
+    def test_ratios_at_least_one(self):
+        graph = ring_graph(32, seed=1)
+        report = contraction_statistics(graph, seeds=range(5))
+        assert all(ratio >= 1.0 for ratio in report.ratios)
+
+    def test_expected_contraction_near_four_thirds(self):
+        graph = random_connected_graph(64, 0.1, seed=2)
+        report = contraction_statistics(graph, seeds=range(15))
+        assert report.mean_ratio >= 4 / 3 - 0.08
+
+    def test_phases_recorded_per_seed(self):
+        graph = ring_graph(16, seed=3)
+        report = contraction_statistics(graph, seeds=range(4))
+        assert len(report.phases) == 4
+        assert all(phases >= 1 for phases in report.phases)
+
+    def test_empty_seeds(self):
+        graph = ring_graph(8, seed=4)
+        report = contraction_statistics(graph, seeds=())
+        assert report.mean_ratio == 0.0
+        assert report.worst_ratio == 0.0
+
+    def test_geometric_mean_below_arithmetic(self):
+        graph = random_connected_graph(48, 0.1, seed=5)
+        report = contraction_statistics(graph, seeds=range(8))
+        assert report.geometric_mean_ratio <= report.mean_ratio + 1e-9
+
+
+class TestFixedModeSuccess:
+    def test_always_exact_at_small_sizes(self):
+        graph = ring_graph(12, seed=6)
+        report = fixed_mode_success_rate(graph, seeds=range(4))
+        assert report.success_rate == 1.0
+        assert report.runs == 4
+
+    def test_max_awake_recorded(self):
+        graph = ring_graph(8, seed=7)
+        report = fixed_mode_success_rate(graph, seeds=range(2))
+        assert report.max_awake > 0

@@ -1,0 +1,74 @@
+"""Table 1 regeneration and the sensor-energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import EnergyModel, generate_table1, render_table
+from repro.core import run_randomized_mst
+from repro.graphs import ring_graph
+from repro.sim import Metrics
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_table1(
+            sizes=(8, 16), seeds=(0,), algorithms=["Randomized-MST"]
+        )
+
+    def test_rows_cover_sizes(self, table):
+        assert [row.n for row in table.rows_for("Randomized-MST")] == [8, 16]
+
+    def test_all_runs_correct(self, table):
+        assert all(row.correct_runs == row.total_runs for row in table.rows)
+
+    def test_awake_fit_available(self, table):
+        fit = table.awake_fit("Randomized-MST")
+        assert fit.model == "log"
+        assert fit.constant > 0
+
+    def test_render_contains_columns(self, table):
+        text = render_table(table)
+        assert "AT/log2 n" in text
+        assert "Randomized-MST" in text
+
+    def test_traditional_comparator_runs(self):
+        table = generate_table1(
+            sizes=(8,), seeds=(0,), algorithms=["Traditional-GHS"]
+        )
+        (row,) = table.rows
+        assert row.max_awake == row.rounds  # always-awake accounting
+
+
+class TestEnergyModel:
+    def test_sleeping_is_cheap(self):
+        model = EnergyModel()
+        active = model.node_energy(awake_rounds=100, messages_sent=0, total_rounds=100)
+        dozing = model.node_energy(awake_rounds=1, messages_sent=0, total_rounds=100)
+        assert active > 50 * dozing
+
+    def test_transmissions_priced(self):
+        model = EnergyModel()
+        silent = model.node_energy(10, 0, 10)
+        chatty = model.node_energy(10, 5, 10)
+        assert chatty == silent + 5 * model.tx_mj
+
+    def test_run_energy_per_node(self):
+        metrics = Metrics()
+        metrics.rounds = 100
+        metrics.node(1).awake_rounds = 10
+        metrics.node(2).awake_rounds = 1
+        energies = EnergyModel().run_energy(metrics)
+        assert energies[1] > energies[2]
+
+    def test_executions_per_battery_positive(self):
+        graph = ring_graph(16, seed=1)
+        result = run_randomized_mst(graph, seed=0)
+        runs = EnergyModel().executions_per_battery(result.metrics)
+        assert runs > 0
+
+    def test_empty_metrics_edge_cases(self):
+        model = EnergyModel()
+        assert model.max_node_energy(Metrics()) == 0.0
+        assert model.executions_per_battery(Metrics()) == float("inf")

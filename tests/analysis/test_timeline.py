@@ -1,0 +1,61 @@
+"""Awake-timeline construction and density probes."""
+
+from __future__ import annotations
+
+from repro.analysis import awake_timeline
+from repro.baselines import run_pipelined_ghs
+from repro.core import run_randomized_mst
+from repro.graphs import ring_graph
+from repro.sim import EventTrace
+
+
+class TestTimelineConstruction:
+    def test_buckets_cover_all_rounds(self):
+        trace = EventTrace()
+        trace.record(1, "wake", 1)
+        trace.record(100, "wake", 1)
+        timeline = awake_timeline(trace, [1], width=10)
+        assert timeline.last_round == 100
+        assert timeline.buckets <= 10
+        assert timeline.awake_buckets[1][0]
+        assert timeline.awake_buckets[1][-1]
+
+    def test_density(self):
+        trace = EventTrace()
+        for round_number in range(1, 6):
+            trace.record(round_number, "wake", 7)
+        timeline = awake_timeline(trace, [7], width=10, last_round=10)
+        assert timeline.bucket == 1
+        assert timeline.density(7) == 0.5
+
+    def test_render_shape(self):
+        trace = EventTrace()
+        trace.record(1, "wake", 1)
+        trace.record(2, "wake", 2)
+        rendered = awake_timeline(trace, [1, 2], width=4).render()
+        assert "node    1" in rendered and "node    2" in rendered
+
+    def test_render_truncates(self):
+        trace = EventTrace()
+        nodes = list(range(1, 30))
+        for node in nodes:
+            trace.record(1, "wake", node)
+        rendered = awake_timeline(trace, nodes, width=4).render(max_nodes=3)
+        assert "more nodes" in rendered
+
+
+class TestModelContrast:
+    def test_sleeping_run_is_sparse_traditional_is_solid(self):
+        """The visual heart of the paper, as a density assertion."""
+        graph = ring_graph(32, seed=1)
+        # Unbucketed (one column per round): density = awake fraction.
+        sleeping = run_randomized_mst(graph, seed=0, trace=True)
+        sleeping_timeline = awake_timeline(
+            sleeping.simulation.trace, graph.node_ids, width=10**9
+        )
+        classical = run_pipelined_ghs(graph, trace=True)
+        classical_timeline = awake_timeline(
+            classical.simulation.trace, graph.node_ids, width=10**9
+        )
+        assert classical_timeline.overall_density() > 0.95
+        assert sleeping_timeline.overall_density() < 0.05

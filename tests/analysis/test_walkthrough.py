@@ -1,0 +1,50 @@
+"""The Figures 2-5 walkthrough module (assertions live inside it too)."""
+
+from __future__ import annotations
+
+from repro.analysis import build_walkthrough_instance, run_merging_walkthrough
+
+
+class TestWalkthroughInstance:
+    def test_instance_shape(self):
+        graph, plan, u_tails, u_heads = build_walkthrough_instance()
+        assert graph.n == 8
+        assert graph.has_edge(u_tails, u_heads)
+        states = plan.build_states(graph)
+        assert states[u_tails].fragment_id != states[u_heads].fragment_id
+
+    def test_moe_is_lightest_outgoing(self):
+        graph, plan, u_tails, u_heads = build_walkthrough_instance()
+        states = plan.build_states(graph)
+        tails_members = {
+            n for n, s in states.items() if s.fragment_id == states[u_tails].fragment_id
+        }
+        outgoing = [
+            edge.weight
+            for edge in graph.edges()
+            if (edge.u in tails_members) != (edge.v in tails_members)
+        ]
+        assert graph.weight(u_tails, u_heads) == min(outgoing)
+
+
+class TestWalkthroughResult:
+    def test_returns_consistent_snapshots(self):
+        walkthrough = run_merging_walkthrough()
+        assert set(walkthrough.before) == set(walkthrough.after)
+
+    def test_fragment_count_drops_to_one(self):
+        walkthrough = run_merging_walkthrough()
+        assert len({s.fragment_id for s in walkthrough.after.values()}) == 1
+
+    def test_levels_are_distances_from_heads_root(self):
+        walkthrough = run_merging_walkthrough()
+        graph = walkthrough.graph
+        # In the merged LDT, levels must equal tree-hop distance from 10.
+        for node, snapshot in walkthrough.after.items():
+            hops = 0
+            current = node
+            while walkthrough.after[current].parent is not None:
+                current = walkthrough.after[current].parent
+                hops += 1
+            assert current == 10
+            assert snapshot.level == hops

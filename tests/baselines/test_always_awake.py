@@ -1,0 +1,62 @@
+"""Traditional-model accounting and the GHS comparator."""
+
+from __future__ import annotations
+
+from repro.baselines import run_traditional_ghs, traditional_metrics
+from repro.core import run_randomized_mst
+from repro.graphs import mst_weight_set, random_connected_graph, ring_graph
+from repro.sim import Metrics
+
+
+class TestTraditionalMetrics:
+    def test_awake_becomes_termination_round(self):
+        metrics = Metrics()
+        metrics.rounds = 500
+        node = metrics.node(1)
+        node.awake_rounds = 7
+        node.terminated_round = 480
+        converted = traditional_metrics(metrics)
+        assert converted.per_node[1].awake_rounds == 480
+        assert converted.max_awake == 480
+
+    def test_original_metrics_unchanged(self):
+        metrics = Metrics()
+        node = metrics.node(1)
+        node.awake_rounds = 7
+        node.terminated_round = 480
+        traditional_metrics(metrics)
+        assert metrics.per_node[1].awake_rounds == 7
+
+    def test_total_awake_recomputed(self):
+        metrics = Metrics()
+        for node_id, terminated in ((1, 10), (2, 20)):
+            node = metrics.node(node_id)
+            node.awake_rounds = 1
+            node.terminated_round = terminated
+        converted = traditional_metrics(metrics)
+        assert converted.total_awake_rounds == 30
+
+
+class TestTraditionalGHS:
+    def test_same_mst_as_sleeping_run(self):
+        graph = random_connected_graph(16, 0.2, seed=1)
+        traditional = run_traditional_ghs(graph, seed=0)
+        assert traditional.mst_weights == mst_weight_set(graph)
+
+    def test_awake_equals_rounds_for_last_node(self):
+        graph = ring_graph(16, seed=2)
+        result = run_traditional_ghs(graph, seed=0)
+        assert result.metrics.max_awake == result.metrics.rounds
+
+    def test_gap_versus_sleeping_model(self):
+        """The paper's headline: traditional awake is orders of magnitude
+        above sleeping awake on the same execution."""
+        graph = ring_graph(64, seed=3)
+        sleeping = run_randomized_mst(graph, seed=0)
+        traditional = run_traditional_ghs(graph, seed=0)
+        assert traditional.metrics.rounds == sleeping.metrics.rounds
+        assert traditional.metrics.max_awake > 10 * sleeping.metrics.max_awake
+
+    def test_algorithm_label(self):
+        graph = ring_graph(8, seed=4)
+        assert run_traditional_ghs(graph, seed=0).algorithm == "Traditional-GHS"

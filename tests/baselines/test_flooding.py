@@ -1,0 +1,58 @@
+"""Classical flooding: BFS correctness and Θ(D) awake complexity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_flooding_broadcast
+from repro.graphs import path_graph, ring_graph, star_graph
+
+
+class TestFloodingBroadcast:
+    def test_bfs_depths_on_path(self):
+        graph = path_graph(6, seed=1)
+        root = graph.node_ids[0]
+        result = run_flooding_broadcast(graph, root_id=root)
+        depths = {n: out.depth for n, out in result.node_results.items()}
+        assert depths == graph.bfs_distances(root)
+
+    def test_default_root_is_min_id(self):
+        graph = ring_graph(6, seed=2)
+        result = run_flooding_broadcast(graph)
+        assert result.node_results[min(graph.node_ids)].depth == 0
+
+    def test_payload_propagates(self):
+        graph = star_graph(5, seed=3)
+        result = run_flooding_broadcast(graph, payload=("announce", 9))
+        assert all(
+            out.payload == ("announce", 9)
+            for out in result.node_results.values()
+        )
+
+    def test_awake_is_depth_plus_forward(self):
+        """Awake complexity Θ(D): node at depth d listens d rounds + 1."""
+        graph = path_graph(8, seed=4)
+        root = graph.node_ids[0]
+        result = run_flooding_broadcast(graph, root_id=root)
+        for node, out in result.node_results.items():
+            expected = 1 if node == root else out.depth + 1
+            assert result.metrics.per_node[node].awake_rounds == expected
+        assert result.metrics.max_awake == 8  # depth 7 + forwarding round
+
+    def test_rounds_theta_diameter(self):
+        graph = ring_graph(20, seed=5)
+        result = run_flooding_broadcast(graph)
+        assert result.metrics.rounds <= graph.diameter() + 2
+
+    def test_unknown_root_rejected(self):
+        graph = path_graph(3, seed=6)
+        with pytest.raises(ValueError, match="root"):
+            run_flooding_broadcast(graph, root_id=999)
+
+    def test_parent_ports_form_tree(self):
+        graph = ring_graph(9, seed=7)
+        result = run_flooding_broadcast(graph)
+        roots = [
+            n for n, out in result.node_results.items() if out.parent_port is None
+        ]
+        assert len(roots) == 1

@@ -1,0 +1,115 @@
+"""The independent pipelined GHS baseline (classical synchronous Borůvka)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    ghs_phase_budget,
+    ghs_phase_rounds,
+    run_pipelined_ghs,
+)
+from repro.core import run_randomized_mst
+from repro.graphs import (
+    WeightedGraph,
+    adversarial_moe_chain,
+    complete_graph,
+    mst_weight_set,
+    path_graph,
+    random_connected_graph,
+    ring_graph,
+    star_graph,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(11, seed=1),
+            lambda: ring_graph(14, seed=2),
+            lambda: star_graph(9, seed=3),
+            lambda: complete_graph(8, seed=4),
+            lambda: random_connected_graph(18, 0.2, seed=5),
+            lambda: adversarial_moe_chain(12, seed=6),
+        ],
+    )
+    def test_outputs_exact_mst(self, graph_factory):
+        graph = graph_factory()
+        result = run_pipelined_ghs(graph)
+        assert result.mst_weights == mst_weight_set(graph)
+
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=10**4),
+    )
+    def test_random_graphs(self, n, seed):
+        graph = random_connected_graph(n, 0.3, seed=seed)
+        result = run_pipelined_ghs(graph)
+        assert result.mst_weights == mst_weight_set(graph)
+
+    def test_single_node(self):
+        graph = WeightedGraph([1], [])
+        result = run_pipelined_ghs(graph)
+        assert result.mst_weights == set()
+
+    def test_deterministic(self):
+        graph = random_connected_graph(14, 0.2, seed=7)
+        first, second = run_pipelined_ghs(graph), run_pipelined_ghs(graph)
+        assert first.metrics.rounds == second.metrics.rounds
+
+
+class TestTraditionalAccounting:
+    def test_awake_equals_rounds(self):
+        """The defining property of the traditional model: no sleeping."""
+        graph = ring_graph(24, seed=8)
+        result = run_pipelined_ghs(graph)
+        assert result.metrics.max_awake == result.metrics.rounds
+
+    def test_every_node_awake_every_round_until_done(self):
+        graph = path_graph(8, seed=9)
+        result = run_pipelined_ghs(graph)
+        for node, node_metrics in result.metrics.per_node.items():
+            assert node_metrics.awake_rounds == node_metrics.terminated_round
+
+
+class TestComplexity:
+    def test_rounds_within_phase_budget(self):
+        graph = random_connected_graph(24, 0.2, seed=10)
+        result = run_pipelined_ghs(graph)
+        assert result.metrics.rounds <= (
+            (ghs_phase_budget(graph.n) + 1) * ghs_phase_rounds(graph.n)
+        )
+
+    def test_phases_at_most_log(self):
+        """Full-forest merging at least halves fragments per phase."""
+        for seed in range(4):
+            graph = random_connected_graph(32, 0.15, seed=seed)
+            result = run_pipelined_ghs(graph)
+            assert result.phases <= math.ceil(math.log2(32)) + 1
+
+    def test_full_merge_beats_coin_flips_on_phases(self):
+        """The adversarial chain collapses in O(1) phases classically,
+        while the coin-restricted sleeping algorithm needs Θ(log n) —
+        the round/awake trade in action."""
+        graph = adversarial_moe_chain(32, seed=11)
+        classical = run_pipelined_ghs(graph)
+        sleeping = run_randomized_mst(graph, seed=0)
+        assert classical.phases <= 2
+        assert sleeping.phases > classical.phases
+
+    def test_awake_gap_vs_sleeping_model(self):
+        graph = ring_graph(64, seed=12)
+        classical = run_pipelined_ghs(graph)
+        sleeping = run_randomized_mst(graph, seed=0)
+        assert sleeping.mst_weights == classical.mst_weights
+        assert classical.metrics.max_awake > 4 * sleeping.metrics.max_awake
+
+    def test_congest_discipline(self):
+        graph = random_connected_graph(20, 0.2, seed=13)
+        result = run_pipelined_ghs(graph)
+        assert result.metrics.congest_violations == 0

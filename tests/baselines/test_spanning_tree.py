@@ -1,0 +1,78 @@
+"""The O(log n)-awake spanning-tree comparator (Barenboim–Maimon point)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_sleeping_spanning_tree, with_synthetic_weights
+from repro.graphs import (
+    is_spanning_tree,
+    mst_weight_set,
+    random_connected_graph,
+    ring_graph,
+)
+
+
+class TestSyntheticWeights:
+    def test_preserves_topology(self):
+        graph = ring_graph(8, seed=1)
+        synthetic = with_synthetic_weights(
+            graph.node_ids, [e.endpoints for e in graph.edges()], seed=2
+        )
+        assert synthetic.n == graph.n and synthetic.m == graph.m
+        for edge in graph.edges():
+            assert synthetic.has_edge(edge.u, edge.v)
+
+    def test_weights_distinct(self):
+        graph = random_connected_graph(12, 0.3, seed=3)
+        synthetic = with_synthetic_weights(
+            graph.node_ids, [e.endpoints for e in graph.edges()], seed=4
+        )
+        weights = [e.weight for e in synthetic.edges()]
+        assert len(weights) == len(set(weights))
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            with_synthetic_weights([1, 2], [(1, 2), (2, 1)])
+
+
+class TestSpanningTree:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_output_is_spanning_tree(self, seed):
+        graph = random_connected_graph(20, 0.2, seed=seed)
+        result = run_sleeping_spanning_tree(graph, seed=seed)
+        assert is_spanning_tree(graph, result.mst_weights)
+
+    def test_tree_edges_are_real_edges(self):
+        graph = ring_graph(10, seed=5)
+        result = run_sleeping_spanning_tree(graph, seed=1)
+        assert result.mst_weights <= graph.edge_weights()
+
+    def test_not_necessarily_the_mst(self):
+        """An *arbitrary* spanning tree: over several seeds at least one
+        differs from the MST (on a ring: omits a non-heaviest edge)."""
+        graph = ring_graph(16, seed=6)
+        reference = mst_weight_set(graph)
+        trees = {
+            frozenset(run_sleeping_spanning_tree(graph, seed=s).mst_weights)
+            for s in range(6)
+        }
+        assert any(tree != frozenset(reference) for tree in trees)
+
+    def test_same_awake_complexity_class_as_mst(self):
+        graph = ring_graph(64, seed=7)
+        result = run_sleeping_spanning_tree(graph, seed=0)
+        # O(log n): far below n.
+        assert result.metrics.max_awake < graph.n * 4
+        assert result.metrics.max_awake < 300
+
+    def test_every_node_gets_ldt_labels(self):
+        graph = random_connected_graph(12, 0.3, seed=8)
+        result = run_sleeping_spanning_tree(graph, seed=0)
+        roots = [
+            out for out in result.node_outputs.values() if out.parent_port is None
+        ]
+        assert len(roots) == 1
+        assert all(
+            out.level >= 0 for out in result.node_outputs.values()
+        )

@@ -1,0 +1,165 @@
+"""Fast-Awake-Coloring: proper 5-colouring of the fragment supergraph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.coloring import (
+    BLUE,
+    GREEN,
+    PALETTE,
+    fast_awake_coloring,
+    highest_priority_free_color,
+)
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.graphs import WeightedGraph, path_graph, random_tree, ring_graph
+
+
+def color_singletons(graph):
+    """Colour the supergraph where every node is a fragment and every graph
+    edge is a valid MOE (requires max degree <= 4)."""
+
+    def procedure(ctx, ldt, clock, value):
+        neighbor_fragments = set(graph.neighbors(ctx.node_id))
+        gprime_ports = set(ctx.ports)
+        outcome = yield from fast_awake_coloring(
+            ctx, ldt, clock, neighbor_fragments, gprime_ports
+        )
+        return outcome
+
+    plan = FLDTPlan.singletons(graph)
+    return run_procedure(graph, plan, procedure, refresh_neighbors=False)
+
+
+class TestGreedyRule:
+    def test_empty_neighbourhood_gets_blue(self):
+        assert highest_priority_free_color([]) == BLUE
+
+    def test_skips_taken_colors(self):
+        assert highest_priority_free_color([BLUE]) == PALETTE[1]
+        assert highest_priority_free_color(PALETTE[:4]) == GREEN
+
+    def test_degree_five_exhausts_palette(self):
+        with pytest.raises(RuntimeError, match="free colour"):
+            highest_priority_free_color(PALETTE)
+
+
+class TestColoringOnSupergraphs:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(7, seed=1),
+            lambda: ring_graph(8, seed=2),
+            lambda: random_tree(9, seed=3),
+        ],
+    )
+    def test_proper_coloring(self, graph_factory):
+        graph = graph_factory()
+        run = color_singletons(graph)
+        colors = {node: run.returns[node][0] for node in graph.node_ids}
+        for edge in graph.edges():
+            assert colors[edge.u] != colors[edge.v]
+        assert set(colors.values()) <= set(PALETTE)
+
+    def test_greedy_order_by_id(self):
+        """Lowest ID in a component always gets Blue; a fragment's colour is
+        the best one its lower-ID neighbours left available."""
+        graph = path_graph(5, seed=4)
+        run = color_singletons(graph)
+        colors = {node: run.returns[node][0] for node in graph.node_ids}
+        assert colors[min(graph.node_ids)] == BLUE
+
+    def test_every_component_has_a_blue(self):
+        graph = ring_graph(9, seed=5)
+        run = color_singletons(graph)
+        colors = [run.returns[node][0] for node in graph.node_ids]
+        assert BLUE in colors
+
+    def test_nbr_colors_reported_back(self):
+        graph = path_graph(4, seed=6)
+        run = color_singletons(graph)
+        colors = {node: run.returns[node][0] for node in graph.node_ids}
+        for node in graph.node_ids:
+            _, nbr_colors = run.returns[node]
+            for neighbour, color in nbr_colors.items():
+                # Only lower-ID neighbours were coloured before our stage,
+                # but by the end we also heard higher-ID neighbours' stages.
+                assert colors[neighbour] == color
+            assert set(nbr_colors) == set(graph.neighbors(node))
+
+    def test_awake_cost_bounded_by_stage_participation(self):
+        """<= 5 stages x <= 5 blocks x <= 2 awake rounds each."""
+        graph = ring_graph(12, seed=7)
+        run = color_singletons(graph)
+        assert run.simulation.metrics.max_awake <= 5 * 5 * 2
+
+    def test_rounds_scale_with_max_id(self):
+        small = color_singletons(ring_graph(6, seed=8))
+        large = color_singletons(ring_graph(6, seed=8, id_range=60))
+        assert (
+            large.simulation.metrics.rounds
+            > small.simulation.metrics.rounds
+        )
+
+    def test_isolated_fragment_is_blue(self):
+        """A fragment with no valid MOEs (singleton in G') colours Blue."""
+        graph = path_graph(3, seed=9)
+
+        def procedure(ctx, ldt, clock, value):
+            outcome = yield from fast_awake_coloring(
+                ctx, ldt, clock, set(), set()
+            )
+            return outcome
+
+        plan = FLDTPlan.singletons(graph)
+        run = run_procedure(graph, plan, procedure, refresh_neighbors=False)
+        assert all(color == BLUE for color, _ in run.returns.values())
+
+    @given(seed=st.integers(min_value=0, max_value=10**5))
+    def test_random_trees_proper(self, seed):
+        graph = random_tree(8, seed=seed)
+        if max(graph.degree(node) for node in graph.node_ids) > 4:
+            return  # coloring assumes supergraph degree <= 4
+        run = color_singletons(graph)
+        colors = {node: run.returns[node][0] for node in graph.node_ids}
+        for edge in graph.edges():
+            assert colors[edge.u] != colors[edge.v]
+
+
+class TestMultiNodeFragments:
+    def test_two_chain_fragments_color_differently(self):
+        graph = path_graph(6, seed=10)
+        ids = graph.node_ids
+        parents = {ids[0]: None, ids[3]: None}
+        for i in (1, 2):
+            parents[ids[i]] = ids[i - 1]
+        for i in (4, 5):
+            parents[ids[i]] = ids[i - 1]
+        plan = FLDTPlan(parents)
+        boundary = {ids[2]: ids[3], ids[3]: ids[2]}
+
+        def procedure(ctx, ldt, clock, value):
+            neighbor_fragments = (
+                {ids[3]} if ldt.fragment_id == ids[0] else {ids[0]}
+            )
+            gprime_ports = set()
+            if ctx.node_id in boundary:
+                gprime_ports = {
+                    port
+                    for port, (neighbour, _, _) in graph.ports_of(
+                        ctx.node_id
+                    ).items()
+                    if neighbour == boundary[ctx.node_id]
+                }
+            outcome = yield from fast_awake_coloring(
+                ctx, ldt, clock, neighbor_fragments, gprime_ports
+            )
+            return outcome
+
+        run = run_procedure(graph, plan, procedure, refresh_neighbors=False)
+        colors = {node: run.returns[node][0] for node in ids}
+        # Members agree within fragments; fragments differ.
+        assert colors[ids[0]] == colors[ids[1]] == colors[ids[2]] == BLUE
+        assert colors[ids[3]] == colors[ids[4]] == colors[ids[5]] != BLUE

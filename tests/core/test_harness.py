@@ -1,0 +1,90 @@
+"""The FLDT harness itself: plan building and procedure execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NOTHING
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.core.toolbox import upcast_min
+from repro.graphs import WeightedGraph, path_graph, random_tree
+
+
+class TestFLDTPlan:
+    def test_singletons(self):
+        graph = path_graph(4, seed=1)
+        states = FLDTPlan.singletons(graph).build_states(graph)
+        assert all(state.is_root for state in states.values())
+        assert all(state.level == 0 for state in states.values())
+
+    def test_single_tree_levels_are_bfs_depths(self):
+        graph = random_tree(9, seed=2)
+        root = graph.node_ids[0]
+        states = FLDTPlan.single_tree(graph, root).build_states(graph)
+        depths = graph.bfs_distances(root)
+        assert {n: s.level for n, s in states.items()} == depths
+
+    def test_parent_must_be_adjacent(self):
+        graph = path_graph(3, seed=3)
+        ids = graph.node_ids
+        plan = FLDTPlan({ids[0]: None, ids[1]: ids[0], ids[2]: ids[0]})
+        with pytest.raises(ValueError, match="not adjacent"):
+            plan.build_states(graph)
+
+    def test_cycle_detected(self):
+        graph = path_graph(3, seed=4)
+        ids = graph.node_ids
+        plan = FLDTPlan({ids[0]: ids[1], ids[1]: ids[0], ids[2]: ids[1]})
+        with pytest.raises(ValueError, match="cycle"):
+            plan.build_states(graph)
+
+    def test_single_tree_requires_connected(self):
+        graph = WeightedGraph([1, 2, 3, 4], [(1, 2, 1), (3, 4, 2)])
+        with pytest.raises(ValueError, match="disconnected"):
+            FLDTPlan.single_tree(graph, 1)
+
+
+class TestRunProcedure:
+    def test_returns_and_states(self):
+        graph = path_graph(4, seed=5)
+        root = graph.node_ids[0]
+        plan = FLDTPlan.single_tree(graph, root)
+        inputs = {node: node for node in graph.node_ids}
+
+        def proc(ctx, ldt, clock, value):
+            result = yield from upcast_min(ctx, ldt, clock.take(), value)
+            return result
+
+        run = run_procedure(graph, plan, proc, inputs=inputs, refresh_neighbors=False)
+        assert run.returns[root] == min(graph.node_ids)
+        assert run.states[root].is_root
+
+    def test_repeat_collects_list(self):
+        graph = path_graph(3, seed=6)
+        plan = FLDTPlan.single_tree(graph, graph.node_ids[0])
+
+        def proc(ctx, ldt, clock, value):
+            result = yield from upcast_min(ctx, ldt, clock.take(), ctx.node_id)
+            return result
+
+        run = run_procedure(
+            graph, plan, proc, repeat=3, refresh_neighbors=False
+        )
+        root_results = run.returns[graph.node_ids[0]]
+        assert isinstance(root_results, list) and len(root_results) == 3
+        assert len(set(root_results)) == 1  # idempotent procedure
+
+    def test_states_do_not_alias_plan(self):
+        """Mutating the run's states must not leak into fresh builds."""
+        graph = path_graph(3, seed=7)
+        plan = FLDTPlan.single_tree(graph, graph.node_ids[0])
+
+        def proc(ctx, ldt, clock, value):
+            ldt.children_ports.add(99) if False else None
+            return NOTHING
+            yield  # pragma: no cover
+
+        first = plan.build_states(graph)
+        second = plan.build_states(graph)
+        first[graph.node_ids[0]].children_ports.clear()
+        assert second[graph.node_ids[0]].children_ports

@@ -1,0 +1,118 @@
+"""LDT state and the global FLDT invariant checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LDTState, check_fldt, fragment_tree_edges
+from repro.core.harness import FLDTPlan
+from repro.graphs import path_graph, random_tree, ring_graph, star_graph
+
+
+class TestLDTState:
+    def test_singleton_defaults(self):
+        state = LDTState.singleton(7)
+        assert state.fragment_id == 7
+        assert state.level == 0
+        assert state.is_root
+        assert state.tree_ports() == set()
+
+    def test_tree_ports_include_parent_and_children(self):
+        state = LDTState(node_id=1, fragment_id=9, level=2, parent_port=0)
+        state.children_ports = {1, 3}
+        assert state.tree_ports() == {0, 1, 3}
+
+    def test_outgoing_ports_filter_by_fragment(self):
+        state = LDTState.singleton(1)
+        state.record_neighbor(0, 1, 3)   # same fragment
+        state.record_neighbor(1, 42, 0)  # other fragment
+        assert state.outgoing_ports((0, 1)) == [1]
+
+    def test_record_neighbor_updates_cache(self):
+        state = LDTState.singleton(1)
+        state.record_neighbor(2, 55, 4)
+        assert state.neighbor_fragment[2] == 55
+        assert state.neighbor_level[2] == 4
+
+
+class TestCheckFLDT:
+    def test_accepts_singletons(self):
+        graph = ring_graph(6, seed=1)
+        states = FLDTPlan.singletons(graph).build_states(graph)
+        fragments = check_fldt(graph, states)
+        assert len(fragments) == 6
+
+    def test_accepts_bfs_tree(self):
+        graph = random_tree(12, seed=2)
+        root = graph.node_ids[0]
+        states = FLDTPlan.single_tree(graph, root).build_states(graph)
+        fragments = check_fldt(graph, states)
+        assert set(fragments) == {root}
+        assert fragments[root] == set(graph.node_ids)
+
+    def test_rejects_wrong_level(self):
+        graph = path_graph(4, seed=1)
+        root = graph.node_ids[0]
+        states = FLDTPlan.single_tree(graph, root).build_states(graph)
+        victim = next(n for n, s in states.items() if s.level == 2)
+        states[victim].level = 5
+        with pytest.raises(AssertionError, match="level"):
+            check_fldt(graph, states)
+
+    def test_rejects_asymmetric_pointers(self):
+        graph = path_graph(3, seed=1)
+        root = graph.node_ids[0]
+        states = FLDTPlan.single_tree(graph, root).build_states(graph)
+        states[root].children_ports = set()  # drop the child link
+        with pytest.raises(AssertionError):
+            check_fldt(graph, states)
+
+    def test_rejects_root_with_nonzero_level(self):
+        graph = path_graph(2, seed=1)
+        states = FLDTPlan.singletons(graph).build_states(graph)
+        states[graph.node_ids[0]].level = 1
+        with pytest.raises(AssertionError, match="root"):
+            check_fldt(graph, states)
+
+    def test_rejects_fragment_id_not_root_id(self):
+        graph = path_graph(2, seed=1)
+        states = FLDTPlan.singletons(graph).build_states(graph)
+        states[graph.node_ids[0]].fragment_id = 999
+        with pytest.raises(AssertionError):
+            check_fldt(graph, states)
+
+    def test_rejects_two_roots_in_fragment(self):
+        graph = path_graph(3, seed=1)
+        root = graph.node_ids[0]
+        states = FLDTPlan.single_tree(graph, root).build_states(graph)
+        leaf = next(n for n, s in states.items() if s.level == 2)
+        # Leaf declares itself a root while keeping the fragment ID.
+        parent_port = states[leaf].parent_port
+        states[leaf].parent_port = None
+        states[leaf].level = 0
+        with pytest.raises(AssertionError):
+            check_fldt(graph, states)
+
+    def test_rejects_port_doubling_as_parent_and_child(self):
+        graph = path_graph(2, seed=1)
+        root = graph.node_ids[0]
+        states = FLDTPlan.single_tree(graph, root).build_states(graph)
+        child = next(n for n, s in states.items() if not s.is_root)
+        states[child].children_ports = {states[child].parent_port}
+        with pytest.raises(AssertionError, match="both parent and child"):
+            check_fldt(graph, states)
+
+
+class TestFragmentTreeEdges:
+    def test_star_tree_edges(self):
+        graph = star_graph(6, seed=1)
+        hub = next(n for n in graph.node_ids if graph.degree(n) == 5)
+        states = FLDTPlan.single_tree(graph, hub).build_states(graph)
+        assert fragment_tree_edges(graph, states) == {
+            edge.weight for edge in graph.edges()
+        }
+
+    def test_singletons_have_no_tree_edges(self):
+        graph = ring_graph(5, seed=1)
+        states = FLDTPlan.singletons(graph).build_states(graph)
+        assert fragment_tree_edges(graph, states) == set()

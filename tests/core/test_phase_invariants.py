@@ -1,0 +1,119 @@
+"""Mid-execution invariants: after every phase the graph is a valid FLDT
+whose tree edges are a sub-forest of the unique MST.
+
+The algorithms expose enough of their final state (fragment, level, parent
+port, children ports) to reconstruct each node's LDT record; stopping an
+execution after ``k`` phases via ``max_phases`` therefore lets us check the
+paper's Section 2.1 invariant — "at the end of each phase ... a forest of
+disjoint [Labeled Distance] trees" — on the *real* intermediate states, not
+just the final output.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LDTState, check_fldt, run_deterministic_mst, run_randomized_mst
+from repro.graphs import (
+    mst_weight_set,
+    random_connected_graph,
+    ring_graph,
+)
+
+
+def reconstruct_states(result):
+    states = {}
+    for node, output in result.node_outputs.items():
+        states[node] = LDTState(
+            node_id=node,
+            fragment_id=output.fragment_id,
+            level=output.level,
+            parent_port=output.parent_port,
+            children_ports=set(output.children_ports),
+        )
+    return states
+
+
+def assert_valid_partial_forest(graph, result):
+    states = reconstruct_states(result)
+    fragments = check_fldt(graph, states)  # raises on any violation
+    tree_weights = set()
+    for node, output in result.node_outputs.items():
+        tree_weights |= set(output.mst_weights)
+    assert tree_weights <= mst_weight_set(graph)
+    # Edge count bookkeeping: a forest with f fragments has n - f edges.
+    assert len(tree_weights) == graph.n - len(fragments)
+    return fragments
+
+
+class TestRandomizedPhaseInvariants:
+    @pytest.mark.parametrize("phases", [1, 2, 3, 5])
+    def test_forest_valid_after_k_phases(self, phases):
+        graph = random_connected_graph(20, 0.2, seed=3)
+        result = run_randomized_mst(graph, seed=1, max_phases=phases)
+        assert_valid_partial_forest(graph, result)
+
+    def test_fragment_count_monotone(self):
+        graph = random_connected_graph(24, 0.15, seed=4)
+        counts = []
+        for phases in (1, 2, 3, 4):
+            result = run_randomized_mst(graph, seed=2, max_phases=phases)
+            fragments = assert_valid_partial_forest(graph, result)
+            counts.append(len(fragments))
+        assert counts == sorted(counts, reverse=True)
+
+    @given(
+        phases=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10**4),
+    )
+    def test_forest_invariant_random(self, phases, seed):
+        graph = random_connected_graph(12, 0.3, seed=seed)
+        result = run_randomized_mst(graph, seed=seed, max_phases=phases)
+        assert_valid_partial_forest(graph, result)
+
+
+class TestDeterministicPhaseInvariants:
+    @pytest.mark.parametrize("phases", [1, 2, 3])
+    def test_forest_valid_after_k_phases(self, phases):
+        graph = random_connected_graph(14, 0.2, seed=5)
+        result = run_deterministic_mst(graph, max_phases=phases)
+        assert_valid_partial_forest(graph, result)
+
+    def test_every_phase_merges_something(self):
+        """With >= 2 fragments, at least one Blue fragment disappears."""
+        graph = ring_graph(12, seed=6)
+        previous = graph.n
+        for phases in (1, 2, 3):
+            result = run_deterministic_mst(graph, max_phases=phases)
+            fragments = assert_valid_partial_forest(graph, result)
+            assert len(fragments) < previous
+            previous = len(fragments)
+            if previous == 1:
+                break
+
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    def test_first_phase_invariant_random(self, seed):
+        graph = random_connected_graph(10, 0.3, seed=seed)
+        result = run_deterministic_mst(graph, max_phases=1)
+        assert_valid_partial_forest(graph, result)
+
+
+class TestLogStarPhaseInvariants:
+    @pytest.mark.parametrize("phases", [1, 2])
+    def test_forest_valid_after_k_phases(self, phases):
+        graph = random_connected_graph(12, 0.25, seed=8)
+        result = run_deterministic_mst(
+            graph, max_phases=phases, coloring="log-star"
+        )
+        assert_valid_partial_forest(graph, result)
+
+    def test_both_colorings_make_progress(self):
+        graph = ring_graph(14, seed=9)
+        for coloring in ("fast-awake", "log-star"):
+            result = run_deterministic_mst(
+                graph, max_phases=1, coloring=coloring
+            )
+            fragments = assert_valid_partial_forest(graph, result)
+            assert len(fragments) < graph.n

@@ -1,0 +1,76 @@
+"""The high-level runner API: validation, options, result helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MSTRunResult, run_deterministic_mst, run_randomized_mst
+from repro.graphs import (
+    WeightedGraph,
+    mst_weight_set,
+    random_connected_graph,
+    ring_graph,
+)
+
+
+class TestInputValidation:
+    def test_disconnected_rejected(self):
+        graph = WeightedGraph([1, 2, 3, 4], [(1, 2, 1), (3, 4, 2)])
+        with pytest.raises(ValueError, match="connected"):
+            run_randomized_mst(graph)
+
+    def test_verify_passes_on_good_run(self):
+        graph = ring_graph(10, seed=1)
+        result = run_randomized_mst(graph, seed=0, verify=True)
+        assert result.is_correct_mst(graph)
+
+    def test_verify_fails_on_truncated_run(self):
+        """A one-phase run cannot span the graph; verify must catch it."""
+        graph = ring_graph(16, seed=2)
+        with pytest.raises(AssertionError, match="wrong edge set"):
+            run_randomized_mst(graph, seed=0, max_phases=1, verify=True)
+
+
+class TestSimKwargsPassthrough:
+    def test_trace_enabled(self):
+        graph = ring_graph(8, seed=3)
+        result = run_randomized_mst(graph, seed=0, trace=True)
+        assert result.simulation.trace is not None
+        assert len(result.simulation.trace) > 0
+
+    def test_knowledge_enabled(self):
+        graph = ring_graph(8, seed=4)
+        result = run_randomized_mst(graph, seed=0, track_knowledge=True)
+        assert result.simulation.knowledge is not None
+
+    def test_congest_factor_override(self):
+        graph = ring_graph(8, seed=5)
+        result = run_randomized_mst(graph, seed=0, congest_factor=64)
+        assert result.metrics.congest_violations == 0
+
+
+class TestResultShape:
+    def test_fields(self):
+        graph = random_connected_graph(10, 0.3, seed=6)
+        result = run_randomized_mst(graph, seed=0)
+        assert isinstance(result, MSTRunResult)
+        assert result.algorithm == "Randomized-MST"
+        assert result.max_awake == result.metrics.max_awake
+        assert result.rounds == result.metrics.rounds
+        assert set(result.node_outputs) == set(graph.node_ids)
+
+    def test_deterministic_label(self):
+        graph = ring_graph(6, seed=7)
+        assert run_deterministic_mst(graph).algorithm == "Deterministic-MST"
+
+    def test_mst_weights_union_of_node_outputs(self):
+        graph = random_connected_graph(12, 0.25, seed=8)
+        result = run_randomized_mst(graph, seed=1)
+        union = set()
+        for output in result.node_outputs.values():
+            union |= set(output.mst_weights)
+        assert union == result.mst_weights == mst_weight_set(graph)
+
+    def test_phases_positive(self):
+        graph = ring_graph(6, seed=9)
+        assert run_randomized_mst(graph, seed=0).phases >= 1

@@ -1,0 +1,108 @@
+"""Golden tests: traced wake rounds equal the paper's exact formulas.
+
+These pin the implementation to Appendix B's arithmetic — if a refactor
+shifts any offset by one, these fail before any higher-level symptom shows.
+"""
+
+from __future__ import annotations
+
+from repro.core import NOTHING, block_span
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.core.toolbox import fragment_broadcast, transmit_adjacent, upcast_min
+from repro.graphs import path_graph
+
+
+def traced_run(procedure, n=6):
+    graph = path_graph(n, seed=1)
+    plan = FLDTPlan.single_tree(graph, graph.node_ids[0])
+    run = run_procedure(
+        graph, plan, procedure, refresh_neighbors=False, trace=True
+    )
+    states = plan.build_states(graph)
+    return graph, states, run
+
+
+class TestBroadcastGolden:
+    def test_wake_rounds_match_down_offsets(self):
+        """Broadcast block starting at round 1: a node at level i wakes at
+        absolute rounds {i, i+1} (Down-Receive, Down-Send), the root at 1,
+        the deepest leaf only at its Down-Receive."""
+
+        def procedure(ctx, ldt, clock, value):
+            result = yield from fragment_broadcast(
+                ctx, ldt, clock.take(), 42 if ldt.is_root else NOTHING
+            )
+            return result
+
+        graph, states, run = traced_run(procedure)
+        deepest = max(state.level for state in states.values())
+        for node, state in states.items():
+            wakes = run.simulation.trace.wake_rounds(node)
+            if state.level == 0:
+                assert wakes == [1]
+            elif state.level == deepest:
+                assert wakes == [state.level]
+            else:
+                assert wakes == [state.level, state.level + 1]
+
+
+class TestUpcastGolden:
+    def test_wake_rounds_match_up_offsets(self):
+        """Upcast block starting at round 1 over a path of depth n-1:
+        a node at level i wakes at {2n-i+1, 2n-i+2} (Up-Receive, Up-Send),
+        the root only at 2n+1, the deepest leaf only at its Up-Send."""
+
+        def procedure(ctx, ldt, clock, value):
+            result = yield from upcast_min(ctx, ldt, clock.take(), ctx.node_id)
+            return result
+
+        graph, states, run = traced_run(procedure)
+        n = graph.n
+        deepest = max(state.level for state in states.values())
+        for node, state in states.items():
+            wakes = run.simulation.trace.wake_rounds(node)
+            level = state.level
+            if level == 0:
+                assert wakes == [2 * n + 1]
+            elif level == deepest:
+                assert wakes == [2 * n - level + 2]
+            else:
+                assert wakes == [2 * n - level + 1, 2 * n - level + 2]
+
+
+class TestSideGolden:
+    def test_everyone_meets_at_n_plus_1(self):
+        def procedure(ctx, ldt, clock, value):
+            inbox = yield from transmit_adjacent(
+                ctx, ldt, clock.take(), ctx.broadcast(1)
+            )
+            return len(inbox)
+
+        graph, states, run = traced_run(procedure)
+        n = graph.n
+        for node in graph.node_ids:
+            assert run.simulation.trace.wake_rounds(node) == [n + 1]
+
+
+class TestBlockChaining:
+    def test_second_block_offsets_shift_by_span(self):
+        """Two broadcasts back to back: the second block's wakes are the
+        first block's shifted by exactly 2n + 2."""
+
+        def procedure(ctx, ldt, clock, value):
+            first = yield from fragment_broadcast(
+                ctx, ldt, clock.take(), 1 if ldt.is_root else NOTHING
+            )
+            second = yield from fragment_broadcast(
+                ctx, ldt, clock.take(), 2 if ldt.is_root else NOTHING
+            )
+            return (first, second)
+
+        graph, states, run = traced_run(procedure)
+        span = block_span(graph.n)
+        for node in graph.node_ids:
+            wakes = run.simulation.trace.wake_rounds(node)
+            half = len(wakes) // 2
+            first_block, second_block = wakes[:half], wakes[half:]
+            assert [w + span for w in first_block] == second_block
+        assert all(value == (1, 2) for value in run.returns.values())

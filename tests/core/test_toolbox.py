@@ -1,0 +1,392 @@
+"""Toolbox procedures: correctness and the O(1)-awake / O(n)-round claims.
+
+Each procedure is run standalone on prebuilt forests via the harness; the
+paper's Observations 2-4 are asserted literally: values arrive where they
+should, every node wakes only a small constant number of times per block,
+and one procedure consumes exactly one block of 2n + 2 rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import NOTHING, block_span, min_merge
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.core.toolbox import (
+    fragment_broadcast,
+    local_moe,
+    neighbor_refresh,
+    transmit_adjacent,
+    upcast_aggregate,
+    upcast_min,
+)
+from repro.graphs import (
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    ring_graph,
+    star_graph,
+)
+
+#: Upper bound on awake rounds any node may spend in ONE toolbox block
+#: (Down-Receive + Down-Send or Up-Receive + Up-Send, at most 2).
+MAX_AWAKE_PER_BLOCK = 2
+
+
+def broadcast_proc(payload):
+    def procedure(ctx, ldt, clock, value):
+        result = yield from fragment_broadcast(
+            ctx, ldt, clock.take(), payload if ldt.is_root else NOTHING
+        )
+        return result
+
+    return procedure
+
+
+def upcast_proc(ctx, ldt, clock, value):
+    result = yield from upcast_min(ctx, ldt, clock.take(), value)
+    return result
+
+
+class TestFragmentBroadcast:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(9, seed=1),
+            lambda: star_graph(8, seed=2),
+            lambda: random_tree(14, seed=3),
+        ],
+    )
+    def test_every_node_receives(self, graph_factory):
+        graph = graph_factory()
+        root = graph.node_ids[0]
+        plan = FLDTPlan.single_tree(graph, root)
+        run = run_procedure(
+            graph, plan, broadcast_proc(("hello", 42)), refresh_neighbors=False
+        )
+        assert all(value == ("hello", 42) for value in run.returns.values())
+
+    def test_observation2_awake_and_rounds(self):
+        """Observation 2: O(1) awake, O(n) running time."""
+        graph = path_graph(12, seed=1)
+        plan = FLDTPlan.single_tree(graph, graph.node_ids[0])
+        run = run_procedure(
+            graph, plan, broadcast_proc(7), refresh_neighbors=False
+        )
+        assert run.simulation.metrics.max_awake <= MAX_AWAKE_PER_BLOCK
+        assert run.simulation.metrics.rounds <= block_span(graph.n)
+
+    def test_parallel_fragments_do_not_interfere(self):
+        """Two fragments broadcasting in the same block stay separate."""
+        graph = path_graph(8, seed=4)
+        ids = graph.node_ids
+        # Split the path into two halves, each a chain fragment.
+        parents = {ids[0]: None, ids[4]: None}
+        for i in (1, 2, 3):
+            parents[ids[i]] = ids[i - 1]
+        for i in (5, 6, 7):
+            parents[ids[i]] = ids[i - 1]
+        plan = FLDTPlan(parents)
+
+        def procedure(ctx, ldt, clock, value):
+            result = yield from fragment_broadcast(
+                ctx, ldt, clock.take(),
+                ("from", ctx.node_id) if ldt.is_root else NOTHING,
+            )
+            return result
+
+        run = run_procedure(graph, plan, procedure, refresh_neighbors=False)
+        for node, received in run.returns.items():
+            expected_root = ids[0] if node in ids[:4] else ids[4]
+            assert received == ("from", expected_root)
+
+    def test_singleton_root_keeps_own_payload(self):
+        graph = path_graph(2, seed=1)
+        plan = FLDTPlan.singletons(graph)
+        run = run_procedure(
+            graph, plan,
+            lambda ctx, ldt, clock, value: fragment_broadcast(
+                ctx, ldt, clock.take(), ctx.node_id
+            ),
+            refresh_neighbors=False,
+        )
+        assert run.returns == {1: 1, 2: 2}
+
+
+class TestUpcastMin:
+    def test_root_gets_global_min(self):
+        graph = random_tree(15, seed=5)
+        root = graph.node_ids[0]
+        plan = FLDTPlan.single_tree(graph, root)
+        inputs = {node: node * 10 for node in graph.node_ids}
+        run = run_procedure(
+            graph, plan, upcast_proc, inputs=inputs, refresh_neighbors=False
+        )
+        assert run.returns[root] == min(inputs.values())
+
+    def test_each_node_gets_subtree_min(self):
+        graph = path_graph(6, seed=6)
+        ids = graph.node_ids
+        plan = FLDTPlan.single_tree(graph, ids[0])
+        states = plan.build_states(graph)
+        inputs = {node: 100 - states[node].level for node in ids}  # min at the deep end
+        run = run_procedure(
+            graph, plan, upcast_proc, inputs=inputs, refresh_neighbors=False
+        )
+        deepest_value = min(inputs.values())
+        for node in ids:
+            assert run.returns[node] == deepest_value if states[node].level == 0 else True
+            # Every node's result is the min over its own subtree:
+            subtree_min = min(
+                inputs[other]
+                for other in ids
+                if states[other].level >= states[node].level
+                and _on_path(states, graph, other, node)
+            )
+            assert run.returns[node] == subtree_min
+
+    def test_nothing_values_are_ignored(self):
+        graph = star_graph(6, seed=7)
+        hub = next(n for n in graph.node_ids if graph.degree(n) == 5)
+        plan = FLDTPlan.single_tree(graph, hub)
+        leaf = next(n for n in graph.node_ids if n != hub)
+        inputs = {node: NOTHING for node in graph.node_ids}
+        inputs[leaf] = 42
+        run = run_procedure(
+            graph, plan, upcast_proc, inputs=inputs, refresh_neighbors=False
+        )
+        assert run.returns[hub] == 42
+
+    def test_all_nothing_yields_nothing(self):
+        graph = path_graph(4, seed=8)
+        plan = FLDTPlan.single_tree(graph, graph.node_ids[0])
+        run = run_procedure(graph, plan, upcast_proc, refresh_neighbors=False)
+        assert run.returns[graph.node_ids[0]] is NOTHING
+
+    def test_observation3_awake_bound(self):
+        graph = path_graph(16, seed=9)
+        plan = FLDTPlan.single_tree(graph, graph.node_ids[0])
+        inputs = {node: node for node in graph.node_ids}
+        run = run_procedure(
+            graph, plan, upcast_proc, inputs=inputs, refresh_neighbors=False
+        )
+        assert run.simulation.metrics.max_awake <= MAX_AWAKE_PER_BLOCK
+        assert run.simulation.metrics.rounds <= block_span(graph.n)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_min_matches_oracle_on_random_trees(self, seed):
+        graph = random_tree(10, seed=seed)
+        root = graph.node_ids[0]
+        plan = FLDTPlan.single_tree(graph, root)
+        inputs = {node: (node * 7919) % 97 for node in graph.node_ids}
+        run = run_procedure(
+            graph, plan, upcast_proc, inputs=inputs, refresh_neighbors=False
+        )
+        assert run.returns[root] == min(inputs.values())
+
+
+class TestUpcastAggregate:
+    def test_sum_aggregation(self):
+        graph = random_tree(11, seed=10)
+        root = graph.node_ids[0]
+        plan = FLDTPlan.single_tree(graph, root)
+
+        def proc(ctx, ldt, clock, value):
+            result = yield from upcast_aggregate(
+                ctx, ldt, clock.take(), 1, lambda a, b: a + b
+            )
+            return result
+
+        run = run_procedure(graph, plan, proc, refresh_neighbors=False)
+        assert run.returns[root] == graph.n
+
+
+class TestTransmitAdjacent:
+    def test_messages_cross_fragment_boundaries(self):
+        graph = ring_graph(6, seed=11)
+        plan = FLDTPlan.singletons(graph)
+
+        def proc(ctx, ldt, clock, value):
+            inbox = yield from transmit_adjacent(
+                ctx, ldt, clock.take(), ctx.broadcast(ctx.node_id)
+            )
+            return sorted(inbox.values())
+
+        run = run_procedure(graph, plan, proc, refresh_neighbors=False)
+        for node in graph.node_ids:
+            assert run.returns[node] == sorted(graph.neighbors(node))
+
+    def test_observation4_single_awake_round(self):
+        graph = ring_graph(10, seed=12)
+        plan = FLDTPlan.singletons(graph)
+
+        def proc(ctx, ldt, clock, value):
+            inbox = yield from transmit_adjacent(ctx, ldt, clock.take())
+            return len(inbox)
+
+        run = run_procedure(graph, plan, proc, refresh_neighbors=False)
+        assert run.simulation.metrics.max_awake == 1
+
+    def test_alignment_across_different_depth_fragments(self):
+        """Nodes of different fragments at different levels still meet in
+        the shared Side round — the block-alignment property."""
+        graph = path_graph(7, seed=13)
+        ids = graph.node_ids
+        # Fragment A: chain of 4; fragment B: chain of 3.
+        parents = {ids[0]: None, ids[4]: None}
+        for i in (1, 2, 3):
+            parents[ids[i]] = ids[i - 1]
+        for i in (5, 6):
+            parents[ids[i]] = ids[i - 1]
+        plan = FLDTPlan(parents)
+
+        def proc(ctx, ldt, clock, value):
+            inbox = yield from transmit_adjacent(
+                ctx, ldt, clock.take(), ctx.broadcast((ldt.fragment_id, ldt.level))
+            )
+            return dict(inbox)
+
+        run = run_procedure(graph, plan, proc, refresh_neighbors=False)
+        # The boundary nodes ids[3] (level 3 in A) and ids[4] (level 0 in B)
+        # heard each other despite unequal levels.
+        a_side = run.returns[ids[3]]
+        b_side = run.returns[ids[4]]
+        assert (ids[4], 0) in a_side.values()
+        assert (ids[0], 3) in b_side.values()
+
+
+class TestNeighborRefreshAndLocalMoe:
+    def test_cache_updated(self):
+        graph = ring_graph(5, seed=14)
+        plan = FLDTPlan.singletons(graph)
+
+        def proc(ctx, ldt, clock, value):
+            yield from neighbor_refresh(ctx, ldt, clock.take())
+            return dict(ldt.neighbor_fragment)
+
+        run = run_procedure(graph, plan, proc, refresh_neighbors=False)
+        for node in graph.node_ids:
+            cached = run.returns[node]
+            assert sorted(cached.values()) == sorted(graph.neighbors(node))
+
+    def test_local_moe_picks_lightest_outgoing(self):
+        graph = ring_graph(5, seed=15)
+        plan = FLDTPlan.singletons(graph)
+
+        def proc(ctx, ldt, clock, value):
+            yield from neighbor_refresh(ctx, ldt, clock.take())
+            return local_moe(ctx, ldt)
+
+        run = run_procedure(graph, plan, proc, refresh_neighbors=False)
+        for node in graph.node_ids:
+            weight, port = run.returns[node]
+            assert weight == min(
+                w for (_, _, w) in graph.ports_of(node).values()
+            )
+
+    def test_local_moe_ignores_same_fragment(self):
+        graph = path_graph(3, seed=16)
+        ids = graph.node_ids
+        plan = FLDTPlan({ids[0]: None, ids[1]: ids[0], ids[2]: None})
+
+        def proc(ctx, ldt, clock, value):
+            yield from neighbor_refresh(ctx, ldt, clock.take())
+            return local_moe(ctx, ldt)
+
+        run = run_procedure(graph, plan, proc, refresh_neighbors=False)
+        # Middle node's only outgoing edge goes to ids[2]'s fragment.
+        middle = run.returns[ids[1]]
+        assert middle is not NOTHING
+        assert middle[0] == graph.weight(ids[1], ids[2])
+
+    def test_local_moe_without_refresh_raises(self):
+        graph = path_graph(2, seed=17)
+        plan = FLDTPlan.singletons(graph)
+
+        def proc(ctx, ldt, clock, value):
+            return local_moe(ctx, ldt)
+            yield  # pragma: no cover
+
+        with pytest.raises(Exception, match="neighbor_refresh"):
+            run_procedure(graph, plan, proc, refresh_neighbors=False)
+
+
+class TestMinMerge:
+    def test_handles_nothing(self):
+        assert min_merge(NOTHING, 5) == 5
+        assert min_merge(5, NOTHING) == 5
+        assert min_merge(NOTHING, NOTHING) is NOTHING
+
+    def test_takes_minimum(self):
+        assert min_merge(3, 7) == 3
+        assert min_merge((2, 9), (2, 4)) == (2, 4)
+
+
+def _on_path(states, graph, descendant, ancestor):
+    """True iff ``ancestor`` lies on ``descendant``'s path to the root."""
+    node = descendant
+    while True:
+        if node == ancestor:
+            return True
+        state = states[node]
+        if state.parent_port is None:
+            return False
+        node = graph.ports_of(node)[state.parent_port][0]
+
+
+class TestNeighborAwareness:
+    def test_whole_fragment_learns_cross_fragment_news(self):
+        """Two chain fragments: one announces a value over the boundary
+        edge; every member of the other fragment ends up knowing it."""
+        from repro.core.toolbox import neighbor_awareness
+        from repro.core.schedule import BlockClock
+
+        graph = path_graph(6, seed=21)
+        ids = graph.node_ids
+        parents = {ids[0]: None, ids[3]: None}
+        for i in (1, 2):
+            parents[ids[i]] = ids[i - 1]
+        for i in (4, 5):
+            parents[ids[i]] = ids[i - 1]
+        plan = FLDTPlan(parents)
+        boundary_sender = ids[2]
+        boundary_port = next(
+            port
+            for port, (neighbour, _, _) in graph.ports_of(boundary_sender).items()
+            if neighbour == ids[3]
+        )
+
+        def procedure(ctx, ldt, clock, value):
+            sends = {}
+            if ctx.node_id == boundary_sender:
+                sends = {boundary_port: 77}
+            result = yield from neighbor_awareness(ctx, ldt, clock, sends)
+            return result
+
+        run = run_procedure(graph, plan, procedure, refresh_neighbors=False)
+        for node in (ids[3], ids[4], ids[5]):
+            assert run.returns[node] == 77
+        # The announcing fragment heard nothing.
+        for node in (ids[0], ids[1], ids[2]):
+            assert run.returns[node] is NOTHING
+
+    def test_consumes_exactly_three_blocks(self):
+        from repro.core.toolbox import neighbor_awareness
+        from repro.core import block_span
+
+        graph = path_graph(4, seed=22)
+        plan = FLDTPlan.singletons(graph)
+
+        def procedure(ctx, ldt, clock, value):
+            result = yield from neighbor_awareness(
+                ctx, ldt, clock, ctx.broadcast(ctx.node_id)
+            )
+            return (result, clock.next_start)
+
+        run = run_procedure(graph, plan, procedure, refresh_neighbors=False)
+        for node, (result, next_start) in run.returns.items():
+            assert next_start == 1 + 3 * block_span(graph.n)
+            # Singleton fragments: the aggregate is the min neighbour ID.
+            assert result == min(graph.neighbors(node))

@@ -1,0 +1,165 @@
+"""Generator contracts: connectivity, distinct weights, ID ranges, shapes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    adversarial_moe_chain,
+    caterpillar_graph,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    random_tree,
+    ring_graph,
+    star_graph,
+)
+
+ALL_GENERATORS = [
+    ("path", lambda n, seed: path_graph(n, seed)),
+    ("ring", lambda n, seed: ring_graph(max(3, n), seed)),
+    ("star", lambda n, seed: star_graph(n, seed)),
+    ("complete", lambda n, seed: complete_graph(n, seed)),
+    ("tree", lambda n, seed: random_tree(n, seed)),
+    ("gnp", lambda n, seed: random_connected_graph(n, 0.2, seed)),
+    ("geo", lambda n, seed: random_geometric_graph(n, 0.3, seed)),
+    ("chain", lambda n, seed: adversarial_moe_chain(n, seed)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_GENERATORS)
+class TestGeneratorContracts:
+    def test_connected(self, name, factory):
+        assert factory(12, 3).is_connected()
+
+    def test_distinct_weights(self, name, factory):
+        graph = factory(12, 3)
+        weights = [edge.weight for edge in graph.edges()]
+        assert len(weights) == len(set(weights))
+
+    def test_deterministic_given_seed(self, name, factory):
+        first, second = factory(10, 7), factory(10, 7)
+        assert [e.endpoints + (e.weight,) for e in first.edges()] == [
+            e.endpoints + (e.weight,) for e in second.edges()
+        ]
+
+    def test_seed_changes_weights(self, name, factory):
+        if name == "chain":
+            pytest.skip("the adversarial chain's weights are positional by design")
+        first, second = factory(10, 1), factory(10, 2)
+        assert {e.weight for e in first.edges()} != {
+            e.weight for e in second.edges()
+        }
+
+
+class TestShapes:
+    def test_path_edge_count(self):
+        assert path_graph(9).m == 8
+
+    def test_ring_edge_count(self):
+        assert ring_graph(9).m == 9
+
+    def test_star_has_hub(self):
+        graph = star_graph(8)
+        degrees = sorted(graph.degree(node) for node in graph.node_ids)
+        assert degrees == [1] * 7 + [7]
+
+    def test_complete_edge_count(self):
+        assert complete_graph(6).m == 15
+
+    def test_grid_shape(self):
+        graph = grid_graph(3, 4)
+        assert graph.n == 12
+        assert graph.m == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_tree_edge_count(self):
+        assert random_tree(15).m == 14
+
+    def test_caterpillar_counts(self):
+        graph = caterpillar_graph(5, legs_per_node=2)
+        assert graph.n == 5 + 10
+        assert graph.m == 4 + 10
+
+    def test_adversarial_chain_weights_increase(self):
+        graph = adversarial_moe_chain(8, seed=1)
+        weights = sorted(edge.weight for edge in graph.edges())
+        assert weights == list(range(1, 8))
+
+    def test_gnp_extra_edges_increase_density(self):
+        sparse = random_connected_graph(20, 0.0, seed=1)
+        dense = random_connected_graph(20, 0.5, seed=1)
+        assert sparse.m == 19
+        assert dense.m > sparse.m
+
+
+class TestIdRanges:
+    def test_default_ids_contiguous(self):
+        graph = ring_graph(6, seed=0)
+        assert graph.node_ids == [1, 2, 3, 4, 5, 6]
+        assert graph.max_id == 6
+
+    def test_id_range_draws_sparse_ids(self):
+        graph = ring_graph(6, seed=0, id_range=1000)
+        assert graph.max_id == 1000
+        assert all(1 <= node <= 1000 for node in graph.node_ids)
+        assert len(set(graph.node_ids)) == 6
+
+    def test_id_range_below_n_rejected(self):
+        with pytest.raises(ValueError):
+            ring_graph(6, id_range=4)
+
+    def test_topology_independent_of_id_draw(self):
+        """Same seed, different ID ranges: same weight multiset."""
+        small = ring_graph(6, seed=5)
+        large = ring_graph(6, seed=5, id_range=500)
+        assert {e.weight for e in small.edges()} == {e.weight for e in large.edges()}
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: path_graph(0),
+            lambda: ring_graph(2),
+            lambda: star_graph(1),
+            lambda: complete_graph(1),
+            lambda: grid_graph(0, 5),
+            lambda: grid_graph(1, 1),
+            lambda: caterpillar_graph(1),
+            lambda: random_connected_graph(1),
+            lambda: random_connected_graph(5, extra_edge_prob=1.5),
+            lambda: random_geometric_graph(1),
+            lambda: adversarial_moe_chain(1),
+            lambda: random_tree(0),
+        ],
+    )
+    def test_bad_parameters_rejected(self, call):
+        with pytest.raises(ValueError):
+            call()
+
+
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=10**6),
+    prob=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_random_connected_graph_always_valid(n, seed, prob):
+    graph = random_connected_graph(n, extra_edge_prob=prob, seed=seed)
+    assert graph.is_connected()
+    assert graph.n == n
+    weights = [edge.weight for edge in graph.edges()]
+    assert len(weights) == len(set(weights))
+
+
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_random_geometric_graph_always_connected(n, seed):
+    graph = random_geometric_graph(n, radius=0.2, seed=seed)
+    assert graph.is_connected()
+    assert graph.n == n

@@ -1,0 +1,126 @@
+"""Reference MST oracles agree with each other and with basic facts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    UnionFind,
+    WeightedGraph,
+    boruvka_mst,
+    complete_graph,
+    is_spanning_tree,
+    kruskal_mst,
+    mst_weight_set,
+    prim_mst,
+    random_connected_graph,
+    ring_graph,
+    verify_mst,
+)
+
+
+class TestUnionFind:
+    def test_union_reduces_components(self):
+        union_find = UnionFind([1, 2, 3])
+        assert union_find.components == 3
+        assert union_find.union(1, 2)
+        assert union_find.components == 2
+        assert not union_find.union(2, 1)
+
+    def test_same(self):
+        union_find = UnionFind([1, 2, 3])
+        union_find.union(1, 3)
+        assert union_find.same(1, 3)
+        assert not union_find.same(1, 2)
+
+    def test_path_compression_keeps_roots_consistent(self):
+        union_find = UnionFind(range(10))
+        for i in range(9):
+            union_find.union(i, i + 1)
+        roots = {union_find.find(i) for i in range(10)}
+        assert len(roots) == 1
+
+
+class TestOracleAgreement:
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=10**6),
+        prob=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_kruskal_prim_boruvka_agree(self, n, seed, prob):
+        graph = random_connected_graph(n, extra_edge_prob=prob, seed=seed)
+        kruskal = {e.weight for e in kruskal_mst(graph)}
+        prim = {e.weight for e in prim_mst(graph)}
+        boruvka = {e.weight for e in boruvka_mst(graph)}
+        assert kruskal == prim == boruvka
+        assert len(kruskal) == n - 1
+
+    def test_ring_mst_omits_heaviest(self):
+        graph = ring_graph(12, seed=4)
+        heaviest = max(edge.weight for edge in graph.edges())
+        assert heaviest not in mst_weight_set(graph)
+        assert len(mst_weight_set(graph)) == 11
+
+    def test_single_node(self):
+        graph = WeightedGraph([1], [])
+        assert kruskal_mst(graph) == []
+        assert prim_mst(graph) == []
+        assert boruvka_mst(graph) == []
+
+    def test_disconnected_raises(self):
+        graph = WeightedGraph([1, 2, 3, 4], [(1, 2, 1), (3, 4, 2)])
+        for oracle in (kruskal_mst, prim_mst, boruvka_mst):
+            with pytest.raises(ValueError):
+                oracle(graph)
+
+    def test_kruskal_returns_sorted(self):
+        graph = complete_graph(6, seed=2)
+        weights = [edge.weight for edge in kruskal_mst(graph)]
+        assert weights == sorted(weights)
+
+
+class TestVerifiers:
+    def test_is_spanning_tree_accepts_mst(self):
+        graph = random_connected_graph(10, 0.3, seed=1)
+        assert is_spanning_tree(graph, mst_weight_set(graph))
+
+    def test_is_spanning_tree_rejects_wrong_count(self):
+        graph = ring_graph(6, seed=1)
+        all_weights = {edge.weight for edge in graph.edges()}
+        assert not is_spanning_tree(graph, all_weights)  # n edges: a cycle
+
+    def test_is_spanning_tree_rejects_cycle(self):
+        graph = complete_graph(4, seed=1)
+        # Pick a triangle plus nothing: 3 edges over 4 nodes -> wrong count.
+        triangle = [graph.weight(1, 2), graph.weight(2, 3), graph.weight(1, 3)]
+        assert not is_spanning_tree(graph, triangle)
+
+    def test_verify_mst_accepts(self):
+        graph = random_connected_graph(8, 0.3, seed=6)
+        verify_mst(graph, mst_weight_set(graph))
+
+    def test_verify_mst_rejects_swap(self):
+        graph = complete_graph(5, seed=3)
+        mst = mst_weight_set(graph)
+        non_tree = next(
+            edge.weight for edge in graph.edges() if edge.weight not in mst
+        )
+        broken = set(mst)
+        broken.remove(max(broken))
+        broken.add(non_tree)
+        with pytest.raises(AssertionError, match="not the MST"):
+            verify_mst(graph, broken)
+
+    def test_mst_is_lightest_spanning_tree_small(self):
+        """Exhaustive cross-check on a tiny complete graph."""
+        from itertools import combinations
+
+        graph = complete_graph(5, seed=9)
+        mst = mst_weight_set(graph)
+        mst_total = sum(mst)
+        all_weights = [edge.weight for edge in graph.edges()]
+        for subset in combinations(all_weights, graph.n - 1):
+            if is_spanning_tree(graph, subset):
+                assert sum(subset) >= mst_total

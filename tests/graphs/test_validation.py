@@ -1,0 +1,87 @@
+"""Output-convention and structural validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    check_local_mst_outputs,
+    mst_weight_set,
+    path_graph,
+    require_connected,
+    require_sleeping_model_inputs,
+    ring_graph,
+    tree_depths,
+)
+
+
+def outputs_from_mst(graph):
+    """The honest per-node output for the true MST."""
+    mst = mst_weight_set(graph)
+    return {
+        node: {
+            weight
+            for (_, _, weight) in graph.ports_of(node).values()
+            if weight in mst
+        }
+        for node in graph.node_ids
+    }
+
+
+class TestRequireChecks:
+    def test_connected_passes(self):
+        require_connected(ring_graph(5))
+
+    def test_disconnected_rejected(self):
+        graph = WeightedGraph([1, 2, 3, 4], [(1, 2, 1), (3, 4, 2)])
+        with pytest.raises(ValueError, match="connected"):
+            require_connected(graph)
+
+    def test_full_input_model(self):
+        require_sleeping_model_inputs(ring_graph(6, seed=1))
+
+
+class TestLocalOutputs:
+    def test_accepts_consistent_outputs(self):
+        graph = ring_graph(8, seed=2)
+        union = check_local_mst_outputs(graph, outputs_from_mst(graph))
+        assert union == mst_weight_set(graph)
+
+    def test_rejects_missing_node(self):
+        graph = ring_graph(5, seed=1)
+        outputs = outputs_from_mst(graph)
+        outputs.pop(graph.node_ids[0])
+        with pytest.raises(AssertionError, match="missing"):
+            check_local_mst_outputs(graph, outputs)
+
+    def test_rejects_non_incident_weight(self):
+        graph = path_graph(4, seed=1)
+        outputs = outputs_from_mst(graph)
+        outputs[graph.node_ids[0]] = set(outputs[graph.node_ids[0]]) | {999}
+        with pytest.raises(AssertionError, match="non-incident"):
+            check_local_mst_outputs(graph, outputs)
+
+    def test_rejects_endpoint_disagreement(self):
+        graph = path_graph(4, seed=1)
+        outputs = {node: set(weights) for node, weights in outputs_from_mst(graph).items()}
+        edge = graph.edges()[0]
+        outputs[edge.u].discard(edge.weight)
+        with pytest.raises(AssertionError, match="disagree"):
+            check_local_mst_outputs(graph, outputs)
+
+
+class TestTreeDepths:
+    def test_depths_of_chain(self):
+        parents = {2: 1, 3: 2, 4: 3}
+        assert tree_depths(parents, root=1) == {1: 0, 2: 1, 3: 2, 4: 3}
+
+    def test_depths_of_star(self):
+        parents = {2: 1, 3: 1, 4: 1}
+        depths = tree_depths(parents, root=1)
+        assert depths[1] == 0 and all(depths[i] == 1 for i in (2, 3, 4))
+
+    def test_cycle_detected(self):
+        parents = {1: 2, 2: 1}
+        with pytest.raises(AssertionError):
+            tree_depths(parents, root=3)

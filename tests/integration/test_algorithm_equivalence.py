@@ -1,0 +1,57 @@
+"""All four MST implementations compute the same unique tree.
+
+With distinct weights the MST is unique, so every correct implementation —
+randomized sleeping, deterministic sleeping (both colourings), classical
+pipelined GHS, and the three sequential oracles — must agree edge-for-edge
+on every input.  Hypothesis sweeps random graphs and seeds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import run_pipelined_ghs
+from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.graphs import (
+    boruvka_mst,
+    kruskal_mst,
+    prim_mst,
+    random_connected_graph,
+)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=14),
+    seed=st.integers(min_value=0, max_value=10**4),
+    prob=st.floats(min_value=0.0, max_value=0.5),
+)
+@settings(max_examples=15)
+def test_all_implementations_agree(n, seed, prob):
+    graph = random_connected_graph(n, extra_edge_prob=prob, seed=seed)
+    oracles = {
+        frozenset(e.weight for e in kruskal_mst(graph)),
+        frozenset(e.weight for e in prim_mst(graph)),
+        frozenset(e.weight for e in boruvka_mst(graph)),
+    }
+    assert len(oracles) == 1
+    reference = next(iter(oracles))
+
+    distributed = [
+        run_randomized_mst(graph, seed=seed),
+        run_deterministic_mst(graph),
+        run_deterministic_mst(graph, coloring="log-star"),
+        run_pipelined_ghs(graph),
+    ]
+    for result in distributed:
+        assert frozenset(result.mst_weights) == reference, result.algorithm
+
+
+@given(seed=st.integers(min_value=0, max_value=10**4))
+@settings(max_examples=10)
+def test_randomized_is_seed_independent_in_output(seed):
+    """Different coins, same (unique) MST."""
+    graph = random_connected_graph(12, 0.3, seed=7)
+    first = run_randomized_mst(graph, seed=seed)
+    second = run_randomized_mst(graph, seed=seed + 1)
+    assert first.mst_weights == second.mst_weights

@@ -1,0 +1,125 @@
+"""Tests that the *model* bites: the sleeping semantics actually constrain
+protocols, and the library's schedules are what make the algorithms immune.
+
+These tests deliberately break things — skew a node's clock, fatten a
+message — and assert the simulator punishes it the way the sleeping model
+says it must.  They guard against the simulator silently becoming a
+message-passing framework where synchrony doesn't matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import NOTHING, fragment_broadcast
+from repro.core.harness import FLDTPlan, run_procedure
+from repro.graphs import path_graph, random_connected_graph, ring_graph
+from repro.sim import Awake, CongestViolation, simulate
+
+
+class TestClockSkewLosesMessages:
+    def test_skewed_receiver_misses_broadcast(self):
+        """A node whose block clock is off by one round hears nothing —
+        the alignment the Transmission-Schedule provides is load-bearing."""
+        graph = path_graph(3, seed=1)
+        ids = graph.node_ids
+
+        def protocol(ctx):
+            if ctx.node_id == ids[0]:
+                inbox = yield Awake(5, ctx.broadcast("wave"))
+            elif ctx.node_id == ids[1]:
+                inbox = yield Awake(6)  # skewed: one round late
+            else:
+                inbox = yield Awake(5)  # but this one never gets a message
+            return dict(inbox)
+
+        result = simulate(graph, protocol)
+        assert result.node_results[ids[1]] == {}
+        assert result.metrics.messages_lost >= 1
+
+    def test_aligned_schedule_loses_nothing(self):
+        """Control: the real broadcast procedure on the same graph."""
+        graph = path_graph(3, seed=1)
+        plan = FLDTPlan.single_tree(graph, graph.node_ids[0])
+
+        def procedure(ctx, ldt, clock, value):
+            result = yield from fragment_broadcast(
+                ctx, ldt, clock.take(), "wave" if ldt.is_root else NOTHING
+            )
+            return result
+
+        run = run_procedure(graph, plan, procedure, refresh_neighbors=False)
+        assert run.simulation.metrics.messages_lost == 0
+        assert all(value == "wave" for value in run.returns.values())
+
+    @given(skew=st.integers(min_value=1, max_value=5))
+    def test_any_skew_breaks_the_exchange(self, skew):
+        graph = path_graph(2, seed=2)
+
+        def protocol(ctx):
+            round_number = 3 if ctx.node_id == 1 else 3 + skew
+            inbox = yield Awake(round_number, ctx.broadcast("ping"))
+            return len(inbox)
+
+        result = simulate(graph, protocol)
+        assert result.node_results[1] == 0
+        assert result.node_results[2] == 0
+        assert result.metrics.messages_lost == 2
+
+
+class TestCongestBites:
+    def test_shipping_neighbour_lists_is_rejected(self):
+        """A protocol that forwards whole neighbour lists (a classic
+        CONGEST cheat) trips the size check on dense graphs."""
+        graph = random_connected_graph(48, 0.8, seed=3)
+
+        def protocol(ctx):
+            inbox = yield Awake(1, ctx.broadcast(ctx.node_id))
+            neighbour_ids = tuple(sorted(inbox.values()))
+            yield Awake(2, ctx.broadcast(neighbour_ids))
+            return None
+
+        with pytest.raises(CongestViolation):
+            simulate(graph, protocol)
+
+    def test_shipped_algorithms_fit_with_tight_budget(self):
+        """The real algorithms stay within even a halved budget factor."""
+        from repro.core import run_randomized_mst
+
+        graph = ring_graph(16, seed=4)
+        result = run_randomized_mst(graph, seed=0, congest_factor=8)
+        assert result.metrics.congest_violations == 0
+
+
+class TestSleepIsSleep:
+    def test_sleeping_node_sends_nothing(self):
+        """Sends are attached to awake rounds only; there is no way to
+        transmit while asleep (pending sends go out exactly once)."""
+        graph = path_graph(2, seed=5)
+
+        def protocol(ctx):
+            if ctx.node_id == 1:
+                yield Awake(1, ctx.broadcast("once"))
+                inbox = yield Awake(10)
+                return dict(inbox)
+            first = yield Awake(1)
+            second = yield Awake(10)
+            return [dict(first), dict(second)]
+
+        result = simulate(graph, protocol)
+        first, second = result.node_results[2]
+        assert list(first.values()) == ["once"]
+        assert second == {}  # nothing re-delivered, nothing sent while asleep
+
+    def test_awake_rounds_cost_even_when_silent(self):
+        graph = path_graph(2, seed=6)
+
+        def protocol(ctx):
+            for round_number in (1, 2, 3, 4):
+                yield Awake(round_number)
+            return None
+
+        result = simulate(graph, protocol)
+        assert result.metrics.max_awake == 4

@@ -1,0 +1,66 @@
+"""Larger-scale runs (opt-in via ``pytest --slow``).
+
+These push the sizes an order of magnitude past the fast suite to catch
+asymptotic regressions the small tests cannot see.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.graphs import (
+    mst_weight_set,
+    random_connected_graph,
+    ring_graph,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestRandomizedAtScale:
+    def test_ring_1024(self):
+        graph = ring_graph(1024, seed=1)
+        result = run_randomized_mst(graph, seed=0)
+        assert result.mst_weights == mst_weight_set(graph)
+        # O(log n) awake with the measured constant ~30: generous cap.
+        assert result.metrics.max_awake < 60 * math.log2(1024)
+        assert result.metrics.rounds > 100_000  # Θ(n log n) territory
+
+    def test_random_graph_512(self):
+        graph = random_connected_graph(512, 0.02, seed=2)
+        result = run_randomized_mst(graph, seed=0)
+        assert result.mst_weights == mst_weight_set(graph)
+        assert result.metrics.congest_violations == 0
+
+    def test_awake_doubling_flatness_at_scale(self):
+        awake = {}
+        for n in (256, 1024):
+            graph = ring_graph(n, seed=n)
+            runs = [
+                run_randomized_mst(graph, seed=s).metrics.max_awake
+                for s in range(3)
+            ]
+            awake[n] = sum(runs) / len(runs)
+        # 4x the nodes must not even double the awake complexity.
+        assert awake[1024] / awake[256] < 2.0
+
+
+class TestDeterministicAtScale:
+    def test_random_graph_128(self):
+        graph = random_connected_graph(128, 0.05, seed=3)
+        result = run_deterministic_mst(graph)
+        assert result.mst_weights == mst_weight_set(graph)
+        assert result.metrics.max_awake < 60 * math.log2(128)
+
+    def test_logstar_with_huge_id_space(self):
+        graph = ring_graph(32, seed=4, id_range=64 * 32)
+        result = run_deterministic_mst(graph, coloring="log-star")
+        assert result.mst_weights == mst_weight_set(graph)
+        # Rounds stay ~independent of the 2048-wide ID space.
+        baseline = run_deterministic_mst(
+            ring_graph(32, seed=4), coloring="log-star"
+        )
+        assert result.metrics.rounds < 2 * baseline.metrics.rounds

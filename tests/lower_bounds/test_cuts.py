@@ -1,0 +1,123 @@
+"""Cut-congestion accounting (Lemma 8's measurable quantity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import run_randomized_mst
+from repro.lower_bounds import (
+    GrcTopology,
+    awake_bound_from_congestion,
+    cut_crossing_bits,
+    dsd_marked_edges,
+    middle_cut,
+    r_j_cut,
+    random_sd_instance,
+    row_cut_bits,
+)
+from repro.graphs import path_graph
+from repro.sim import Awake, simulate
+
+
+class TestCutCrossingBits:
+    def test_counts_only_crossing_messages(self):
+        graph = path_graph(3, seed=1)
+        ids = graph.node_ids
+
+        def protocol(ctx):
+            yield Awake(1, ctx.broadcast(7))
+            return None
+
+        result = simulate(graph, protocol, trace=True)
+        # Cut {first node}: only the two messages on its single edge cross.
+        crossing = cut_crossing_bits(result.trace, {ids[0]})
+        total = result.metrics.total_bits
+        assert 0 < crossing < total
+
+    def test_empty_cut_counts_nothing(self):
+        graph = path_graph(2, seed=2)
+
+        def protocol(ctx):
+            yield Awake(1, ctx.broadcast(1))
+            return None
+
+        result = simulate(graph, protocol, trace=True)
+        assert cut_crossing_bits(result.trace, set()) == 0
+        assert cut_crossing_bits(result.trace, set(graph.node_ids)) == 0
+
+    def test_lost_messages_not_counted(self):
+        graph = path_graph(2, seed=3)
+
+        def protocol(ctx):
+            # Misaligned: everything is lost.
+            yield Awake(ctx.node_id, ctx.broadcast(1))
+            return None
+
+        result = simulate(graph, protocol, trace=True)
+        assert result.metrics.messages_lost == 2
+        assert cut_crossing_bits(result.trace, {graph.node_ids[0]}) == 0
+
+
+class TestRjCut:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return GrcTopology(4, 16)
+
+    def test_region_contents(self, topology):
+        region = r_j_cut(topology, 3)
+        assert topology.node_at(1, 1) in region
+        assert topology.node_at(4, 3) in region
+        assert topology.node_at(1, 4) not in region
+        assert set(topology.internal_nodes) <= region
+
+    def test_region_size(self, topology):
+        region = r_j_cut(topology, 5)
+        assert len(region) == 5 * topology.r + len(topology.internal_nodes)
+
+    def test_bounds(self, topology):
+        with pytest.raises(ValueError):
+            r_j_cut(topology, 0)
+        with pytest.raises(ValueError):
+            r_j_cut(topology, topology.c + 1)
+
+    def test_middle_cut_is_half(self, topology):
+        assert middle_cut(topology) == r_j_cut(topology, topology.c // 2)
+
+
+class TestLemma8Arithmetic:
+    def test_zero_bits_zero_bound(self):
+        assert awake_bound_from_congestion(0, 7, 4, 100) == 0
+
+    def test_pigeonhole(self):
+        # 8000 bits / 4 nodes = 2000 each; degree 4 x 100-bit messages
+        # = 400 bits per awake round => 5 rounds.
+        assert awake_bound_from_congestion(8000, 4, 4, 100) == 5
+
+    def test_monotone_in_bits(self):
+        low = awake_bound_from_congestion(1000, 4, 4, 100)
+        high = awake_bound_from_congestion(10000, 4, 4, 100)
+        assert high > low
+
+
+class TestGrcCongestion:
+    def test_mst_run_pushes_bits_across_every_cut(self):
+        """Computing an MST of G_rc is global: every R_j cut carries bits,
+        and the measured awake time respects the congestion bound."""
+        topology = GrcTopology(4, 16)
+        instance = random_sd_instance(topology.r - 1, seed=1)
+        graph, _ = topology.to_weighted_graph(
+            dsd_marked_edges(topology, instance)
+        )
+        result = run_randomized_mst(graph, seed=0, trace=True, verify=True)
+        for j in (2, topology.c // 2, topology.c - 1):
+            assert row_cut_bits(result.simulation.trace, topology, j) > 0
+        bits = cut_crossing_bits(
+            result.simulation.trace, middle_cut(topology)
+        )
+        bound = awake_bound_from_congestion(
+            bits,
+            len(topology.internal_nodes) or 1,
+            4,
+            result.metrics.max_message_bits or 1,
+        )
+        assert result.metrics.max_awake >= bound

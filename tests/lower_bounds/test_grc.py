@@ -1,0 +1,122 @@
+"""G_rc structure (Figure 1) and Observation 1's diameter claim."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lower_bounds import GrcTopology, theorem4_regime
+
+
+class TestConstruction:
+    def test_node_count(self):
+        topology = GrcTopology(4, 16)
+        assert topology.n == 4 * 16 + topology.x_size - 1
+
+    def test_alice_and_bob_positions(self):
+        topology = GrcTopology(3, 12)
+        assert topology.alice == topology.node_at(1, 1)
+        assert topology.bob == topology.node_at(1, 12)
+
+    def test_x_contains_first_and_last_columns(self):
+        topology = GrcTopology(3, 12)
+        assert topology.x_columns[0] == 1
+        assert topology.x_columns[-1] == 12
+        assert topology.alice in topology.x_nodes
+        assert topology.bob in topology.x_nodes
+
+    def test_x_size_is_power_of_two(self):
+        topology = GrcTopology(4, 20)
+        assert topology.x_size & (topology.x_size - 1) == 0
+        assert len(topology.x_nodes) == topology.x_size
+
+    def test_x_columns_strictly_increasing(self):
+        topology = GrcTopology(3, 17)
+        columns = topology.x_columns
+        assert all(a < b for a, b in zip(columns, columns[1:]))
+
+    def test_internal_tree_size(self):
+        topology = GrcTopology(3, 12)
+        assert len(topology.internal_nodes) == topology.x_size - 1
+        assert len(topology.edges_of_category("tree")) == 2 * (topology.x_size - 1)
+
+    def test_row_edges(self):
+        topology = GrcTopology(3, 10)
+        assert len(topology.edges_of_category("row")) == 3 * 9
+
+    def test_alice_bob_attachments(self):
+        topology = GrcTopology(5, 12)
+        assert len(topology.edges_of_category("alice")) == 4
+        assert len(topology.edges_of_category("bob")) == 4
+
+    def test_spokes_skip_endpoint_columns(self):
+        topology = GrcTopology(4, 16)
+        interior_x = [c for c in topology.x_columns if c not in (1, topology.c)]
+        assert len(topology.edges_of_category("spoke")) == len(interior_x) * 3
+
+    def test_rejects_too_few_rows(self):
+        with pytest.raises(ValueError):
+            GrcTopology(1, 16)
+
+    def test_rejects_too_few_columns(self):
+        with pytest.raises(ValueError):
+            GrcTopology(4, 2)
+
+    def test_node_at_bounds(self):
+        topology = GrcTopology(3, 10)
+        with pytest.raises(ValueError):
+            topology.node_at(0, 1)
+        with pytest.raises(ValueError):
+            topology.node_at(1, 11)
+
+
+class TestWeightedInstance:
+    def test_all_marked_graph_connected(self):
+        topology = GrcTopology(4, 16)
+        graph, _ = topology.to_weighted_graph()
+        assert graph.is_connected()
+        assert graph.n == topology.n
+
+    def test_marked_lighter_than_unmarked(self):
+        topology = GrcTopology(3, 12)
+        marked = topology.baseline_marked_keys()
+        graph, threshold = topology.to_weighted_graph(marked)
+        for edge in graph.edges():
+            is_marked = topology.has_edge(edge.u, edge.v) and frozenset(
+                (edge.u, edge.v)
+            ) in marked
+            if is_marked:
+                assert edge.weight <= threshold
+            else:
+                assert edge.weight > threshold
+
+    def test_distinct_weights(self):
+        topology = GrcTopology(3, 12)
+        graph, _ = topology.to_weighted_graph(topology.baseline_marked_keys())
+        weights = [edge.weight for edge in graph.edges()]
+        assert len(weights) == len(set(weights))
+
+
+class TestObservation1:
+    """Diameter Θ(c / log n): measured against the analytic bound."""
+
+    @pytest.mark.parametrize("r,c", [(3, 16), (4, 32), (5, 64)])
+    def test_diameter_within_bound(self, r, c):
+        topology = GrcTopology(r, c)
+        graph, _ = topology.to_weighted_graph()
+        assert graph.diameter() <= topology.diameter_upper_bound()
+
+    def test_diameter_sublinear_in_c(self):
+        """Without X and the tree, diameter would be ~c; with them it is
+        O(c / log n) — check it beats c/2 comfortably."""
+        topology = GrcTopology(3, 64)
+        graph, _ = topology.to_weighted_graph()
+        assert graph.diameter() < 64 / 2
+
+    def test_regime_helper(self):
+        r, c = theorem4_regime(360)
+        assert 2 <= r < math.sqrt(360)
+        assert c > math.sqrt(360)
+        topology = GrcTopology(r, c)
+        assert abs(topology.n - 360) < 360  # same order of magnitude

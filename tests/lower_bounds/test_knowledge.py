@@ -1,0 +1,110 @@
+"""Knowledge-growth analysis: the empirical core of Theorem 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import run_randomized_mst
+from repro.lower_bounds import (
+    RING_GROWTH_FACTOR,
+    certify_ring_run,
+    knowledge_growth_curve,
+    max_growth_factor,
+    minimum_awake_for_reach,
+    theorem3_ring,
+)
+
+
+class TestGrowthMath:
+    def test_minimum_awake_for_reach(self):
+        assert minimum_awake_for_reach(1) == 0
+        assert minimum_awake_for_reach(3) == 1
+        assert minimum_awake_for_reach(9) == 2
+        assert minimum_awake_for_reach(10) == 3
+
+    def test_max_growth_factor(self):
+        curve = [(0, 1), (1, 3), (2, 6)]
+        assert max_growth_factor(curve) == 3.0
+
+    def test_flat_curve_growth_one(self):
+        assert max_growth_factor([(0, 5), (1, 5)]) == 1.0
+
+
+class TestRingCertificates:
+    @pytest.fixture(scope="class")
+    def tracked_run(self):
+        instance = theorem3_ring(6, seed=3)
+        result = run_randomized_mst(
+            instance.graph, seed=1, track_knowledge=True, verify=True
+        )
+        return instance, result
+
+    def test_growth_factor_never_exceeds_three(self, tracked_run):
+        """On a ring each awake round at most triples the knowledge set —
+        exactly the geometric-growth fact the Ω(log n) proof rests on."""
+        _, result = tracked_run
+        curve = knowledge_growth_curve(result.simulation.knowledge)
+        assert max_growth_factor(curve) <= RING_GROWTH_FACTOR + 1e-9
+
+    def test_certificate_holds(self, tracked_run):
+        instance, result = tracked_run
+        certificate = certify_ring_run(instance, result.simulation)
+        assert certificate.holds
+        assert certificate.observed_awake >= certificate.required_awake
+
+    def test_decision_nodes_knew_both_heavy_edges(self, tracked_run):
+        instance, result = tracked_run
+        tracker = result.simulation.knowledge
+        heavy = {
+            instance.heaviest.u,
+            instance.heaviest.v,
+            instance.second_heaviest.u,
+            instance.second_heaviest.v,
+        }
+        knowers = [
+            node
+            for node in instance.graph.node_ids
+            if heavy <= tracker.known_nodes(node)
+        ]
+        assert knowers  # the MST decision forces someone to know both
+
+    def test_certificate_requires_tracking(self):
+        instance = theorem3_ring(3, seed=1)
+        result = run_randomized_mst(instance.graph, seed=1)
+        with pytest.raises(ValueError, match="track_knowledge"):
+            certify_ring_run(instance, result.simulation)
+
+    def test_knowledge_curve_monotone(self, tracked_run):
+        _, result = tracked_run
+        curve = knowledge_growth_curve(result.simulation.knowledge)
+        sizes = [size for _, size in curve]
+        assert sizes == sorted(sizes)
+
+
+class TestSegmentStructure:
+    """Lemma 11's structural fact: ring knowledge sets are contiguous arcs."""
+
+    def test_contiguity_checker(self):
+        instance = theorem3_ring(3, seed=1)
+        order = instance.order
+        assert instance.is_contiguous_segment(order[:4])
+        assert instance.is_contiguous_segment((order[-1], order[0], order[1]))
+        assert not instance.is_contiguous_segment((order[0], order[5]))
+        assert instance.is_contiguous_segment(order)  # the whole ring
+
+    def test_checker_rejects_foreign_nodes(self):
+        import pytest as _pytest
+
+        instance = theorem3_ring(3, seed=2)
+        with _pytest.raises(ValueError):
+            instance.is_contiguous_segment({10**9})
+
+    def test_knowledge_sets_are_segments_throughout(self):
+        """Every node's final causal knowledge on a ring run is one arc."""
+        instance = theorem3_ring(5, seed=4)
+        result = run_randomized_mst(
+            instance.graph, seed=2, track_knowledge=True, verify=True
+        )
+        tracker = result.simulation.knowledge
+        for node in instance.graph.node_ids:
+            assert instance.is_contiguous_segment(tracker.known_nodes(node))

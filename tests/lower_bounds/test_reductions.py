@@ -1,0 +1,118 @@
+"""The SD → DSD → CSS → MST reduction chain (Lemmas 8-10)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import run_randomized_mst
+from repro.lower_bounds import (
+    GrcTopology,
+    SDInstance,
+    css_is_connected_spanning,
+    dsd_marked_edges,
+    mst_uses_heavy_edge,
+    random_sd_instance,
+    solve_sd_via_mst,
+)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return GrcTopology(4, 16)
+
+
+class TestSDInstances:
+    def test_disjoint_detection(self):
+        assert SDInstance((1, 0, 0), (0, 1, 0)).disjoint
+        assert not SDInstance((1, 0), (1, 0)).disjoint
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SDInstance((1, 0), (1,))
+        with pytest.raises(ValueError):
+            SDInstance((2,), (0,))
+
+    def test_random_instance_forcing(self):
+        assert random_sd_instance(6, seed=1, force_disjoint=True).disjoint
+        assert not random_sd_instance(6, seed=1, force_disjoint=False).disjoint
+
+    def test_random_instance_deterministic(self):
+        first = random_sd_instance(5, seed=7)
+        second = random_sd_instance(5, seed=7)
+        assert first == second
+
+
+class TestEncoding:
+    def test_baseline_edges_always_marked(self, topology):
+        instance = SDInstance((1,) * 3, (1,) * 3)
+        marked = dsd_marked_edges(topology, instance)
+        assert topology.baseline_marked_keys() <= marked
+
+    def test_bit_zero_marks_attachment(self, topology):
+        instance = SDInstance((0, 1, 1), (1, 1, 1))
+        marked = dsd_marked_edges(topology, instance)
+        alice_edges = topology.edges_of_category("alice")
+        # Row 2 (bit index 0) attachment is marked; rows 3-4 are not.
+        assert alice_edges[0].key in marked
+        assert alice_edges[1].key not in marked
+
+    def test_wrong_length_rejected(self, topology):
+        with pytest.raises(ValueError, match="bits"):
+            dsd_marked_edges(topology, SDInstance((0,), (0,)))
+
+    def test_css_matches_disjointness(self, topology):
+        """The heart of the DSD → CSS reduction: connectivity ⟺ disjoint."""
+        for seed in range(10):
+            instance = random_sd_instance(topology.r - 1, seed=seed)
+            marked = dsd_marked_edges(topology, instance)
+            assert (
+                css_is_connected_spanning(topology, marked)
+                == instance.disjoint
+            )
+
+    @given(
+        bits=st.tuples(
+            st.tuples(*([st.integers(0, 1)] * 3)),
+            st.tuples(*([st.integers(0, 1)] * 3)),
+        )
+    )
+    def test_css_matches_disjointness_exhaustively(self, bits, topology):
+        instance = SDInstance(*bits)
+        marked = dsd_marked_edges(topology, instance)
+        assert css_is_connected_spanning(topology, marked) == instance.disjoint
+
+
+class TestMSTReduction:
+    def test_oracle_end_to_end(self, topology):
+        for seed in range(6):
+            instance = random_sd_instance(topology.r - 1, seed=seed)
+            outcome = solve_sd_via_mst(topology, instance)
+            assert outcome.correct
+
+    def test_heavy_edge_detection(self, topology):
+        intersecting = random_sd_instance(
+            topology.r - 1, seed=1, force_disjoint=False
+        )
+        marked = dsd_marked_edges(topology, intersecting)
+        graph, threshold = topology.to_weighted_graph(marked)
+        from repro.graphs import mst_weight_set
+
+        assert mst_uses_heavy_edge(graph, threshold, mst_weight_set(graph))
+
+    def test_distributed_algorithm_solves_sd(self, topology):
+        """The actual sleeping-model MST answers set disjointness."""
+        for force in (True, False):
+            instance = random_sd_instance(
+                topology.r - 1, seed=3, force_disjoint=force
+            )
+            outcome = solve_sd_via_mst(
+                topology,
+                instance,
+                mst_runner=lambda graph: run_randomized_mst(
+                    graph, seed=0
+                ).mst_weights,
+            )
+            assert outcome.correct
+            assert outcome.answered_disjoint == force

@@ -1,0 +1,76 @@
+"""Theorem 3 ring-family instances."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import mst_weight_set
+from repro.lower_bounds import (
+    expected_omitted_weight,
+    ring_family,
+    theorem3_ring,
+)
+
+
+class TestRingInstances:
+    def test_size_is_4n_plus_4(self):
+        assert theorem3_ring(5).ring_size == 24
+
+    def test_ids_and_weights_poly_bounded(self):
+        instance = theorem3_ring(4, seed=1)
+        size = instance.ring_size
+        assert all(1 <= node <= size * size for node in instance.graph.node_ids)
+        assert all(
+            1 <= edge.weight <= size ** 3 for edge in instance.graph.edges()
+        )
+        assert instance.graph.max_id == size * size
+
+    def test_distinct_ids_and_weights(self):
+        instance = theorem3_ring(6, seed=2)
+        ids = instance.graph.node_ids
+        weights = [edge.weight for edge in instance.graph.edges()]
+        assert len(set(ids)) == len(ids)
+        assert len(set(weights)) == len(weights)
+
+    def test_heaviest_edges_identified(self):
+        instance = theorem3_ring(4, seed=3)
+        ordered = sorted(edge.weight for edge in instance.graph.edges())
+        assert instance.heaviest.weight == ordered[-1]
+        assert instance.second_heaviest.weight == ordered[-2]
+
+    def test_mst_omits_exactly_the_heaviest(self):
+        instance = theorem3_ring(4, seed=4)
+        mst = mst_weight_set(instance.graph)
+        assert expected_omitted_weight(instance) not in mst
+        assert len(mst) == instance.ring_size - 1
+
+    def test_separation_bounds(self):
+        instance = theorem3_ring(6, seed=5)
+        assert 0 <= instance.separation <= instance.ring_size // 2
+
+    def test_deterministic_per_seed(self):
+        first = theorem3_ring(5, seed=9)
+        second = theorem3_ring(5, seed=9)
+        assert first.graph.node_ids == second.graph.node_ids
+        assert first.heaviest == second.heaviest
+
+    @given(seed=st.integers(min_value=0, max_value=10**4))
+    def test_instances_always_valid_rings(self, seed):
+        instance = theorem3_ring(3, seed=seed)
+        graph = instance.graph
+        assert graph.is_connected()
+        assert all(graph.degree(node) == 2 for node in graph.node_ids)
+
+    def test_family_spans_sizes(self):
+        instances = ring_family((2, 4, 8), seed=0)
+        assert [inst.ring_size for inst in instances] == [12, 20, 36]
+
+    def test_separation_often_large(self):
+        """The proof needs Ω(n) separation with constant probability."""
+        large = sum(
+            1
+            for seed in range(30)
+            if theorem3_ring(8, seed=seed).separation >= 8
+        )
+        assert large >= 8  # at least a constant fraction of draws

@@ -1,0 +1,103 @@
+"""Unit tests for CONGEST message-size accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.congest import (
+    CongestPolicy,
+    DEFAULT_CONGEST_FACTOR,
+    congest_budget_bits,
+    payload_bits,
+    scalar_bits,
+)
+
+
+class TestScalarBits:
+    def test_none_is_cheap(self):
+        assert scalar_bits(None) <= 4
+
+    def test_bool_is_cheap(self):
+        assert scalar_bits(True) <= 4
+        assert scalar_bits(False) <= 4
+
+    def test_int_cost_grows_with_magnitude(self):
+        assert scalar_bits(1) < scalar_bits(1000) < scalar_bits(10**9)
+
+    def test_negative_ints_cost_like_positive(self):
+        assert scalar_bits(-42) == scalar_bits(42)
+
+    def test_infinity_is_cheap_sentinel(self):
+        assert scalar_bits(math.inf) <= 4
+        assert scalar_bits(-math.inf) <= 4
+
+    def test_float_costs_64_bits(self):
+        assert scalar_bits(3.14) >= 64
+
+    def test_string_costs_per_character(self):
+        assert scalar_bits("ab") < scalar_bits("abcdef")
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            scalar_bits([1, 2, 3])
+
+    def test_dict_payload_raises(self):
+        with pytest.raises(TypeError):
+            payload_bits({"a": 1})
+
+
+class TestPayloadBits:
+    def test_tuple_is_sum_of_fields_plus_overhead(self):
+        single = payload_bits((5,))
+        double = payload_bits((5, 5))
+        assert double > single
+
+    def test_nested_tuples_flatten(self):
+        flat = payload_bits((1, 2, 3))
+        nested = payload_bits(((1, 2), 3))
+        # Nesting adds only tuple overhead.
+        assert abs(nested - flat) <= 4
+
+    def test_empty_tuple_is_cheap(self):
+        assert payload_bits(()) <= 4
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_monotone_in_magnitude(self, value):
+        assert payload_bits(value) <= payload_bits(value * 2 + 1)
+
+
+class TestBudget:
+    def test_budget_is_log_of_universe(self):
+        assert congest_budget_bits(2**10) == DEFAULT_CONGEST_FACTOR * 11
+
+    def test_budget_rejects_bad_universe(self):
+        with pytest.raises(ValueError):
+            congest_budget_bits(0)
+
+    def test_budget_scales_with_factor(self):
+        assert congest_budget_bits(100, factor=2) * 8 == congest_budget_bits(
+            100, factor=16
+        )
+
+    def test_constant_field_messages_always_fit(self):
+        """The paper's messages (a few IDs/weights/levels) fit the budget."""
+        universe = 10**6
+        policy = CongestPolicy(universe)
+        message = (universe, universe - 1, 1, 0, universe // 2)
+        assert not policy.is_over_budget(policy.check(message))
+
+    def test_linear_size_messages_blow_the_budget(self):
+        universe = 1000
+        policy = CongestPolicy(universe)
+        smuggled = tuple(range(universe))
+        assert policy.is_over_budget(policy.check(smuggled))
+
+    def test_policy_modes(self):
+        strict = CongestPolicy(100, strict=True)
+        lenient = CongestPolicy(100, strict=False)
+        assert strict.strict and not lenient.strict
+        assert strict.budget == lenient.budget

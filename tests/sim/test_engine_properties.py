@@ -1,0 +1,98 @@
+"""Property-based tests of the engine's scheduling semantics.
+
+Hypothesis generates random wake schedules and the tests assert the
+sleeping model's defining delivery rule directly: a message sent in round
+``r`` arrives iff the receiver is awake in round ``r`` — for arbitrary
+schedules, not just the algorithms' aligned ones.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import path_graph, ring_graph
+from repro.sim import Awake, simulate
+
+schedules = st.lists(
+    st.integers(min_value=1, max_value=40), min_size=1, max_size=6, unique=True
+).map(sorted)
+
+
+@given(schedule_a=schedules, schedule_b=schedules)
+def test_delivery_iff_both_awake(schedule_a, schedule_b):
+    """On a 2-node path, node 1 broadcasts in every awake round; node 2
+    must receive exactly in the intersection of the schedules."""
+    graph = path_graph(2, seed=0)
+
+    def protocol(ctx):
+        rounds = schedule_a if ctx.node_id == 1 else schedule_b
+        received = []
+        for round_number in rounds:
+            sends = ctx.broadcast(("at", round_number)) if ctx.node_id == 1 else {}
+            inbox = yield Awake(round_number, sends)
+            if ctx.node_id == 2 and inbox:
+                received.append(inbox[0][1])
+        return received
+
+    result = simulate(graph, protocol)
+    expected = sorted(set(schedule_a) & set(schedule_b))
+    assert result.node_results[2] == expected
+
+
+@given(schedule=schedules)
+def test_awake_counts_equal_schedule_length(schedule):
+    graph = path_graph(2, seed=0)
+
+    def protocol(ctx):
+        for round_number in schedule:
+            yield Awake(round_number)
+        return None
+
+    result = simulate(graph, protocol)
+    for node in graph.node_ids:
+        assert result.metrics.per_node[node].awake_rounds == len(schedule)
+    assert result.metrics.rounds == schedule[-1]
+
+
+@given(
+    offsets=st.lists(
+        st.integers(min_value=0, max_value=3), min_size=6, max_size=6
+    )
+)
+def test_lost_plus_delivered_equals_sent(offsets):
+    """Conservation: every sent message is either delivered or lost."""
+    graph = ring_graph(6, seed=1)
+    ids = sorted(graph.node_ids)
+    offset_of = dict(zip(ids, offsets))
+
+    def protocol(ctx):
+        yield Awake(1 + offset_of[ctx.node_id], ctx.broadcast("x"))
+        return None
+
+    result = simulate(graph, protocol)
+    sent = sum(node.messages_sent for node in result.metrics.per_node.values())
+    assert sent == 2 * graph.m
+    assert (
+        result.metrics.messages_delivered + result.metrics.messages_lost
+        == sent
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_knowledge_never_shrinks_and_caps_at_n(seed):
+    graph = ring_graph(7, seed=2)
+
+    def protocol(ctx):
+        for round_number in (1, 2, 3):
+            yield Awake(round_number, ctx.broadcast(ctx.node_id))
+        return None
+
+    result = simulate(graph, protocol, seed=seed, track_knowledge=True)
+    for node in graph.node_ids:
+        curve = result.knowledge.growth_curve(node)
+        sizes = [size for _, size in curve]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] <= graph.n
+        # Three aligned exchanges on a ring: knowledge radius 3.
+        assert sizes[-1] == 7

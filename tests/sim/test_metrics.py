@@ -1,0 +1,51 @@
+"""Metrics aggregation unit tests."""
+
+from __future__ import annotations
+
+from repro.sim import Metrics
+
+
+class TestMetrics:
+    def test_empty_metrics(self):
+        metrics = Metrics()
+        assert metrics.max_awake == 0
+        assert metrics.mean_awake == 0.0
+        assert metrics.awake_round_product == 0
+
+    def test_node_counters_autocreate(self):
+        metrics = Metrics()
+        metrics.node(7).awake_rounds = 3
+        assert metrics.per_node[7].awake_rounds == 3
+
+    def test_max_and_mean_awake(self):
+        metrics = Metrics()
+        metrics.node(1).awake_rounds = 2
+        metrics.node(2).awake_rounds = 8
+        metrics.total_awake_rounds = 10
+        assert metrics.max_awake == 8
+        assert metrics.mean_awake == 5.0
+
+    def test_awake_round_product(self):
+        metrics = Metrics()
+        metrics.rounds = 100
+        metrics.node(1).awake_rounds = 4
+        assert metrics.awake_round_product == 400
+
+    def test_awake_distribution_sorted(self):
+        metrics = Metrics()
+        for node, awake in ((1, 5), (2, 1), (3, 3)):
+            metrics.node(node).awake_rounds = awake
+        assert metrics.awake_distribution() == [1, 3, 5]
+
+    def test_summary_keys(self):
+        summary = Metrics().summary()
+        for key in ("rounds", "max_awake", "awake_round_product", "messages_lost"):
+            assert key in summary
+
+    def test_node_metrics_as_dict(self):
+        metrics = Metrics()
+        node = metrics.node(1)
+        node.messages_sent = 4
+        payload = node.as_dict()
+        assert payload["messages_sent"] == 4
+        assert set(payload) >= {"awake_rounds", "bits_sent", "terminated_round"}

@@ -1,0 +1,86 @@
+"""Node-side API: Awake, NodeContext, protocol stepping helpers."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.sim.node import (
+    Awake,
+    NodeContext,
+    prime_protocol,
+    run_protocol_step,
+)
+
+
+def make_context(**overrides):
+    defaults = dict(
+        node_id=3,
+        n=5,
+        max_id=5,
+        ports=(0, 1, 2),
+        port_weights={0: 10, 1: 7, 2: 22},
+        rng=Random(0),
+    )
+    defaults.update(overrides)
+    return NodeContext(**defaults)
+
+
+class TestAwake:
+    def test_defaults_to_silent(self):
+        action = Awake(4)
+        assert dict(action.sends) == {}
+
+    def test_rejects_round_below_one(self):
+        with pytest.raises(ValueError):
+            Awake(0)
+        with pytest.raises(ValueError):
+            Awake(-3)
+
+    def test_carries_sends(self):
+        action = Awake(2, {0: "x", 1: "y"})
+        assert action.sends[0] == "x"
+
+
+class TestNodeContext:
+    def test_degree(self):
+        assert make_context().degree == 3
+
+    def test_min_weight_port(self):
+        assert make_context().min_weight_port() == 1
+
+    def test_broadcast_addresses_every_port(self):
+        sends = make_context().broadcast("msg")
+        assert sends == {0: "msg", 1: "msg", 2: "msg"}
+
+
+class TestProtocolStepping:
+    def test_prime_returns_first_action(self):
+        def protocol():
+            inbox = yield Awake(1)
+            return inbox
+
+        generator = protocol()
+        finished, action = prime_protocol(generator)
+        assert not finished
+        assert action.round == 1
+
+    def test_step_delivers_inbox_and_finishes(self):
+        def protocol():
+            inbox = yield Awake(1)
+            return sorted(inbox)
+
+        generator = protocol()
+        prime_protocol(generator)
+        finished, value = run_protocol_step(generator, {1: "a", 0: "b"})
+        assert finished
+        assert value == [0, 1]
+
+    def test_immediate_return(self):
+        def protocol():
+            return "early"
+            yield  # pragma: no cover
+
+        finished, value = prime_protocol(protocol())
+        assert finished and value == "early"

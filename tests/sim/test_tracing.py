@@ -1,0 +1,64 @@
+"""EventTrace and KnowledgeTracker unit tests."""
+
+from __future__ import annotations
+
+from repro.sim import EventTrace, KnowledgeTracker
+
+
+class TestEventTrace:
+    def test_record_and_filter(self):
+        trace = EventTrace()
+        trace.record(1, "wake", 5)
+        trace.record(1, "send", 5, peer=6, detail="msg")
+        trace.record(2, "wake", 6)
+        assert len(trace) == 3
+        assert [e.node for e in trace.of_kind("wake")] == [5, 6]
+        assert trace.for_node(5)[1].detail == "msg"
+
+    def test_wake_rounds_ordered(self):
+        trace = EventTrace()
+        for round_number in (3, 9, 27):
+            trace.record(round_number, "wake", 1)
+        assert trace.wake_rounds(1) == [3, 9, 27]
+
+    def test_iteration(self):
+        trace = EventTrace()
+        trace.record(1, "wake", 1)
+        assert [event.kind for event in trace] == ["wake"]
+
+
+class TestKnowledgeTracker:
+    def test_initial_knowledge_is_self(self):
+        tracker = KnowledgeTracker([10, 20, 30])
+        assert tracker.known_nodes(10) == {10}
+        assert tracker.size(20) == 1
+
+    def test_absorb_merges_masks(self):
+        tracker = KnowledgeTracker([1, 2, 3])
+        mask_of_2 = tracker.snapshot(2)
+        tracker.absorb(1, [mask_of_2])
+        assert tracker.known_nodes(1) == {1, 2}
+
+    def test_transitive_knowledge_via_snapshots(self):
+        tracker = KnowledgeTracker([1, 2, 3])
+        tracker.absorb(2, [tracker.snapshot(3)])
+        # Now 2 knows {2,3}; its snapshot carries both to 1.
+        tracker.absorb(1, [tracker.snapshot(2)])
+        assert tracker.known_nodes(1) == {1, 2, 3}
+
+    def test_growth_curve_records_awake_counts(self):
+        tracker = KnowledgeTracker([1, 2])
+        tracker.absorb(1, [tracker.snapshot(2)])
+        tracker.note_awake(1)
+        curve = tracker.growth_curve(1)
+        assert curve == [(0, 1), (1, 2)]
+
+    def test_max_knowledge_after(self):
+        tracker = KnowledgeTracker([1, 2, 3, 4])
+        tracker.absorb(1, [tracker.snapshot(2), tracker.snapshot(3)])
+        tracker.note_awake(1)
+        tracker.note_awake(2)
+        assert tracker.max_knowledge_after(0) == 1
+        assert tracker.max_knowledge_after(1) == 3
+        # Counts beyond observed: knowledge only grows, so still 3.
+        assert tracker.max_knowledge_after(10) == 3
