@@ -21,6 +21,7 @@ from .sweep import (
     FAMILIES,
     SweepPoint,
     fit_sweep,
+    points_from_records,
     run_sweep,
     to_csv,
     to_markdown,
@@ -32,6 +33,8 @@ from .tables import (
     Table1,
     generate_table1,
     render_table,
+    table1_from_records,
+    table1_from_store,
 )
 from .walkthrough import (
     NodeSnapshot,
@@ -69,9 +72,12 @@ __all__ = [
     "generate_table1",
     "geometric_mean",
     "phase_history",
+    "points_from_records",
     "render_table",
     "run_merging_walkthrough",
     "run_sweep",
+    "table1_from_records",
+    "table1_from_store",
     "to_csv",
     "to_markdown",
     "worst_merge_diameter",

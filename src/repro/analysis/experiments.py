@@ -15,6 +15,7 @@ Run from a checkout::
 from __future__ import annotations
 
 import argparse
+import inspect
 import math
 from typing import Any, Dict, List, Sequence
 
@@ -43,16 +44,21 @@ from .tables import generate_table1, render_table
 from .walkthrough import run_merging_walkthrough
 
 
-def experiment_table1(quick: bool = False) -> Dict[str, Any]:
-    """T1-R / T1-D / BASE: measured Table 1 plus asymptotic fits."""
+def experiment_table1(quick: bool = False, workers: int = 1) -> Dict[str, Any]:
+    """T1-R / T1-D / BASE: measured Table 1 plus asymptotic fits.
+
+    The (algorithm × n × seed) grids are submitted to the orchestrator;
+    ``workers > 1`` runs the cells in a process pool.
+    """
     sizes = (16, 32, 64) if quick else (16, 32, 64, 128, 256)
     det_sizes = (8, 16, 32) if quick else (8, 16, 32, 64, 96)
     seeds = (0, 1) if quick else (0, 1, 2)
     randomized = generate_table1(
-        sizes, seeds, algorithms=["Randomized-MST", "Traditional-GHS"]
+        sizes, seeds, algorithms=["Randomized-MST", "Traditional-GHS"],
+        workers=workers,
     )
     deterministic = generate_table1(
-        det_sizes, seeds, algorithms=["Deterministic-MST"]
+        det_sizes, seeds, algorithms=["Deterministic-MST"], workers=workers
     )
     table = randomized
     table.rows.extend(deterministic.rows)
@@ -99,20 +105,38 @@ def experiment_theorem3(quick: bool = False) -> Dict[str, Any]:
     }
 
 
-def experiment_theorem4(quick: bool = False) -> Dict[str, Any]:
-    """T1-LB2: the awake x rounds product sits at Ω̃(n) for everyone."""
+def experiment_theorem4(quick: bool = False, workers: int = 1) -> Dict[str, Any]:
+    """T1-LB2: the awake x rounds product sits at Ω̃(n) for everyone.
+
+    One orchestrator grid — (Randomized-MST, Traditional-GHS) × sizes on
+    the ``gnp`` family with seed ``n`` — executed with crash isolation
+    and optional parallelism instead of an in-process loop.
+    """
+    from repro.orchestrator import JobSpec, run_jobs
+
     sizes = (16, 32, 64) if quick else (16, 32, 64, 128, 256)
+    specs = [
+        JobSpec.create(algorithm, "gnp", n, seed=n)
+        for n in sizes
+        for algorithm in ("Randomized-MST", "Traditional-GHS")
+    ]
+    report = run_jobs(specs, workers=workers)
+    if report.failed:
+        raise RuntimeError(f"theorem4 grid failed: {report.failures()[0].error}")
+    by_cell = {
+        (record.metrics["algorithm"], record.metrics["n"]): record.metrics
+        for record in report.records
+    }
     rows: List[Dict[str, Any]] = []
     for n in sizes:
-        graph = random_connected_graph(n, extra_edge_prob=0.1, seed=n)
-        randomized = run_randomized_mst(graph, seed=0)
-        traditional = run_traditional_ghs(graph, seed=0)
+        randomized = by_cell[("Randomized-MST", n)]
+        traditional = by_cell[("Traditional-GHS", n)]
         rows.append(
             {
                 "n": n,
-                "randomized_product": randomized.metrics.awake_round_product,
-                "traditional_product": traditional.metrics.awake_round_product,
-                "randomized_product_per_n": randomized.metrics.awake_round_product / n,
+                "randomized_product": randomized["awake_round_product"],
+                "traditional_product": traditional["awake_round_product"],
+                "randomized_product_per_n": randomized["awake_round_product"] / n,
             }
         )
     products = [row["randomized_product"] for row in rows]
@@ -308,11 +332,21 @@ def main(argv: Sequence[str] = None) -> None:
         action="append",
         help="run a subset of experiments",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for grid-shaped experiments",
+    )
     args = parser.parse_args(argv)
     chosen = args.only or sorted(ALL_EXPERIMENTS)
     for name in chosen:
         print(f"\n=== {name} ===")
-        outcome = ALL_EXPERIMENTS[name](quick=args.quick)
+        driver = ALL_EXPERIMENTS[name]
+        kwargs: Dict[str, Any] = {"quick": args.quick}
+        if "workers" in inspect.signature(driver).parameters:
+            kwargs["workers"] = args.workers
+        outcome = driver(**kwargs)
         if name == "table1":
             print(outcome["rendered"])
             for fit_name, fit in outcome["fits"].items():

@@ -5,47 +5,33 @@ the general tool — run any registered algorithms over any registered graph
 families across sizes and seeds, collect one flat record per run, and
 export CSV / Markdown for external analysis.  Used by the CLI's ``sweep``
 subcommand.
+
+Grids execute through :mod:`repro.orchestrator` — ``run_sweep`` accepts
+``workers`` for pool execution plus optional ``cache``/``store`` handles,
+and :func:`points_from_records` rebuilds sweep points from any orchestrator
+run store.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.graphs import (
-    WeightedGraph,
-    complete_graph,
-    grid_graph,
-    path_graph,
-    random_connected_graph,
-    random_geometric_graph,
-    ring_graph,
-    star_graph,
+from repro.orchestrator import (
+    GRAPH_FAMILIES,
+    ResultCache,
+    RunRecord,
+    RunStore,
+    STATUS_OK,
+    expand_grid,
+    run_jobs,
 )
 
 from .complexity import ScalingFit, fit_scaling
-from .tables import ALGORITHMS
 
-#: Graph families available to sweeps (and the CLI).
-FAMILIES: Dict[str, Callable[[int, int, Optional[int]], WeightedGraph]] = {
-    "ring": lambda n, seed, idr: ring_graph(n, seed=seed, id_range=idr),
-    "path": lambda n, seed, idr: path_graph(n, seed=seed, id_range=idr),
-    "star": lambda n, seed, idr: star_graph(n, seed=seed, id_range=idr),
-    "complete": lambda n, seed, idr: complete_graph(n, seed=seed, id_range=idr),
-    "grid": lambda n, seed, idr: grid_graph(
-        max(2, int(math.isqrt(n))),
-        max(2, n // max(2, int(math.isqrt(n)))),
-        seed=seed,
-        id_range=idr,
-    ),
-    "gnp": lambda n, seed, idr: random_connected_graph(
-        n, extra_edge_prob=0.1, seed=seed, id_range=idr
-    ),
-    "geometric": lambda n, seed, idr: random_geometric_graph(
-        n, radius=0.35, seed=seed, id_range=idr
-    ),
-}
+#: Graph families available to sweeps (and the CLI).  Re-exported from the
+#: orchestrator registry — the single source of truth.
+FAMILIES = GRAPH_FAMILIES
 
 
 @dataclass(frozen=True)
@@ -87,49 +73,46 @@ COLUMNS = [
 ]
 
 
+def points_from_records(records: Iterable[Union[RunRecord, dict]]) -> List[SweepPoint]:
+    """Rebuild sweep points from orchestrator records (skips failures)."""
+    points: List[SweepPoint] = []
+    for record in records:
+        if isinstance(record, dict):
+            record = RunRecord.from_dict(record)
+        if record.status != STATUS_OK or record.metrics is None:
+            continue
+        points.append(SweepPoint(**record.metrics))
+    return points
+
+
 def run_sweep(
     algorithms: Sequence[str],
     families: Sequence[str],
     sizes: Sequence[int],
     seeds: Sequence[int],
     id_range_factor: Optional[int] = None,
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[Union[RunStore, str]] = None,
 ) -> List[SweepPoint]:
-    """Run the full grid; returns one :class:`SweepPoint` per run."""
-    for name in algorithms:
-        if name not in ALGORITHMS:
-            raise ValueError(f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}")
-    for name in families:
-        if name not in FAMILIES:
-            raise ValueError(f"unknown family {name!r}; choose from {sorted(FAMILIES)}")
+    """Run the full grid; returns one :class:`SweepPoint` per run.
 
-    points: List[SweepPoint] = []
-    for family in families:
-        for n in sizes:
-            for seed in seeds:
-                id_range = None if id_range_factor is None else id_range_factor * n
-                graph = FAMILIES[family](n, seed, id_range)
-                for algorithm in algorithms:
-                    result = ALGORITHMS[algorithm](graph, seed)
-                    metrics = result.metrics
-                    points.append(
-                        SweepPoint(
-                            algorithm=algorithm,
-                            family=family,
-                            n=graph.n,
-                            m=graph.m,
-                            max_id=graph.max_id,
-                            seed=seed,
-                            phases=result.phases,
-                            max_awake=metrics.max_awake,
-                            mean_awake=round(metrics.mean_awake, 3),
-                            rounds=metrics.rounds,
-                            awake_round_product=metrics.awake_round_product,
-                            messages=metrics.messages_delivered,
-                            bits=metrics.total_bits,
-                            correct=result.is_correct_mst(graph),
-                        )
-                    )
-    return points
+    The grid goes through the orchestrator: ``workers > 1`` executes
+    cells in a process pool, and a ``cache`` serves previously computed
+    cells.  A failure anywhere in the grid raises (sweeps either return
+    the complete grid or nothing).
+    """
+    specs = expand_grid(algorithms, families, sizes, seeds, id_range_factor)
+    report = run_jobs(specs, workers=workers, cache=cache, store=store)
+    failures = report.failures()
+    if failures:
+        first = failures[0]
+        raise RuntimeError(
+            f"{len(failures)}/{report.total} sweep cells failed; "
+            f"first: {first.spec} -> {first.error}"
+        )
+    return points_from_records(report.records)
 
 
 def to_csv(points: Iterable[SweepPoint]) -> str:

@@ -9,21 +9,42 @@ it means measuring AT and RT across sizes and exhibiting that
 * both sit above the AT bound Ω(log n) and the AT × RT bound Ω̃(n);
 * the traditional-model comparator pays AT = RT.
 
-:func:`generate_table1` runs everything and returns structured rows;
-:func:`render_table` prints them in the paper's layout.
+:func:`generate_table1` runs everything — through the orchestrator, so
+grids parallelise with ``workers`` and repeat runs hit the result cache —
+and returns structured rows; :func:`table1_from_records` builds the same
+rows from any orchestrator run-store ledger; :func:`render_table` prints
+them in the paper's layout.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
-from repro.baselines import run_pipelined_ghs, run_traditional_ghs
-from repro.core import run_deterministic_mst, run_randomized_mst
-from repro.graphs import WeightedGraph, random_connected_graph
+from repro.graphs import WeightedGraph
+from repro.orchestrator import (
+    ALGORITHMS,
+    ResultCache,
+    RunRecord,
+    RunStore,
+    STATUS_OK,
+    expand_grid,
+    load_records,
+    run_jobs,
+)
 
 from .complexity import fit_scaling
+
+__all__ = [
+    "ALGORITHMS",
+    "MeasuredRow",
+    "Table1",
+    "generate_table1",
+    "render_table",
+    "table1_from_records",
+    "table1_from_store",
+]
 
 
 @dataclass(frozen=True)
@@ -77,16 +98,54 @@ class Table1:
         )
 
 
-#: The runners behind each Table 1 row (+ the traditional comparator).
-ALGORITHMS: Dict[str, Callable] = {
-    "Randomized-MST": lambda graph, seed: run_randomized_mst(graph, seed=seed),
-    "Deterministic-MST": lambda graph, seed: run_deterministic_mst(graph, seed=seed),
-    "LogStar-MST": lambda graph, seed: run_deterministic_mst(
-        graph, seed=seed, coloring="log-star"
-    ),
-    "Traditional-GHS": lambda graph, seed: run_traditional_ghs(graph, seed=seed),
-    "Pipelined-GHS": lambda graph, seed: run_pipelined_ghs(graph, seed=seed),
-}
+def table1_from_records(
+    records: Iterable[Union[RunRecord, dict]],
+    algorithms: Optional[Sequence[str]] = None,
+) -> Table1:
+    """Aggregate orchestrator records into Table 1 rows.
+
+    Seeds at the same (algorithm, n) are averaged, mirroring the live
+    measurement path, so a table fitted from a stored JSONL ledger is
+    identical to one measured in-process.
+    """
+    grouped: dict = {}
+    for record in records:
+        if isinstance(record, dict):
+            record = RunRecord.from_dict(record)
+        if record.status != STATUS_OK or record.metrics is None:
+            continue
+        metrics = record.metrics
+        grouped.setdefault((metrics["algorithm"], metrics["n"]), []).append(metrics)
+    if algorithms is not None:
+        order = {name: rank for rank, name in enumerate(algorithms)}
+        keys = sorted(
+            (key for key in grouped if key[0] in order),
+            key=lambda key: (order[key[0]], key[1]),
+        )
+    else:
+        keys = sorted(grouped)
+    table = Table1()
+    for algorithm, n in keys:
+        cells = grouped[(algorithm, n)]
+        count = len(cells)
+        table.rows.append(
+            MeasuredRow(
+                algorithm=algorithm,
+                n=n,
+                max_id=cells[0]["max_id"],
+                max_awake=sum(cell["max_awake"] for cell in cells) / count,
+                rounds=sum(cell["rounds"] for cell in cells) / count,
+                product=sum(cell["awake_round_product"] for cell in cells) / count,
+                correct_runs=sum(1 for cell in cells if cell["correct"]),
+                total_runs=count,
+            )
+        )
+    return table
+
+
+def table1_from_store(path) -> Table1:
+    """Fit Table 1 straight from a run-store JSONL file."""
+    return table1_from_records(load_records(path))
 
 
 def generate_table1(
@@ -94,12 +153,31 @@ def generate_table1(
     seeds: Sequence[int] = (0, 1, 2),
     graph_factory: Optional[Callable[[int, int], WeightedGraph]] = None,
     algorithms: Optional[Sequence[str]] = None,
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[Union[RunStore, str]] = None,
 ) -> Table1:
-    """Measure every Table 1 algorithm across ``sizes`` x ``seeds``."""
-    factory = graph_factory or (
-        lambda n, seed: random_connected_graph(n, extra_edge_prob=0.1, seed=seed)
-    )
+    """Measure every Table 1 algorithm across ``sizes`` x ``seeds``.
+
+    Without a custom ``graph_factory`` the grid (on the default ``gnp``
+    family) runs through the orchestrator, honouring ``workers``,
+    ``cache``, and ``store``.  A custom factory falls back to the direct
+    in-process loop (arbitrary callables cannot be content-hashed).
+    """
     chosen = list(algorithms) if algorithms else list(ALGORITHMS)
+    if graph_factory is None:
+        specs = expand_grid(chosen, ["gnp"], sizes, seeds)
+        report = run_jobs(specs, workers=workers, cache=cache, store=store)
+        failures = report.failures()
+        if failures:
+            first = failures[0]
+            raise RuntimeError(
+                f"{len(failures)}/{report.total} Table 1 cells failed; "
+                f"first: {first.spec} -> {first.error}"
+            )
+        return table1_from_records(report.records, algorithms=chosen)
+
     table = Table1()
     for name in chosen:
         runner = ALGORITHMS[name]
@@ -107,7 +185,7 @@ def generate_table1(
             awake_total = rounds_total = product_total = 0.0
             correct = 0
             for seed in seeds:
-                graph = factory(n, seed)
+                graph = graph_factory(n, seed)
                 result = runner(graph, seed)
                 awake_total += result.metrics.max_awake
                 rounds_total += result.metrics.rounds
@@ -119,7 +197,7 @@ def generate_table1(
                 MeasuredRow(
                     algorithm=name,
                     n=n,
-                    max_id=factory(n, seeds[0]).max_id,
+                    max_id=graph_factory(n, seeds[0]).max_id,
                     max_awake=awake_total / count,
                     rounds=rounds_total / count,
                     product=product_total / count,

@@ -5,7 +5,12 @@ Subcommands
 ``run``
     Run one algorithm on a generated graph and print the metrics the paper
     is about (awake complexity, round complexity, their product,
-    correctness).
+    correctness).  ``--json`` emits one machine-readable object instead.
+``batch``
+    Run an (algorithm × family × n × seed) grid through the orchestrator:
+    worker-pool parallelism (``--workers``), a content-addressed result
+    cache (re-running a grid only executes new cells), an append-only
+    JSONL run store, and ``--resume`` to finish an interrupted grid.
 ``table1``
     Regenerate Table 1 across sizes and print the fitted constants.
 ``experiments``
@@ -20,44 +25,21 @@ Examples::
     python -m repro.cli run --algorithm deterministic --coloring log-star \
         --graph gnp --n 32 --id-range 512
     python -m repro.cli table1 --sizes 16 32 64
+    python -m repro.cli batch --algorithms randomized deterministic \
+        --families ring gnp --sizes 16 32 --seeds 3 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.baselines import run_sleeping_spanning_tree, run_traditional_ghs
 from repro.core import run_deterministic_mst, run_randomized_mst
-from repro.graphs import (
-    WeightedGraph,
-    complete_graph,
-    grid_graph,
-    path_graph,
-    random_connected_graph,
-    random_geometric_graph,
-    ring_graph,
-    star_graph,
-)
-
-GRAPH_FAMILIES: Dict[str, Callable[[int, int, Optional[int]], WeightedGraph]] = {
-    "ring": lambda n, seed, idr: ring_graph(n, seed=seed, id_range=idr),
-    "path": lambda n, seed, idr: path_graph(n, seed=seed, id_range=idr),
-    "star": lambda n, seed, idr: star_graph(n, seed=seed, id_range=idr),
-    "complete": lambda n, seed, idr: complete_graph(n, seed=seed, id_range=idr),
-    "grid": lambda n, seed, idr: grid_graph(
-        max(2, int(math.isqrt(n))), max(2, n // max(2, int(math.isqrt(n)))),
-        seed=seed, id_range=idr,
-    ),
-    "gnp": lambda n, seed, idr: random_connected_graph(
-        n, extra_edge_prob=0.1, seed=seed, id_range=idr
-    ),
-    "geometric": lambda n, seed, idr: random_geometric_graph(
-        n, radius=0.35, seed=seed, id_range=idr
-    ),
-}
+from repro.orchestrator import GRAPH_FAMILIES
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -76,13 +58,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         result = run_sleeping_spanning_tree(graph, seed=args.seed, **sim_kwargs)
 
+    trace_events = None
     if args.save_trace:
         from repro.sim import save_trace
 
-        events = save_trace(result.simulation, args.save_trace)
-        print(f"trace            : {events} events -> {args.save_trace}")
+        trace_events = save_trace(result.simulation, args.save_trace)
 
     metrics = result.metrics
+    if args.algorithm in ("randomized", "deterministic", "traditional"):
+        ok = result.is_correct_mst(graph)
+        check = "correct MST"
+    else:
+        from repro.graphs import is_spanning_tree
+
+        ok = is_spanning_tree(graph, result.mst_weights)
+        check = "spanning tree"
+
+    if args.json:
+        payload = {
+            "algorithm": result.algorithm,
+            "graph": {
+                "family": args.graph,
+                "n": graph.n,
+                "m": graph.m,
+                "max_id": graph.max_id,
+                "seed": args.seed,
+            },
+            "phases": result.phases,
+            "metrics": metrics.summary(),
+            "correct": ok,
+        }
+        if trace_events is not None:
+            payload["trace"] = {"events": trace_events, "path": args.save_trace}
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if ok else 1
+
+    if trace_events is not None:
+        print(f"trace            : {trace_events} events -> {args.save_trace}")
     print(f"algorithm        : {result.algorithm}")
     print(f"graph            : {args.graph} n={graph.n} m={graph.m} N={graph.max_id}")
     print(f"phases           : {result.phases}")
@@ -94,15 +106,95 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"messages         : {metrics.messages_delivered} delivered / "
           f"{metrics.messages_lost} lost")
     print(f"max message bits : {metrics.max_message_bits}")
-    if args.algorithm in ("randomized", "deterministic", "traditional"):
-        correct = result.is_correct_mst(graph)
-        print(f"correct MST      : {correct}")
-        return 0 if correct else 1
-    from repro.graphs import is_spanning_tree
-
-    ok = is_spanning_tree(graph, result.mst_weights)
-    print(f"spanning tree    : {ok}")
+    print(f"{check:<17}: {ok}")
     return 0 if ok else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.orchestrator import (
+        ProgressReporter,
+        ResultCache,
+        expand_grid,
+        grid_key,
+        run_jobs,
+    )
+
+    grid = {
+        "algorithms": args.algorithms,
+        "families": args.families,
+        "sizes": args.sizes,
+        "seeds": args.seeds,
+        "id_range_factor": args.id_range_factor,
+        "options": {},
+    }
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        unknown = set(loaded) - set(grid)
+        if unknown:
+            print(f"unknown spec keys: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        grid.update(loaded)
+
+    seeds = grid["seeds"]
+    seed_list = list(range(seeds)) if isinstance(seeds, int) else [int(s) for s in seeds]
+    try:
+        specs = expand_grid(
+            grid["algorithms"],
+            grid["families"],
+            grid["sizes"],
+            seed_list,
+            id_range_factor=grid["id_range_factor"],
+            options=grid["options"] or None,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    store_path = args.resume or args.store or f"batch-{grid_key(specs)[:8]}.jsonl"
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = ProgressReporter(
+        total=len(specs),
+        stream=None if args.quiet else sys.stderr,
+        min_interval_s=1.0,
+    )
+    report = run_jobs(
+        specs,
+        workers=args.workers,
+        cache=cache,
+        store=store_path,
+        resume=args.resume,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=progress,
+    )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "store": str(store_path),
+                    "summary": report.summary(),
+                    "records": [record.to_dict() for record in report.records],
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"grid      : {report.total} jobs -> {store_path}")
+        print(f"executed  : {report.executed}")
+        print(f"cached    : {report.cached}")
+        print(f"resumed   : {report.resumed}")
+        print(f"failed    : {report.failed}")
+        throughput = (report.progress or {}).get("throughput_jobs_per_s", 0.0)
+        print(f"elapsed   : {report.elapsed_s:.2f}s ({throughput:.1f} job/s)")
+        for failure in report.failures()[:5]:
+            spec = failure.spec
+            print(
+                f"  FAILED {spec['algorithm']}/{spec['family']}"
+                f"/n={spec['n']}/seed={spec['seed']}: {failure.error}"
+            )
+    return 0 if report.failed == 0 else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -112,6 +204,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         sizes=tuple(args.sizes),
         seeds=tuple(range(args.seeds)),
         algorithms=args.algorithms,
+        workers=args.workers,
     )
     print(render_table(table))
     for name in args.algorithms or []:
@@ -127,6 +220,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     forwarded = []
     if args.quick:
         forwarded.append("--quick")
+    if args.workers != 1:
+        forwarded.extend(["--workers", str(args.workers)])
     for name in args.only or []:
         forwarded.extend(["--only", name])
     experiments_main(forwarded)
@@ -142,6 +237,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sizes=args.sizes,
         seeds=list(range(args.seeds)),
         id_range_factor=args.id_range_factor,
+        workers=args.workers,
     )
     rendered = to_csv(points) if args.format == "csv" else to_markdown(points)
     if args.output:
@@ -202,7 +298,59 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record the execution trace and save it as JSONL",
     )
+    run_parser.add_argument(
+        "--json", action="store_true", help="emit one JSON object instead of text"
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="run a job grid through the orchestrator (pool + cache + store)",
+    )
+    batch_parser.add_argument(
+        "--algorithms", nargs="+", default=["randomized"],
+        help="canonical names or aliases (randomized, deterministic, ...)",
+    )
+    batch_parser.add_argument("--families", nargs="+", default=["gnp"])
+    batch_parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32])
+    batch_parser.add_argument(
+        "--seeds", type=int, default=2, help="number of seeds (0..N-1) per cell"
+    )
+    batch_parser.add_argument("--id-range-factor", type=int, default=None)
+    batch_parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="JSON grid spec file; its keys override the grid flags",
+    )
+    batch_parser.add_argument("--workers", type=int, default=1)
+    batch_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="JSONL run store (default: batch-<gridhash>.jsonl)",
+    )
+    batch_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from an existing store: execute only failed/missing cells",
+    )
+    batch_parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="content-addressed result cache directory",
+    )
+    batch_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    batch_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job seconds budget"
+    )
+    batch_parser.add_argument(
+        "--retries", type=int, default=0, help="retries per failed job"
+    )
+    batch_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the summary and all records as one JSON object",
+    )
+    batch_parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines on stderr"
+    )
+    batch_parser.set_defaults(func=_cmd_batch)
 
     table_parser = subparsers.add_parser("table1", help="regenerate Table 1")
     table_parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])
@@ -213,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["Randomized-MST", "Traditional-GHS"],
         choices=["Randomized-MST", "Deterministic-MST", "Traditional-GHS"],
     )
+    table_parser.add_argument("--workers", type=int, default=1)
     table_parser.set_defaults(func=_cmd_table1)
 
     experiments_parser = subparsers.add_parser(
@@ -220,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments_parser.add_argument("--quick", action="store_true")
     experiments_parser.add_argument("--only", action="append")
+    experiments_parser.add_argument("--workers", type=int, default=1)
     experiments_parser.set_defaults(func=_cmd_experiments)
 
     walkthrough_parser = subparsers.add_parser(
@@ -237,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])
     sweep_parser.add_argument("--seeds", type=int, default=2)
     sweep_parser.add_argument("--id-range-factor", type=int, default=None)
+    sweep_parser.add_argument("--workers", type=int, default=1)
     sweep_parser.add_argument(
         "--format", choices=("csv", "markdown"), default="csv"
     )

@@ -1,0 +1,159 @@
+"""Declarative job specifications with stable content hashes.
+
+A :class:`JobSpec` names one ``(algorithm, family, n, seed)`` cell of an
+experiment grid (plus optional sparse-ID range and engine options).  Its
+:attr:`JobSpec.key` is a SHA-256 over the canonical JSON payload, so the
+same cell always hashes identically across processes and sessions — the
+content address used by the result cache and the run store.
+
+:func:`execute_job` is the single place a spec becomes a measurement: it
+builds the graph, runs the algorithm, and returns the flat metrics record
+every consumer (sweep CSVs, Table 1, the batch CLI) shares.  It is a
+module-level function so worker processes can pickle it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .registry import algorithm_runner, graph_factory, resolve_algorithm, resolve_family
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialise ``payload`` deterministically (sorted keys, no spaces)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One (algorithm, family, n, seed) cell of an experiment grid."""
+
+    algorithm: str
+    family: str
+    n: int
+    seed: int
+    id_range: Optional[int] = None
+    #: Extra keyword arguments for the runner (e.g. ``termination``,
+    #: ``coloring``), stored as a sorted tuple so the spec stays hashable.
+    options: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def create(
+        cls,
+        algorithm: str,
+        family: str,
+        n: int,
+        seed: int,
+        id_range: Optional[int] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> "JobSpec":
+        """Build a validated spec; alias names resolve to canonical ones."""
+        return cls(
+            algorithm=resolve_algorithm(algorithm),
+            family=resolve_family(family),
+            n=int(n),
+            seed=int(seed),
+            id_range=None if id_range is None else int(id_range),
+            options=tuple(sorted((options or {}).items())),
+        )
+
+    def payload(self) -> Dict[str, Any]:
+        """The hashable content of this spec, as plain JSON types."""
+        return {
+            "algorithm": self.algorithm,
+            "family": self.family,
+            "n": self.n,
+            "seed": self.seed,
+            "id_range": self.id_range,
+            "options": {key: value for key, value in self.options},
+        }
+
+    @property
+    def key(self) -> str:
+        """Stable content hash identifying this job."""
+        return hashlib.sha256(canonical_json(self.payload()).encode()).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.payload()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobSpec":
+        return cls.create(
+            payload["algorithm"],
+            payload["family"],
+            payload["n"],
+            payload["seed"],
+            id_range=payload.get("id_range"),
+            options=payload.get("options") or {},
+        )
+
+    def label(self) -> str:
+        """Short human-readable identifier for progress lines."""
+        return f"{self.algorithm}/{self.family}/n={self.n}/seed={self.seed}"
+
+
+def expand_grid(
+    algorithms: Sequence[str],
+    families: Sequence[str],
+    sizes: Sequence[int],
+    seeds: Sequence[int],
+    id_range_factor: Optional[int] = None,
+    options: Optional[Mapping[str, Any]] = None,
+) -> List[JobSpec]:
+    """Expand a grid into one :class:`JobSpec` per cell.
+
+    Iteration order matches the historical sweep loop — family, size,
+    seed, algorithm — so exports stay row-compatible.
+    """
+    canonical = [resolve_algorithm(name) for name in algorithms]
+    resolved_families = [resolve_family(name) for name in families]
+    specs: List[JobSpec] = []
+    for family, n, seed in itertools.product(resolved_families, sizes, seeds):
+        id_range = None if id_range_factor is None else id_range_factor * n
+        for algorithm in canonical:
+            specs.append(
+                JobSpec.create(
+                    algorithm, family, n, seed, id_range=id_range, options=options
+                )
+            )
+    return specs
+
+
+def grid_key(specs: Sequence[JobSpec]) -> str:
+    """Content hash of a whole grid (used to name default store files)."""
+    return hashlib.sha256(
+        canonical_json([spec.key for spec in specs]).encode()
+    ).hexdigest()
+
+
+def execute_job(spec: JobSpec) -> Dict[str, Any]:
+    """Run one job and return its flat, deterministic metrics record.
+
+    The record's fields intentionally match
+    :class:`repro.analysis.sweep.SweepPoint` so sweep exports, store
+    records, and cache entries are interchangeable.
+    """
+    graph = graph_factory(spec.family)(spec.n, spec.seed, spec.id_range)
+    runner = algorithm_runner(spec.algorithm)
+    result = runner(graph, spec.seed, **dict(spec.options))
+    metrics = result.metrics
+    return {
+        "algorithm": spec.algorithm,
+        "family": spec.family,
+        "n": graph.n,
+        "m": graph.m,
+        "max_id": graph.max_id,
+        "seed": spec.seed,
+        "phases": result.phases,
+        "max_awake": metrics.max_awake,
+        "mean_awake": round(metrics.mean_awake, 3),
+        "rounds": metrics.rounds,
+        "awake_round_product": metrics.awake_round_product,
+        "messages": metrics.messages_delivered,
+        "bits": metrics.total_bits,
+        "correct": result.is_correct_mst(graph),
+    }

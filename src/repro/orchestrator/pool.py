@@ -1,0 +1,263 @@
+"""Worker-pool execution of job grids with crash isolation and retries.
+
+:func:`run_jobs` is the orchestrator's engine room: it takes a list of
+:class:`~repro.orchestrator.jobs.JobSpec`, consults the resume store and
+the result cache, executes whatever remains (serially or across a
+``multiprocessing`` pool), and returns a :class:`BatchReport` whose
+records are in submission order.
+
+Failure policy: a job whose protocol raises is retried up to ``retries``
+times and then becomes a structured ``failed`` record — it never aborts
+the batch.  Per-job timeouts use ``SIGALRM`` (each worker process runs
+jobs on its own main thread); on platforms without ``SIGALRM`` the
+timeout degrades to unenforced rather than erroring.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache
+from .jobs import JobSpec, execute_job
+from .progress import ProgressReporter
+from .store import STATUS_OK, RunRecord, RunStore
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its time budget."""
+
+
+@contextmanager
+def _job_timeout(seconds: Optional[float]):
+    """Enforce a wall-clock budget via ``SIGALRM`` where available."""
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"job exceeded {seconds}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_with_policy(
+    spec: JobSpec,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+) -> RunRecord:
+    """Execute one job under the failure policy; never raises."""
+    attempts = 0
+    last_error = "unknown error"
+    started = time.perf_counter()
+    for _ in range(max(0, retries) + 1):
+        attempts += 1
+        try:
+            with _job_timeout(timeout):
+                metrics = execute_job(spec)
+        except Exception as exc:  # crash isolation: failures become records
+            last_error = f"{type(exc).__name__}: {exc}"
+            continue
+        return RunRecord.ok(
+            spec,
+            metrics,
+            telemetry={
+                "source": "executed",
+                "elapsed_s": round(time.perf_counter() - started, 4),
+                "attempts": attempts,
+                "pid": os.getpid(),
+            },
+        )
+    return RunRecord.failed(
+        spec,
+        last_error,
+        telemetry={
+            "source": "executed",
+            "elapsed_s": round(time.perf_counter() - started, 4),
+            "attempts": attempts,
+            "pid": os.getpid(),
+        },
+    )
+
+
+def _pool_worker(
+    payload: Tuple[Dict[str, Any], Optional[float], int]
+) -> Dict[str, Any]:
+    """Module-level (picklable) worker entry point."""
+    spec_dict, timeout, retries = payload
+    spec = JobSpec.from_dict(spec_dict)
+    return execute_with_policy(spec, timeout=timeout, retries=retries).to_dict()
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one :func:`run_jobs` call."""
+
+    #: One record per submitted spec, in submission order.
+    records: List[RunRecord] = field(default_factory=list)
+    #: Jobs actually executed this call (cache/resume misses).
+    executed: int = 0
+    #: Jobs served from the result cache.
+    cached: int = 0
+    #: Jobs skipped because the resume store already has an ``ok`` record.
+    resumed: int = 0
+    #: Records with ``status == "failed"`` (after retries).
+    failed: int = 0
+    elapsed_s: float = 0.0
+    cache_stats: Optional[Dict[str, Any]] = None
+    progress: Optional[Dict[str, Any]] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok(self) -> int:
+        return self.total - self.failed
+
+    def failures(self) -> List[RunRecord]:
+        return [record for record in self.records if record.status != STATUS_OK]
+
+    def summary(self) -> Dict[str, Any]:
+        payload = {
+            "total": self.total,
+            "ok": self.ok,
+            "failed": self.failed,
+            "executed": self.executed,
+            "cached": self.cached,
+            "resumed": self.resumed,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+        if self.cache_stats is not None:
+            payload["cache"] = self.cache_stats
+        if self.progress is not None:
+            payload["progress"] = self.progress
+        return payload
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    store: Optional[Union[RunStore, str, Path]] = None,
+    resume: Optional[Union[RunStore, str, Path]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    progress: Optional[ProgressReporter] = None,
+) -> BatchReport:
+    """Run a grid of jobs; returns records in submission order.
+
+    ``resume`` names a prior store: every spec whose latest record there
+    is ``ok`` is skipped and its stored record reused.  ``cache`` serves
+    previously computed cells across stores and sessions.  New records
+    are appended to ``store`` as they finish, so an interrupted batch is
+    resumable from exactly where it died.
+    """
+    started = time.monotonic()
+    run_store = store if isinstance(store, RunStore) else (
+        RunStore(store) if store is not None else None
+    )
+    resume_store = resume if isinstance(resume, RunStore) else (
+        RunStore(resume) if resume is not None else None
+    )
+    same_ledger = (
+        run_store is not None
+        and resume_store is not None
+        and run_store.path.resolve() == resume_store.path.resolve()
+    )
+    if progress is None:
+        progress = ProgressReporter(total=len(specs))
+    report = BatchReport()
+
+    results: List[Optional[RunRecord]] = [None] * len(specs)
+    pending: List[Tuple[int, JobSpec]] = []
+
+    completed = resume_store.latest_by_key() if resume_store is not None else {}
+
+    def _finish(index: int, record: RunRecord, persist: bool) -> None:
+        results[index] = record
+        if record.status != STATUS_OK:
+            report.failed += 1
+        if persist and run_store is not None:
+            run_store.append(record)
+        progress.update(record)
+
+    for index, spec in enumerate(specs):
+        prior = completed.get(spec.key)
+        if prior is not None and prior.status == STATUS_OK:
+            record = RunRecord.from_dict(prior.to_dict())
+            record.telemetry = {"source": "resume"}
+            report.resumed += 1
+            # Already present when resuming in place; re-append only when
+            # writing a fresh ledger from an old one.
+            _finish(index, record, persist=not same_ledger)
+            continue
+        if cache is not None:
+            hit = cache.get(spec.key)
+            if hit is not None:
+                record = RunRecord.from_dict(hit.to_dict())
+                record.telemetry = {"source": "cache"}
+                report.cached += 1
+                _finish(index, record, persist=True)
+                continue
+        pending.append((index, spec))
+
+    def _absorb(index: int, spec: JobSpec, record: RunRecord) -> None:
+        report.executed += 1
+        if cache is not None and record.status == STATUS_OK:
+            cache.put(record)
+        _finish(index, record, persist=True)
+
+    if pending and workers <= 1:
+        for index, spec in pending:
+            _absorb(index, spec, execute_with_policy(spec, timeout, retries))
+    elif pending:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {
+                executor.submit(
+                    _pool_worker, (spec.to_dict(), timeout, retries)
+                ): (index, spec)
+                for index, spec in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, spec = futures[future]
+                    try:
+                        record = RunRecord.from_dict(future.result())
+                    except Exception as exc:
+                        # The worker process itself died (not the job):
+                        # still a structured failure, never a suite abort.
+                        record = RunRecord.failed(
+                            spec,
+                            f"worker crashed: {type(exc).__name__}: {exc}",
+                            telemetry={"source": "executed"},
+                        )
+                    _absorb(index, spec, record)
+
+    report.records = [record for record in results if record is not None]
+    report.elapsed_s = time.monotonic() - started
+    if cache is not None:
+        report.cache_stats = cache.stats()
+    report.progress = progress.summary()
+    return report

@@ -1,0 +1,114 @@
+"""Throughput/ETA reporting and per-job timing telemetry for batches.
+
+:class:`ProgressReporter` is deliberately dumb: the pool calls
+:meth:`ProgressReporter.update` once per finished record, and the
+reporter keeps counters and wall-clock timings.  When constructed with a
+``stream`` it emits one status line per update (rate-limited by
+``min_interval_s``); without one it is a silent accumulator whose
+:meth:`summary` feeds the batch report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+from .store import STATUS_OK, RunRecord
+
+
+class ProgressReporter:
+    """Track batch completion, throughput, ETA, and per-job timings."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.0,
+    ):
+        self.total = total
+        self.stream = stream
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self.ok = 0
+        self.failed = 0
+        self.cached = 0
+        self.resumed = 0
+        self.job_seconds: List[float] = []
+        self._started = time.monotonic()
+        self._last_emit = 0.0
+
+    def update(self, record: RunRecord) -> None:
+        """Record one finished job and maybe emit a status line."""
+        self.done += 1
+        if record.status == STATUS_OK:
+            self.ok += 1
+        else:
+            self.failed += 1
+        source = record.telemetry.get("source")
+        if source == "cache":
+            self.cached += 1
+        elif source == "resume":
+            self.resumed += 1
+        elapsed = record.telemetry.get("elapsed_s")
+        if isinstance(elapsed, (int, float)):
+            self.job_seconds.append(float(elapsed))
+        self._maybe_emit()
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per wall-clock second."""
+        elapsed = self.elapsed_s
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def eta_s(self) -> float:
+        """Estimated seconds to completion at the current throughput."""
+        remaining = max(0, self.total - self.done)
+        rate = self.throughput
+        return remaining / rate if rate > 0 else 0.0
+
+    def line(self) -> str:
+        parts = [
+            f"[{self.done}/{self.total}]",
+            f"ok={self.ok}",
+            f"failed={self.failed}",
+        ]
+        if self.cached:
+            parts.append(f"cached={self.cached}")
+        if self.resumed:
+            parts.append(f"resumed={self.resumed}")
+        parts.append(f"{self.throughput:.1f} job/s")
+        parts.append(f"eta {self.eta_s:.0f}s")
+        return " ".join(parts)
+
+    def _maybe_emit(self) -> None:
+        if self.stream is None:
+            return
+        now = time.monotonic()
+        final = self.done >= self.total
+        if not final and now - self._last_emit < self.min_interval_s:
+            return
+        self._last_emit = now
+        print(self.line(), file=self.stream)
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat telemetry dictionary for reports and ``--json`` output."""
+        timings = sorted(self.job_seconds)
+        return {
+            "total": self.total,
+            "done": self.done,
+            "ok": self.ok,
+            "failed": self.failed,
+            "cached": self.cached,
+            "resumed": self.resumed,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "throughput_jobs_per_s": round(self.throughput, 3),
+            "mean_job_s": (
+                round(sum(timings) / len(timings), 4) if timings else 0.0
+            ),
+            "max_job_s": round(timings[-1], 4) if timings else 0.0,
+        }

@@ -1,0 +1,142 @@
+"""The single algorithm + graph-family registry.
+
+Every driver that names an algorithm or a graph family — the CLI, the
+sweep framework, Table 1, the batch orchestrator — resolves it here, so
+the set of runnable things is defined exactly once.  Canonical algorithm
+names are the Table 1 names (``Randomized-MST``, ...); lowercase CLI-style
+aliases (``randomized``, ...) resolve to them.
+
+Runners all share the signature ``runner(graph, seed, **options)`` and
+return an :class:`repro.core.MSTRunResult`; graph factories share
+``factory(n, seed, id_range)`` and return a connected
+:class:`repro.graphs.WeightedGraph`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Optional
+
+from repro.baselines import run_pipelined_ghs, run_traditional_ghs
+from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.graphs import (
+    WeightedGraph,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    ring_graph,
+    star_graph,
+)
+
+GraphFactory = Callable[[int, int, Optional[int]], WeightedGraph]
+AlgorithmRunner = Callable[..., Any]
+
+#: Graph families available everywhere (CLI ``run``/``sweep``/``batch``,
+#: :mod:`repro.analysis.sweep`, the orchestrator).
+GRAPH_FAMILIES: Dict[str, GraphFactory] = {
+    "ring": lambda n, seed, idr: ring_graph(n, seed=seed, id_range=idr),
+    "path": lambda n, seed, idr: path_graph(n, seed=seed, id_range=idr),
+    "star": lambda n, seed, idr: star_graph(n, seed=seed, id_range=idr),
+    "complete": lambda n, seed, idr: complete_graph(n, seed=seed, id_range=idr),
+    "grid": lambda n, seed, idr: grid_graph(
+        max(2, int(math.isqrt(n))),
+        max(2, n // max(2, int(math.isqrt(n)))),
+        seed=seed,
+        id_range=idr,
+    ),
+    "gnp": lambda n, seed, idr: random_connected_graph(
+        n, extra_edge_prob=0.1, seed=seed, id_range=idr
+    ),
+    "geometric": lambda n, seed, idr: random_geometric_graph(
+        n, radius=0.35, seed=seed, id_range=idr
+    ),
+}
+
+
+def _run_randomized(graph: WeightedGraph, seed: int, **options: Any):
+    return run_randomized_mst(graph, seed=seed, **options)
+
+
+def _run_deterministic(graph: WeightedGraph, seed: int, **options: Any):
+    return run_deterministic_mst(graph, seed=seed, **options)
+
+
+def _run_logstar(graph: WeightedGraph, seed: int, **options: Any):
+    options.setdefault("coloring", "log-star")
+    return run_deterministic_mst(graph, seed=seed, **options)
+
+
+def _run_traditional(graph: WeightedGraph, seed: int, **options: Any):
+    return run_traditional_ghs(graph, seed=seed, **options)
+
+
+def _run_pipelined(graph: WeightedGraph, seed: int, **options: Any):
+    return run_pipelined_ghs(graph, seed=seed, **options)
+
+
+#: The runners behind each Table 1 row (+ the traditional comparators).
+ALGORITHMS: Dict[str, AlgorithmRunner] = {
+    "Randomized-MST": _run_randomized,
+    "Deterministic-MST": _run_deterministic,
+    "LogStar-MST": _run_logstar,
+    "Traditional-GHS": _run_traditional,
+    "Pipelined-GHS": _run_pipelined,
+}
+
+
+def _run_crashing(graph: WeightedGraph, seed: int, **options: Any):
+    raise RuntimeError(
+        f"Crashing-MST always fails (n={graph.n}, seed={seed})"
+    )
+
+
+#: Diagnostic runners resolvable by the orchestrator but deliberately not
+#: part of :data:`ALGORITHMS` (so table/sweep consumers never iterate into
+#: them).  ``Crashing-MST`` exercises crash isolation and resume paths.
+DIAGNOSTIC_ALGORITHMS: Dict[str, AlgorithmRunner] = {
+    "Crashing-MST": _run_crashing,
+}
+
+#: Lowercase CLI-style aliases for the canonical algorithm names.
+ALGORITHM_ALIASES: Dict[str, str] = {
+    "randomized": "Randomized-MST",
+    "deterministic": "Deterministic-MST",
+    "logstar": "LogStar-MST",
+    "log-star": "LogStar-MST",
+    "traditional": "Traditional-GHS",
+    "pipelined": "Pipelined-GHS",
+    "crashing": "Crashing-MST",
+}
+
+
+def resolve_algorithm(name: str) -> str:
+    """Return the canonical name for ``name`` (alias or canonical)."""
+    canonical = ALGORITHM_ALIASES.get(name.lower(), name)
+    if canonical not in ALGORITHMS and canonical not in DIAGNOSTIC_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)} "
+            f"or aliases {sorted(ALGORITHM_ALIASES)}"
+        )
+    return canonical
+
+
+def algorithm_runner(name: str) -> AlgorithmRunner:
+    """Return the runner for ``name`` (canonical or alias)."""
+    canonical = resolve_algorithm(name)
+    return ALGORITHMS.get(canonical) or DIAGNOSTIC_ALGORITHMS[canonical]
+
+
+def resolve_family(name: str) -> str:
+    """Validate a graph-family name and return it."""
+    if name not in GRAPH_FAMILIES:
+        raise ValueError(
+            f"unknown family {name!r}; choose from {sorted(GRAPH_FAMILIES)}"
+        )
+    return name
+
+
+def graph_factory(name: str) -> GraphFactory:
+    """Return the graph factory for family ``name``."""
+    return GRAPH_FAMILIES[resolve_family(name)]

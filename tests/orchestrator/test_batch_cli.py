@@ -1,0 +1,134 @@
+"""End-to-end CLI coverage for ``batch``, ``--resume``, and ``--json``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.orchestrator import RunStore
+
+
+def _batch(tmp_path, *extra, store="runs.jsonl"):
+    return main(
+        [
+            "batch",
+            "--algorithms", "randomized",
+            "--families", "ring", "gnp",
+            "--sizes", "8", "12",
+            "--seeds", "2",
+            "--workers", "2",
+            "--store", str(tmp_path / store),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--quiet",
+            *extra,
+        ]
+    )
+
+
+class TestBatchCLI:
+    def test_batch_writes_store_and_exits_zero(self, tmp_path, capsys):
+        assert _batch(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "executed  : 8" in out
+        records = RunStore(tmp_path / "runs.jsonl").load()
+        assert len(records) == 8
+        assert all(record.status == "ok" for record in records)
+
+    def test_second_invocation_served_from_cache(self, tmp_path, capsys):
+        assert _batch(tmp_path) == 0
+        capsys.readouterr()
+        assert _batch(tmp_path, "--json", store="again.jsonl") == 0
+        payload = json.loads(capsys.readouterr().out)
+        # The acceptance bar is >= 90% cache-served; identical grids hit 100%.
+        assert payload["summary"]["cached"] == payload["summary"]["total"] == 8
+        assert payload["summary"]["executed"] == 0
+        assert payload["summary"]["cache"]["hits"] == 8
+
+    def test_json_records_pipe_cleanly(self, tmp_path, capsys):
+        assert _batch(tmp_path, "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["records"]) == 8
+        record = payload["records"][0]
+        assert record["schema"] == 1
+        assert record["metrics"]["correct"] is True
+        assert record["spec"]["algorithm"] == "Randomized-MST"
+
+    def test_crash_isolation_and_resume_via_cli(self, tmp_path, capsys):
+        store = tmp_path / "mixed.jsonl"
+        argv = [
+            "batch",
+            "--algorithms", "randomized", "crashing",
+            "--families", "ring",
+            "--sizes", "8",
+            "--seeds", "2",
+            "--store", str(store),
+            "--no-cache",
+            "--quiet",
+            "--json",
+        ]
+        assert main(argv) == 1  # failures surface in the exit code
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["failed"] == 2
+        assert payload["summary"]["ok"] == 2
+
+        resumed = main(argv + ["--resume", str(store)])
+        payload = json.loads(capsys.readouterr().out)
+        assert resumed == 1
+        # Only the failed cells re-execute; completed ones are resumed.
+        assert payload["summary"]["resumed"] == 2
+        assert payload["summary"]["executed"] == 2
+
+    def test_spec_file_defines_grid(self, tmp_path, capsys):
+        spec_file = tmp_path / "grid.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "algorithms": ["randomized"],
+                    "families": ["ring"],
+                    "sizes": [8],
+                    "seeds": [0, 5],
+                }
+            )
+        )
+        code = main(
+            [
+                "batch",
+                "--spec", str(spec_file),
+                "--store", str(tmp_path / "spec.jsonl"),
+                "--no-cache",
+                "--quiet",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        seeds = {record["spec"]["seed"] for record in payload["records"]}
+        assert seeds == {0, 5}
+
+    def test_unknown_algorithm_is_a_usage_error(self, tmp_path, capsys):
+        code = main(
+            ["batch", "--algorithms", "quantum", "--quiet",
+             "--store", str(tmp_path / "x.jsonl"), "--no-cache"]
+        )
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestRunJSON:
+    def test_run_json_payload(self, capsys):
+        code = main(
+            ["run", "--graph", "ring", "--n", "8", "--seed", "1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "Randomized-MST"
+        assert payload["correct"] is True
+        assert payload["graph"] == {
+            "family": "ring", "n": 8, "m": 8,
+            "max_id": payload["graph"]["max_id"], "seed": 1,
+        }
+        assert payload["metrics"]["rounds"] > 0
+
+    def test_run_text_output_unchanged(self, capsys):
+        assert main(["run", "--graph", "ring", "--n", "8"]) == 0
+        assert "correct MST      : True" in capsys.readouterr().out

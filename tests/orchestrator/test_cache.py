@@ -1,0 +1,64 @@
+"""Content-addressed result cache: hits, misses, versioning, corruption."""
+
+from __future__ import annotations
+
+from repro.orchestrator import JobSpec, ResultCache, RunRecord
+
+
+def _record(seed: int = 0) -> RunRecord:
+    spec = JobSpec.create("randomized", "ring", 8, seed)
+    return RunRecord.ok(
+        spec,
+        {"algorithm": "Randomized-MST", "n": 8, "seed": seed},
+        telemetry={"elapsed_s": 1.23, "pid": 999},
+    )
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = _record()
+        assert cache.get(record.key) is None
+        assert cache.put(record)
+        hit = cache.get(record.key)
+        assert hit is not None
+        assert hit.metrics == record.metrics
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_telemetry_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = _record()
+        cache.put(record)
+        assert cache.get(record.key).telemetry == {}
+
+    def test_failed_records_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = JobSpec.create("crashing", "ring", 8, 0)
+        assert not cache.put(RunRecord.failed(spec, "boom"))
+        assert cache.get(spec.key) is None
+
+    def test_version_isolation(self, tmp_path):
+        old = ResultCache(tmp_path, version="1.0.0")
+        old.put(_record())
+        bumped = ResultCache(tmp_path, version="2.0.0")
+        assert bumped.get(_record().key) is None  # code changed: recompute
+
+    def test_corrupted_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = _record()
+        cache.put(record)
+        cache.path_for(record.key).write_text("{not json", encoding="utf-8")
+        assert cache.get(record.key) is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_key_mismatch_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = _record()
+        other = _record(seed=5)
+        cache.put(record)
+        # An entry stored under the wrong address must not be served.
+        cache.path_for(other.key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(other.key).write_text(
+            cache.path_for(record.key).read_text(), encoding="utf-8"
+        )
+        assert cache.get(other.key) is None

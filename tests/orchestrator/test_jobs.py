@@ -1,0 +1,112 @@
+"""JobSpec content hashing, grid expansion, and single-job execution."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.orchestrator import (
+    JobSpec,
+    canonical_json,
+    execute_job,
+    expand_grid,
+    grid_key,
+    resolve_algorithm,
+)
+
+
+class TestJobSpec:
+    def test_aliases_resolve_to_canonical(self):
+        spec = JobSpec.create("randomized", "ring", 8, 0)
+        assert spec.algorithm == "Randomized-MST"
+        assert resolve_algorithm("DETERMINISTIC") == "Deterministic-MST"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            JobSpec.create("Quantum-MST", "ring", 8, 0)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            JobSpec.create("randomized", "hypercube", 8, 0)
+
+    def test_key_is_stable_and_content_addressed(self):
+        spec = JobSpec.create("randomized", "ring", 16, 3, id_range=160)
+        again = JobSpec.create("Randomized-MST", "ring", 16, 3, id_range=160)
+        assert spec.key == again.key
+        expected = hashlib.sha256(
+            canonical_json(spec.payload()).encode()
+        ).hexdigest()
+        assert spec.key == expected
+
+    def test_key_distinguishes_every_field(self):
+        base = JobSpec.create("randomized", "ring", 16, 0)
+        variants = [
+            JobSpec.create("traditional", "ring", 16, 0),
+            JobSpec.create("randomized", "path", 16, 0),
+            JobSpec.create("randomized", "ring", 32, 0),
+            JobSpec.create("randomized", "ring", 16, 1),
+            JobSpec.create("randomized", "ring", 16, 0, id_range=64),
+            JobSpec.create(
+                "randomized", "ring", 16, 0, options={"termination": "fixed"}
+            ),
+        ]
+        keys = {spec.key for spec in variants} | {base.key}
+        assert len(keys) == len(variants) + 1
+
+    def test_round_trips_through_dict(self):
+        spec = JobSpec.create(
+            "deterministic", "gnp", 16, 2, options={"coloring": "log-star"}
+        )
+        clone = JobSpec.from_dict(json.loads(canonical_json(spec.to_dict())))
+        assert clone == spec
+        assert clone.key == spec.key
+
+
+class TestExpandGrid:
+    def test_shape_and_order(self):
+        specs = expand_grid(
+            ["randomized", "traditional"], ["ring", "path"], [8, 16], [0, 1]
+        )
+        assert len(specs) == 2 * 2 * 2 * 2
+        # family-major, then size, seed, algorithm (the historical order).
+        assert specs[0].family == "ring" and specs[0].n == 8
+        assert specs[0].algorithm == "Randomized-MST"
+        assert specs[1].algorithm == "Traditional-GHS"
+
+    def test_id_range_factor(self):
+        (spec,) = expand_grid(["randomized"], ["ring"], [8], [0], id_range_factor=10)
+        assert spec.id_range == 80
+
+    def test_grid_key_depends_on_content(self):
+        grid_a = expand_grid(["randomized"], ["ring"], [8], [0])
+        grid_b = expand_grid(["randomized"], ["ring"], [8], [1])
+        assert grid_key(grid_a) != grid_key(grid_b)
+        assert grid_key(grid_a) == grid_key(expand_grid(["randomized"], ["ring"], [8], [0]))
+
+
+class TestExecuteJob:
+    def test_metrics_record(self):
+        spec = JobSpec.create("randomized", "ring", 8, 0)
+        metrics = execute_job(spec)
+        assert metrics["algorithm"] == "Randomized-MST"
+        assert metrics["family"] == "ring"
+        assert metrics["n"] == 8 and metrics["m"] == 8
+        assert metrics["correct"] is True
+        assert metrics["max_awake"] > 0 and metrics["rounds"] > 0
+
+    def test_options_forwarded_to_runner(self):
+        fixed = execute_job(
+            JobSpec.create(
+                "randomized", "ring", 8, 0, options={"termination": "fixed"}
+            )
+        )
+        adaptive = execute_job(JobSpec.create("randomized", "ring", 8, 0))
+        assert fixed["correct"] and adaptive["correct"]
+        # The fixed schedule runs the paper's full phase budget.
+        assert fixed["phases"] >= adaptive["phases"]
+
+    def test_crashing_diagnostic_raises(self):
+        with pytest.raises(RuntimeError, match="Crashing-MST always fails"):
+            execute_job(JobSpec.create("crashing", "ring", 8, 0))

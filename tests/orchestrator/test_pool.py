@@ -1,0 +1,122 @@
+"""Pool execution: determinism, crash isolation, resume, timeout, retries."""
+
+from __future__ import annotations
+
+from repro.orchestrator import (
+    STATUS_FAILED,
+    STATUS_OK,
+    JobSpec,
+    ResultCache,
+    RunStore,
+    expand_grid,
+    run_jobs,
+)
+
+GRID = dict(
+    algorithms=["randomized", "traditional"],
+    families=["ring", "gnp"],
+    sizes=[8, 12],
+    seeds=[0, 1],
+)
+
+
+class TestDeterminismUnderParallelism:
+    def test_serial_pool_and_cache_records_byte_identical(self, tmp_path):
+        """Same JobSpec => byte-identical metric records, however executed."""
+        specs = expand_grid(**GRID)
+        serial = run_jobs(specs, workers=1)
+        pooled = run_jobs(specs, workers=4)
+
+        cache = ResultCache(tmp_path / "cache")
+        primed = run_jobs(specs, workers=4, cache=cache)
+        replayed = run_jobs(specs, workers=1, cache=cache)
+        assert replayed.cached == len(specs)
+        assert replayed.executed == 0
+
+        for a, b, c, d in zip(
+            serial.records, pooled.records, primed.records, replayed.records
+        ):
+            assert a.status == STATUS_OK
+            assert a.fingerprint() == b.fingerprint()
+            assert a.fingerprint() == c.fingerprint()
+            assert a.fingerprint() == d.fingerprint()
+
+    def test_records_in_submission_order(self):
+        specs = expand_grid(**GRID)
+        report = run_jobs(specs, workers=4)
+        assert [record.key for record in report.records] == [
+            spec.key for spec in specs
+        ]
+
+
+class TestCrashIsolationAndResume:
+    def _mixed_grid(self):
+        """Two crashing cells hidden inside an otherwise healthy grid."""
+        good = expand_grid(["randomized"], ["ring"], [8, 12], [0, 1])
+        bad = expand_grid(["crashing"], ["ring"], [8], [0, 1])
+        return good[:2] + bad + good[2:]
+
+    def test_worker_exception_becomes_failed_record(self, tmp_path):
+        specs = self._mixed_grid()
+        store = tmp_path / "runs.jsonl"
+        report = run_jobs(specs, workers=4, store=store)
+        assert report.failed == 2
+        by_status = {record.status for record in report.records}
+        assert by_status == {STATUS_OK, STATUS_FAILED}
+        for failure in report.failures():
+            assert failure.spec["algorithm"] == "Crashing-MST"
+            assert "Crashing-MST always fails" in failure.error
+        # The rest of the grid completed and everything was journaled.
+        assert len(RunStore(store).load()) == len(specs)
+
+    def test_resume_executes_only_failed_and_missing_cells(self, tmp_path):
+        specs = self._mixed_grid()
+        store = tmp_path / "runs.jsonl"
+        first = run_jobs(specs, workers=2, store=store)
+        assert first.executed == len(specs) and first.failed == 2
+
+        # Add one brand-new cell, then resume: only the 2 failed and the
+        # 1 missing cell may execute.
+        extra = JobSpec.create("randomized", "path", 8, 0)
+        second = run_jobs(specs + [extra], workers=2, store=store, resume=store)
+        assert second.resumed == len(specs) - 2
+        assert second.executed == 3
+        assert second.failed == 2  # crashing cells still fail
+
+        # Resumed records were not re-appended to the same ledger.
+        appended = RunStore(store).load()
+        assert len(appended) == len(specs) + 3
+
+    def test_failed_records_never_served_from_cache(self, tmp_path):
+        spec = JobSpec.create("crashing", "ring", 8, 0)
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs([spec], cache=cache)
+        report = run_jobs([spec], cache=cache)
+        assert report.cached == 0 and report.executed == 1
+
+
+class TestPolicy:
+    def test_retries_are_bounded_and_counted(self):
+        spec = JobSpec.create("crashing", "ring", 8, 0)
+        report = run_jobs([spec], retries=2)
+        (record,) = report.records
+        assert record.status == STATUS_FAILED
+        assert record.telemetry["attempts"] == 3
+
+    def test_timeout_produces_failed_record(self):
+        # Deterministic-MST at n=32 takes far longer than 5ms.
+        spec = JobSpec.create("deterministic", "gnp", 32, 0)
+        report = run_jobs([spec], timeout=0.005)
+        (record,) = report.records
+        assert record.status == STATUS_FAILED
+        assert "JobTimeout" in record.error
+
+    def test_report_summary_counts(self, tmp_path):
+        specs = expand_grid(["randomized"], ["ring"], [8], [0, 1])
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs(specs, cache=cache)
+        report = run_jobs(specs, cache=cache)
+        summary = report.summary()
+        assert summary["cached"] == 2 and summary["executed"] == 0
+        assert summary["cache"]["hits"] == 2
+        assert summary["progress"]["done"] == 2

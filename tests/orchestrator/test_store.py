@@ -1,0 +1,77 @@
+"""Append-only JSONL run store: atomic appends, load, resume bookkeeping."""
+
+from __future__ import annotations
+
+import json
+
+from repro.orchestrator import (
+    SCHEMA_VERSION,
+    JobSpec,
+    RunRecord,
+    RunStore,
+    load_records,
+)
+
+
+def _ok(seed: int) -> RunRecord:
+    spec = JobSpec.create("randomized", "ring", 8, seed)
+    return RunRecord.ok(spec, {"seed": seed}, telemetry={"elapsed_s": 0.1})
+
+
+def _failed(seed: int) -> RunRecord:
+    spec = JobSpec.create("randomized", "ring", 8, seed)
+    return RunRecord.failed(spec, "RuntimeError: boom")
+
+
+class TestRunStore:
+    def test_append_load_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.extend([_ok(0), _failed(1)])
+        loaded = store.load()
+        assert [record.status for record in loaded] == ["ok", "failed"]
+        assert loaded[0].metrics == {"seed": 0}
+        assert loaded[1].error == "RuntimeError: boom"
+
+    def test_records_are_schema_versioned(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append(_ok(0))
+        (line,) = (tmp_path / "runs.jsonl").read_text().strip().splitlines()
+        assert json.loads(line)["schema"] == SCHEMA_VERSION
+        assert store.load()[0].schema == SCHEMA_VERSION
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert RunStore(tmp_path / "absent.jsonl").load() == []
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.extend([_ok(0), _ok(1)])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "key": "abc", "spe')  # torn write
+        loaded = store.load()
+        assert len(loaded) == 2
+        assert store.skipped_lines == 1
+
+    def test_completed_keys_skips_failures(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.extend([_ok(0), _failed(1)])
+        assert store.completed_keys() == {_ok(0).key}
+
+    def test_latest_record_wins(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append(_failed(0))
+        store.append(_ok(0))  # a later retry succeeded
+        assert store.completed_keys() == {_ok(0).key}
+        store.append(_failed(0))  # ...and then a re-run regressed
+        assert store.completed_keys() == set()
+
+    def test_load_records_helper(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append(_ok(3))
+        assert load_records(tmp_path / "runs.jsonl")[0].key == _ok(3).key
+
+    def test_fingerprint_excludes_telemetry(self):
+        spec = JobSpec.create("randomized", "ring", 8, 0)
+        first = RunRecord.ok(spec, {"seed": 0}, telemetry={"elapsed_s": 0.5})
+        second = RunRecord.ok(spec, {"seed": 0}, telemetry={"elapsed_s": 9.9})
+        assert first.fingerprint() == second.fingerprint()
