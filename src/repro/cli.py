@@ -11,6 +11,11 @@ Subcommands
     worker-pool parallelism (``--workers``), a content-addressed result
     cache (re-running a grid only executes new cells), an append-only
     JSONL run store, and ``--resume`` to finish an interrupted grid.
+``trace``
+    Run one algorithm with span observability enabled, export a Chrome
+    trace-event JSON (open in Perfetto or chrome://tracing), and print
+    the per-phase × per-block awake breakdown — the paper's "9 blocks ×
+    O(1) awake rounds" decomposition, measured.
 ``table1``
     Regenerate Table 1 across sizes and print the fitted constants.
 ``experiments``
@@ -22,6 +27,8 @@ Subcommands
 Examples::
 
     python -m repro.cli run --algorithm randomized --graph ring --n 64
+    python -m repro.cli trace --algorithm randomized --n 64 \
+        --output trace.json
     python -m repro.cli run --algorithm deterministic --coloring log-star \
         --graph gnp --n 32 --id-range 512
     python -m repro.cli table1 --sizes 16 32 64
@@ -42,21 +49,32 @@ from repro.core import run_deterministic_mst, run_randomized_mst
 from repro.orchestrator import GRAPH_FAMILIES
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _run_algorithm(args: argparse.Namespace, **sim_kwargs):
+    """Shared graph-build + runner dispatch for ``run`` and ``trace``."""
     graph = GRAPH_FAMILIES[args.graph](args.n, args.seed, args.id_range)
-    sim_kwargs = {"trace": True} if args.save_trace else {}
     if args.algorithm == "randomized":
         result = run_randomized_mst(
-            graph, seed=args.seed, termination=args.termination, **sim_kwargs
+            graph,
+            seed=args.seed,
+            termination=getattr(args, "termination", "adaptive"),
+            **sim_kwargs,
         )
     elif args.algorithm == "deterministic":
         result = run_deterministic_mst(
-            graph, coloring=args.coloring, **sim_kwargs
+            graph,
+            coloring=getattr(args, "coloring", "fast-awake"),
+            **sim_kwargs,
         )
     elif args.algorithm == "traditional":
         result = run_traditional_ghs(graph, seed=args.seed, **sim_kwargs)
     else:
         result = run_sleeping_spanning_tree(graph, seed=args.seed, **sim_kwargs)
+    return graph, result
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    sim_kwargs = {"trace": True} if args.save_trace else {}
+    graph, result = _run_algorithm(args, **sim_kwargs)
 
     trace_events = None
     if args.save_trace:
@@ -110,7 +128,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        check_awake_identity,
+        render_block_table,
+        span_log_lines,
+        write_chrome_trace,
+        write_ndjson,
+    )
+
+    graph, result = _run_algorithm(args, observe=True, trace=True)
+    spans = result.spans
+    label = f"{result.algorithm} {args.graph} n={graph.n} seed={args.seed}"
+    events = write_chrome_trace(
+        args.output,
+        spans=spans,
+        trace=result.simulation.trace,
+        label=label,
+        metadata={
+            "algorithm": result.algorithm,
+            "family": args.graph,
+            "n": graph.n,
+            "seed": args.seed,
+        },
+    )
+    ndjson_lines = None
+    if args.ndjson:
+        ndjson_lines = write_ndjson(args.ndjson, span_log_lines(spans))
+
+    mismatches = check_awake_identity(spans, result.metrics)
+    identity_ok = not mismatches
+
+    if args.json:
+        payload = {
+            "algorithm": result.algorithm,
+            "graph": {
+                "family": args.graph,
+                "n": graph.n,
+                "m": graph.m,
+                "seed": args.seed,
+            },
+            "output": str(args.output),
+            "events": events,
+            "spans": len(spans),
+            "identity_ok": identity_ok,
+            "metrics": result.metrics.summary(),
+        }
+        if ndjson_lines is not None:
+            payload["ndjson"] = {"path": str(args.ndjson), "lines": ndjson_lines}
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if identity_ok else 1
+
+    print(f"algorithm        : {result.algorithm}")
+    print(f"graph            : {args.graph} n={graph.n} m={graph.m}")
+    print(f"chrome trace     : {events} events -> {args.output}")
+    if ndjson_lines is not None:
+        print(f"span ndjson      : {ndjson_lines} lines -> {args.ndjson}")
+    print(f"spans            : {len(spans)} records")
+    print(
+        "awake identity   : "
+        + ("ok (span sums == engine accounting)" if identity_ok
+           else f"MISMATCH on nodes {sorted(mismatches)}")
+    )
+    print()
+    print("per-block max awake rounds by phase:")
+    print(render_block_table(spans))
+    return 0 if identity_ok else 1
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry
     from repro.orchestrator import (
         ProgressReporter,
         ResultCache,
@@ -158,6 +245,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         stream=None if args.quiet else sys.stderr,
         min_interval_s=1.0,
     )
+    registry = MetricsRegistry()
     report = run_jobs(
         specs,
         workers=args.workers,
@@ -167,6 +255,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         progress=progress,
+        registry=registry,
     )
 
     if args.json:
@@ -351,6 +440,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
     batch_parser.set_defaults(func=_cmd_batch)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run once with span observability; export a Chrome trace",
+    )
+    trace_parser.add_argument(
+        "--algorithm",
+        choices=("randomized", "deterministic", "traditional", "spanning-tree"),
+        default="randomized",
+    )
+    trace_parser.add_argument(
+        "--graph", choices=sorted(GRAPH_FAMILIES), default="gnp"
+    )
+    trace_parser.add_argument("--n", type=int, default=64)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--id-range", type=int, default=None)
+    trace_parser.add_argument(
+        "--coloring", choices=("fast-awake", "log-star"), default="fast-awake"
+    )
+    trace_parser.add_argument(
+        "--output", default="repro-trace.json", metavar="PATH",
+        help="Chrome trace-event JSON output (open in Perfetto / chrome://tracing)",
+    )
+    trace_parser.add_argument(
+        "--ndjson", default=None, metavar="PATH",
+        help="also write per-span NDJSON structured logs",
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true", help="emit one JSON object instead of text"
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     table_parser = subparsers.add_parser("table1", help="regenerate Table 1")
     table_parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])

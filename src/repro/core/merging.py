@@ -78,7 +78,8 @@ def merging_fragments(
         port: (ldt.fragment_id, ldt.level, 1 if port == merge_port else 0)
         for port in ctx.ports
     }
-    inbox = yield from transmit_adjacent(ctx, ldt, block_ta, announcements)
+    with ctx.span("block:merge_announce"):
+        inbox = yield from transmit_adjacent(ctx, ldt, block_ta, announcements)
 
     pending_children: Set[int] = set()
     for port, (fragment, level, merging) in inbox.items():
@@ -115,41 +116,43 @@ def merging_fragments(
         # --------------------------------------------------------------
         # Block 2: up pass — re-level and reverse the u_T -> old-root path.
         # --------------------------------------------------------------
-        if old_children:
-            up_inbox = yield Awake(block_up.up_receive(old_level))
-            for port in old_children:
-                if port in up_inbox:
-                    received_level, received_fragment = up_inbox[port]
-                    if new_level is not None:
-                        raise RuntimeError(
-                            f"node {ctx.node_id} on two merge paths at once"
-                        )
-                    new_level = received_level + 1
-                    new_fragment = received_fragment
-                    new_parent_port = port
-        if old_parent is not None:
-            sends = {}
-            if new_level is not None:
-                sends[old_parent] = (new_level, new_fragment)
-            yield Awake(block_up.up_send(old_level), sends)
+        with ctx.span("block:merge_up"):
+            if old_children:
+                up_inbox = yield Awake(block_up.up_receive(old_level))
+                for port in old_children:
+                    if port in up_inbox:
+                        received_level, received_fragment = up_inbox[port]
+                        if new_level is not None:
+                            raise RuntimeError(
+                                f"node {ctx.node_id} on two merge paths at once"
+                            )
+                        new_level = received_level + 1
+                        new_fragment = received_fragment
+                        new_parent_port = port
+            if old_parent is not None:
+                sends = {}
+                if new_level is not None:
+                    sends[old_parent] = (new_level, new_fragment)
+                yield Awake(block_up.up_send(old_level), sends)
 
         # --------------------------------------------------------------
         # Block 3: down pass — all remaining nodes adopt from their parent.
         # --------------------------------------------------------------
-        if old_parent is not None:
-            down_inbox = yield Awake(block_down.down_receive(old_level))
-            if new_level is None and old_parent in down_inbox:
-                received_level, received_fragment = down_inbox[old_parent]
-                new_level = received_level + 1
-                new_fragment = received_fragment
-                # Off-path: parent and children pointers are unchanged.
-        if old_children:
-            sends = {}
-            if new_level is not None:
-                sends = {
-                    port: (new_level, new_fragment) for port in old_children
-                }
-            yield Awake(block_down.down_send(old_level), sends)
+        with ctx.span("block:merge_down"):
+            if old_parent is not None:
+                down_inbox = yield Awake(block_down.down_receive(old_level))
+                if new_level is None and old_parent in down_inbox:
+                    received_level, received_fragment = down_inbox[old_parent]
+                    new_level = received_level + 1
+                    new_fragment = received_fragment
+                    # Off-path: parent and children pointers are unchanged.
+            if old_children:
+                sends = {}
+                if new_level is not None:
+                    sends = {
+                        port: (new_level, new_fragment) for port in old_children
+                    }
+                yield Awake(block_down.down_send(old_level), sends)
 
         if new_level is None:
             raise RuntimeError(

@@ -125,141 +125,156 @@ def deterministic_mst_protocol(
     clock = BlockClock(ctx.n)
     while phases_run < phase_budget:
         phases_run += 1
+        ctx.count("algo.phases", algorithm="deterministic")
 
-        # ------------------------------------------------------------
-        # Step (i): find MOEs and sparsify them.
-        # ------------------------------------------------------------
+        with ctx.span("phase", phases_run):
+            # --------------------------------------------------------
+            # Step (i): find MOEs and sparsify them.
+            # --------------------------------------------------------
 
-        # Block 1: refresh neighbour fragments/levels.
-        yield from neighbor_refresh(ctx, ldt, clock.take())
-        candidate = local_moe(ctx, ldt)
-        candidate_weight = candidate[0] if candidate is not NOTHING else NOTHING
+            # Block 1: refresh neighbour fragments/levels.
+            with ctx.span("block:neighbor_refresh"):
+                yield from neighbor_refresh(ctx, ldt, clock.take())
+            candidate = local_moe(ctx, ldt)
+            candidate_weight = candidate[0] if candidate is not NOTHING else NOTHING
 
-        # Block 2: fragment MOE to the root.
-        fragment_moe = yield from upcast_min(
-            ctx, ldt, clock.take(), candidate_weight
-        )
+            # Block 2: fragment MOE to the root.
+            with ctx.span("block:upcast_moe"):
+                fragment_moe = yield from upcast_min(
+                    ctx, ldt, clock.take(), candidate_weight
+                )
 
-        # Block 3: broadcast MOE weight and (adaptive) halt flag.
-        if ldt.is_root:
-            halt = 1 if (adaptive and fragment_moe is NOTHING) else 0
-            message = (
-                fragment_moe if fragment_moe is not NOTHING else 0,
-                halt,
+            # Block 3: broadcast MOE weight and (adaptive) halt flag.
+            if ldt.is_root:
+                halt = 1 if (adaptive and fragment_moe is NOTHING) else 0
+                message = (
+                    fragment_moe if fragment_moe is not NOTHING else 0,
+                    halt,
+                )
+            else:
+                message = NOTHING
+            with ctx.span("block:broadcast_moe"):
+                moe_weight, halt = yield from fragment_broadcast(
+                    ctx, ldt, clock.take(), message
+                )
+            if halt:
+                break
+
+            # Block 4: announce (fragment, MOE weight); detect incoming MOEs
+            # and whether we own our fragment's outgoing MOE.
+            with ctx.span("block:announce_moe"):
+                inbox = yield from transmit_adjacent(
+                    ctx,
+                    ldt,
+                    clock.take(),
+                    {port: (ldt.fragment_id, moe_weight) for port in ctx.ports},
+                )
+            owner_port: Optional[int] = None
+            incoming_ports = []
+            for port, (nbr_fragment, nbr_moe) in inbox.items():
+                if nbr_fragment == ldt.fragment_id:
+                    continue
+                if nbr_moe == ctx.port_weights[port]:
+                    incoming_ports.append(port)
+                if moe_weight and ctx.port_weights[port] == moe_weight:
+                    owner_port = port
+
+            # Blocks 5-6: token-select at most 3 valid incoming MOEs.
+            with ctx.span("block:select_moes"):
+                selected = yield from select_incoming_moes(
+                    ctx, ldt, clock, incoming_ports
+                )
+
+            # Block 7: tell each incoming MOE's owner whether it was selected.
+            verdicts = {port: (1 if port in selected else 0) for port in incoming_ports}
+            with ctx.span("block:moe_verdicts"):
+                inbox = yield from transmit_adjacent(ctx, ldt, clock.take(), verdicts)
+            valid_out = owner_port is not None and inbox.get(owner_port) == 1
+
+            # Block 8: NBR-INFO — the ≤4 valid MOEs of this fragment — to the
+            # root; Block 9: back to every member.
+            entries = [
+                (ldt.neighbor_fragment[port], ctx.port_weights[port], DIR_IN)
+                for port in selected
+            ]
+            if valid_out:
+                entries.append(
+                    (ldt.neighbor_fragment[owner_port], moe_weight, DIR_OUT)
+                )
+            my_entries = tuple(sorted(entries)) if entries else NOTHING
+            with ctx.span("block:upcast_nbr_info"):
+                aggregated = yield from upcast_aggregate(
+                    ctx, ldt, clock.take(), my_entries, merge_nbr_info
+                )
+            with ctx.span("block:broadcast_nbr_info"):
+                nbr_info = yield from fragment_broadcast(
+                    ctx,
+                    ldt,
+                    clock.take(),
+                    (aggregated if aggregated is not NOTHING else ())
+                    if ldt.is_root
+                    else NOTHING,
+                )
+
+            # --------------------------------------------------------
+            # Step (ii): colour the supergraph, then merge Blue fragments.
+            # --------------------------------------------------------
+            neighbor_fragments = {entry[0] for entry in nbr_info}
+            gprime_ports: Set[int] = set(selected)
+            if valid_out:
+                gprime_ports.add(owner_port)
+
+            with ctx.span("block:coloring"):
+                if coloring == "fast-awake":
+                    own_color, _nbr_colors = yield from fast_awake_coloring(
+                        ctx, ldt, clock, neighbor_fragments, gprime_ports
+                    )
+                else:
+                    # Corollary 1: Cole–Vishkin colouring in O(log* N) awake
+                    # rounds and O(n log* N) rounds per phase, independent
+                    # of N.
+                    own_color, _nbr_colors = yield from logstar_coloring(
+                        ctx,
+                        ldt,
+                        clock,
+                        neighbor_fragments,
+                        gprime_ports,
+                        out_port=owner_port if valid_out else None,
+                    )
+
+            # Merge #1: Blue fragments with G' neighbours merge into the
+            # neighbour on their lightest valid MOE (canonical "arbitrary"
+            # choice; every neighbour of a Blue fragment is non-Blue).
+            merging_now = own_color == BLUE and bool(nbr_info)
+            merge_port: Optional[int] = None
+            if merging_now:
+                chosen_weight = min(entry[1] for entry in nbr_info)
+                for port in gprime_ports:
+                    if ctx.port_weights[port] == chosen_weight:
+                        merge_port = port
+            with ctx.span("merge", 1):
+                yield from merging_fragments(
+                    ctx, ldt, clock, merge_port=merge_port, fragment_merging=merging_now
+                )
+
+            # The paper's explicit Transmit-Adjacent so singleton fragments
+            # see their neighbours' post-merge fragments/levels.
+            with ctx.span("block:refresh_after_merge"):
+                yield from neighbor_refresh(ctx, ldt, clock.take())
+
+            # Merge #2: Blue singletons merge along their original outgoing
+            # MOE into whichever fragment now contains its far endpoint.
+            merging_singleton = own_color == BLUE and not nbr_info
+            singleton_port = (
+                owner_port if (merging_singleton and owner_port is not None) else None
             )
-        else:
-            message = NOTHING
-        moe_weight, halt = yield from fragment_broadcast(
-            ctx, ldt, clock.take(), message
-        )
-        if halt:
-            break
-
-        # Block 4: announce (fragment, MOE weight); detect incoming MOEs
-        # and whether we own our fragment's outgoing MOE.
-        inbox = yield from transmit_adjacent(
-            ctx,
-            ldt,
-            clock.take(),
-            {port: (ldt.fragment_id, moe_weight) for port in ctx.ports},
-        )
-        owner_port: Optional[int] = None
-        incoming_ports = []
-        for port, (nbr_fragment, nbr_moe) in inbox.items():
-            if nbr_fragment == ldt.fragment_id:
-                continue
-            if nbr_moe == ctx.port_weights[port]:
-                incoming_ports.append(port)
-            if moe_weight and ctx.port_weights[port] == moe_weight:
-                owner_port = port
-
-        # Blocks 5-6: token-select at most 3 valid incoming MOEs.
-        selected = yield from select_incoming_moes(
-            ctx, ldt, clock, incoming_ports
-        )
-
-        # Block 7: tell each incoming MOE's owner whether it was selected.
-        verdicts = {port: (1 if port in selected else 0) for port in incoming_ports}
-        inbox = yield from transmit_adjacent(ctx, ldt, clock.take(), verdicts)
-        valid_out = owner_port is not None and inbox.get(owner_port) == 1
-
-        # Block 8: NBR-INFO — the ≤4 valid MOEs of this fragment — to the
-        # root; Block 9: back to every member.
-        entries = [
-            (ldt.neighbor_fragment[port], ctx.port_weights[port], DIR_IN)
-            for port in selected
-        ]
-        if valid_out:
-            entries.append(
-                (ldt.neighbor_fragment[owner_port], moe_weight, DIR_OUT)
-            )
-        my_entries = tuple(sorted(entries)) if entries else NOTHING
-        aggregated = yield from upcast_aggregate(
-            ctx, ldt, clock.take(), my_entries, merge_nbr_info
-        )
-        nbr_info = yield from fragment_broadcast(
-            ctx,
-            ldt,
-            clock.take(),
-            (aggregated if aggregated is not NOTHING else ())
-            if ldt.is_root
-            else NOTHING,
-        )
-
-        # ------------------------------------------------------------
-        # Step (ii): colour the supergraph, then merge Blue fragments.
-        # ------------------------------------------------------------
-        neighbor_fragments = {entry[0] for entry in nbr_info}
-        gprime_ports: Set[int] = set(selected)
-        if valid_out:
-            gprime_ports.add(owner_port)
-
-        if coloring == "fast-awake":
-            own_color, _nbr_colors = yield from fast_awake_coloring(
-                ctx, ldt, clock, neighbor_fragments, gprime_ports
-            )
-        else:
-            # Corollary 1: Cole–Vishkin colouring in O(log* N) awake rounds
-            # and O(n log* N) rounds per phase, independent of N.
-            own_color, _nbr_colors = yield from logstar_coloring(
-                ctx,
-                ldt,
-                clock,
-                neighbor_fragments,
-                gprime_ports,
-                out_port=owner_port if valid_out else None,
-            )
-
-        # Merge #1: Blue fragments with G' neighbours merge into the
-        # neighbour on their lightest valid MOE (canonical "arbitrary"
-        # choice; every neighbour of a Blue fragment is non-Blue).
-        merging_now = own_color == BLUE and bool(nbr_info)
-        merge_port: Optional[int] = None
-        if merging_now:
-            chosen_weight = min(entry[1] for entry in nbr_info)
-            for port in gprime_ports:
-                if ctx.port_weights[port] == chosen_weight:
-                    merge_port = port
-        yield from merging_fragments(
-            ctx, ldt, clock, merge_port=merge_port, fragment_merging=merging_now
-        )
-
-        # The paper's explicit Transmit-Adjacent so singleton fragments see
-        # their neighbours' post-merge fragments/levels.
-        yield from neighbor_refresh(ctx, ldt, clock.take())
-
-        # Merge #2: Blue singletons merge along their original outgoing
-        # MOE into whichever fragment now contains its far endpoint.
-        merging_singleton = own_color == BLUE and not nbr_info
-        singleton_port = (
-            owner_port if (merging_singleton and owner_port is not None) else None
-        )
-        yield from merging_fragments(
-            ctx,
-            ldt,
-            clock,
-            merge_port=singleton_port,
-            fragment_merging=merging_singleton,
-        )
+            with ctx.span("merge", 2):
+                yield from merging_fragments(
+                    ctx,
+                    ldt,
+                    clock,
+                    merge_port=singleton_port,
+                    fragment_merging=merging_singleton,
+                )
 
     return _output(ctx, ldt, phases_run)

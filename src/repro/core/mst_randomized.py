@@ -149,71 +149,81 @@ def randomized_mst_session(
 
     while phases_run < phase_budget:
         phases_run += 1
+        ctx.count("algo.phases", algorithm="randomized")
 
-        # Block 1: learn neighbours' fragments; compute local MOE candidate.
-        yield from neighbor_refresh(ctx, ldt, clock.take())
-        candidate = local_moe(ctx, ldt)
-        candidate_weight = candidate[0] if candidate is not NOTHING else NOTHING
+        with ctx.span("phase", phases_run):
+            # Block 1: learn neighbours' fragments; compute local MOE
+            # candidate.
+            with ctx.span("block:neighbor_refresh"):
+                yield from neighbor_refresh(ctx, ldt, clock.take())
+            candidate = local_moe(ctx, ldt)
+            candidate_weight = candidate[0] if candidate is not NOTHING else NOTHING
 
-        # Block 2: fragment MOE = min of candidates, known at the root.
-        fragment_moe = yield from upcast_min(
-            ctx, ldt, clock.take(), candidate_weight
-        )
+            # Block 2: fragment MOE = min of candidates, known at the root.
+            with ctx.span("block:upcast_moe"):
+                fragment_moe = yield from upcast_min(
+                    ctx, ldt, clock.take(), candidate_weight
+                )
 
-        # Block 3: root broadcasts (MOE weight | 0, coin, halt?).
-        if ldt.is_root:
-            halt = 1 if (adaptive and fragment_moe is NOTHING) else 0
-            coin = HEADS if ctx.rng.random() < 0.5 else TAILS
-            message = (fragment_moe if fragment_moe is not NOTHING else 0, coin, halt)
-        else:
-            message = NOTHING
-        moe_weight, coin, halt = yield from fragment_broadcast(
-            ctx, ldt, clock.take(), message
-        )
-        if halt:
-            break
+            # Block 3: root broadcasts (MOE weight | 0, coin, halt?).
+            if ldt.is_root:
+                halt = 1 if (adaptive and fragment_moe is NOTHING) else 0
+                coin = HEADS if ctx.rng.random() < 0.5 else TAILS
+                message = (fragment_moe if fragment_moe is not NOTHING else 0, coin, halt)
+            else:
+                message = NOTHING
+            with ctx.span("block:broadcast_coin"):
+                moe_weight, coin, halt = yield from fragment_broadcast(
+                    ctx, ldt, clock.take(), message
+                )
+            if halt:
+                break
 
-        # Block 4: announce (fragment, coin, MOE weight); the MOE owner
-        # learns the target fragment's coin and decides validity.
-        inbox = yield from transmit_adjacent(
-            ctx,
-            ldt,
-            clock.take(),
-            {port: (ldt.fragment_id, coin, moe_weight) for port in ctx.ports},
-        )
-        owner_port: Optional[int] = None
-        owner_valid = NOTHING
-        if moe_weight:
-            for port, (nbr_fragment, nbr_coin, _) in inbox.items():
-                if (
-                    ctx.port_weights[port] == moe_weight
-                    and nbr_fragment != ldt.fragment_id
-                ):
-                    owner_port = port
-                    owner_valid = (
-                        1 if (coin == TAILS and nbr_coin == HEADS) else 0
-                    )
+            # Block 4: announce (fragment, coin, MOE weight); the MOE owner
+            # learns the target fragment's coin and decides validity.
+            with ctx.span("block:transmit_adjacent"):
+                inbox = yield from transmit_adjacent(
+                    ctx,
+                    ldt,
+                    clock.take(),
+                    {port: (ldt.fragment_id, coin, moe_weight) for port in ctx.ports},
+                )
+            owner_port: Optional[int] = None
+            owner_valid = NOTHING
+            if moe_weight:
+                for port, (nbr_fragment, nbr_coin, _) in inbox.items():
+                    if (
+                        ctx.port_weights[port] == moe_weight
+                        and nbr_fragment != ldt.fragment_id
+                    ):
+                        owner_port = port
+                        owner_valid = (
+                            1 if (coin == TAILS and nbr_coin == HEADS) else 0
+                        )
 
-        # Blocks 5-6: validity bit up to the root and back to everyone.
-        valid_bit = yield from upcast_min(ctx, ldt, clock.take(), owner_valid)
-        valid_bit = yield from fragment_broadcast(
-            ctx,
-            ldt,
-            clock.take(),
-            valid_bit if ldt.is_root else NOTHING,
-        )
+            # Blocks 5-6: validity bit up to the root and back to everyone.
+            with ctx.span("block:upcast_valid"):
+                valid_bit = yield from upcast_min(ctx, ldt, clock.take(), owner_valid)
+            with ctx.span("block:broadcast_valid"):
+                valid_bit = yield from fragment_broadcast(
+                    ctx,
+                    ldt,
+                    clock.take(),
+                    valid_bit if ldt.is_root else NOTHING,
+                )
 
-        fragment_merging = coin == TAILS and valid_bit == 1
-        merge_port = owner_port if (fragment_merging and owner_port is not None and owner_valid == 1) else None
+            fragment_merging = coin == TAILS and valid_bit == 1
+            merge_port = owner_port if (fragment_merging and owner_port is not None and owner_valid == 1) else None
 
-        # Blocks 7-9: merge tails fragments into their heads fragments.
-        yield from merging_fragments(
-            ctx,
-            ldt,
-            clock,
-            merge_port=merge_port,
-            fragment_merging=fragment_merging,
-        )
+            # Blocks 7-9: merge tails fragments into their heads fragments
+            # (:func:`merging_fragments` opens one span per block).
+            yield from merging_fragments(
+                ctx,
+                ldt,
+                clock,
+                merge_port=merge_port,
+                fragment_merging=fragment_merging,
+            )
 
     return _output(ctx, ldt, phases_run), ldt, clock
 

@@ -61,6 +61,15 @@ class MSTRunResult:
     def rounds(self) -> int:
         return self.metrics.rounds
 
+    @property
+    def spans(self):
+        """Span-attributed awake accounting (:class:`repro.obs.SpanLog`).
+
+        Populated when the run was executed with ``observe=True``;
+        ``None`` otherwise.
+        """
+        return self.simulation.spans
+
     def is_correct_mst(self, graph: WeightedGraph) -> bool:
         """Check against the (unique) reference MST."""
         return self.mst_weights == mst_weight_set(graph)
@@ -126,6 +135,7 @@ def run_randomized_mst(
         negligible failure probability exists there).
     sim_kwargs:
         Forwarded to :class:`repro.sim.SleepingSimulator` (e.g. ``trace=True``,
+        ``observe=True`` for span-based awake accounting,
         ``strict_congest=False``).
     """
 

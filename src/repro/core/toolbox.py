@@ -25,6 +25,12 @@ Procedures
 ``neighbor_refresh``
     The standard ``transmit_adjacent`` payload ``(fragment ID, level)``,
     cached into the node's :class:`~repro.core.ldt.LDTState`.
+
+Observability: ``neighbor_awareness`` opens one :mod:`repro.obs` span per
+block (``block:na_transmit`` / ``block:na_upcast`` / ``block:na_broadcast``)
+so its ``O(1)``-awake budget is individually measurable wherever it is
+composed; the single-block procedures are spanned by their callers, which
+know the block's role in the phase plan.
 """
 
 from __future__ import annotations
@@ -175,19 +181,22 @@ def neighbor_awareness(
     hear nothing, so their aggregate is :data:`NOTHING`), which keeps every
     clock aligned.
     """
-    inbox = yield from transmit_adjacent(ctx, ldt, clock.take(), sends or {})
+    with ctx.span("block:na_transmit"):
+        inbox = yield from transmit_adjacent(ctx, ldt, clock.take(), sends or {})
     if collect is not None:
         heard = collect(inbox)
     else:
         heard = NOTHING
         for value in inbox.values():
             heard = merge(heard, value)
-    aggregated = yield from upcast_aggregate(
-        ctx, ldt, clock.take(), heard, merge
-    )
-    result = yield from fragment_broadcast(
-        ctx, ldt, clock.take(), aggregated if ldt.is_root else NOTHING
-    )
+    with ctx.span("block:na_upcast"):
+        aggregated = yield from upcast_aggregate(
+            ctx, ldt, clock.take(), heard, merge
+        )
+    with ctx.span("block:na_broadcast"):
+        result = yield from fragment_broadcast(
+            ctx, ldt, clock.take(), aggregated if ldt.is_root else NOTHING
+        )
     return result
 
 

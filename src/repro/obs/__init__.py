@@ -1,0 +1,83 @@
+"""``repro.obs`` — the unified observability subsystem.
+
+Three layers, all optional and all zero-cost when disabled:
+
+* **Spans** (:mod:`repro.obs.spans`): protocol code opens named spans
+  (``with ctx.span("phase", p): ... with ctx.span("block:upcast_moe")``)
+  and the engine attributes every awake round, message, and bit to the
+  innermost open span per node — making the paper's per-phase / per-block
+  awake budgets (Theorem 1's "9 blocks × O(1) awake rounds") directly
+  measurable.  Enable with ``SleepingSimulator(..., observe=True)`` or any
+  runner's ``observe=True`` keyword.
+* **Metrics registry** (:mod:`repro.obs.registry`): named counters,
+  gauges, and histograms with labels, shared by the engine, algorithms
+  (``ctx.count``), and the orchestrator pool; ``dump()`` renders a flat
+  deterministic snapshot.
+* **Exporters** (:mod:`repro.obs.export`): Chrome trace-event JSON for
+  ``chrome://tracing`` / Perfetto, NDJSON structured logs, plus the schema
+  validator CI runs against emitted traces.
+  :mod:`repro.obs.report` renders the per-phase × per-block awake table
+  and checks the span-sum == awake-rounds accounting identity.
+
+See ``docs/observability.md`` for the full workflow.
+"""
+
+from .export import (
+    chrome_trace,
+    event_log_lines,
+    span_log_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_ndjson,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .report import (
+    BlockBreakdown,
+    BlockCell,
+    block_breakdown,
+    check_awake_identity,
+    render_block_table,
+    split_phase,
+)
+from .spans import (
+    NodeObs,
+    ObsRecorder,
+    ROOT_PATH,
+    SpanLog,
+    SpanRecord,
+    UNATTRIBUTED,
+)
+
+__all__ = [
+    "BlockBreakdown",
+    "BlockCell",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NodeObs",
+    "NullRegistry",
+    "ObsRecorder",
+    "ROOT_PATH",
+    "SpanLog",
+    "SpanRecord",
+    "UNATTRIBUTED",
+    "block_breakdown",
+    "check_awake_identity",
+    "chrome_trace",
+    "event_log_lines",
+    "render_block_table",
+    "span_log_lines",
+    "split_phase",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_ndjson",
+]

@@ -1,0 +1,237 @@
+"""Exporters: Chrome trace-event JSON and NDJSON structured logs.
+
+:func:`chrome_trace` converts a run's span log (and optionally its
+:class:`~repro.sim.tracing.EventTrace`) into the Trace Event Format
+consumed by ``chrome://tracing`` and https://ui.perfetto.dev — one track
+(``tid``) per node, complete (``"X"``) events for spans, instant events
+for wakes/sends/deliveries/losses.  Timestamps are **round numbers**
+re-used as microseconds: the sleeping model has no wall clock, and rounds
+are the time axis every claim in the paper is stated in.
+
+:func:`validate_chrome_trace` is the schema check used by tests and CI:
+required keys per event, non-negative durations, and a globally
+monotonic ``ts`` order.
+
+:func:`write_ndjson` emits one JSON object per line (span records or
+trace events) for log pipelines and ad-hoc ``jq`` analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .spans import SpanLog
+
+#: Trace Event Format phase codes we emit.
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+PH_METADATA = "M"
+
+#: Instant-event categories per simulator event kind.
+EVENT_CATEGORIES = {
+    "wake": "wake",
+    "send": "message",
+    "deliver": "message",
+    "lose": "message",
+    "terminate": "lifecycle",
+}
+
+
+def _span_events(spans: SpanLog, pid: int) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for record in spans:
+        if record.extent_first is None:
+            continue  # never charged: the span occupies no rounds
+        events.append(
+            {
+                "name": record.name,
+                "cat": "span",
+                "ph": PH_COMPLETE,
+                "ts": record.extent_first,
+                "dur": record.extent_last - record.extent_first + 1,
+                "pid": pid,
+                "tid": record.node,
+                "args": {
+                    "path": record.label,
+                    "awake": record.awake,
+                    "messages": record.messages,
+                    "bits": record.bits,
+                },
+            }
+        )
+    return events
+
+
+def _instant_events(trace: Iterable[Any], pid: int) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for event in trace:
+        args: Dict[str, Any] = {}
+        if event.peer is not None:
+            args["peer"] = event.peer
+        if event.kind in ("send", "deliver", "lose") and event.detail is not None:
+            args["payload"] = repr(event.detail)
+        events.append(
+            {
+                "name": event.kind,
+                "cat": EVENT_CATEGORIES.get(event.kind, "event"),
+                "ph": PH_INSTANT,
+                "s": "t",
+                "ts": event.round,
+                "pid": pid,
+                "tid": event.node,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    spans: Optional[SpanLog] = None,
+    trace: Optional[Iterable[Any]] = None,
+    label: str = "simulation",
+    metadata: Optional[Dict[str, Any]] = None,
+    pid: int = 1,
+) -> Dict[str, Any]:
+    """Build a Trace Event Format payload from spans and/or an event trace.
+
+    Returns the standard ``{"traceEvents": [...], ...}`` object; load it
+    straight into ``chrome://tracing`` or Perfetto.  At least one of
+    ``spans`` / ``trace`` must be given.
+    """
+    if spans is None and trace is None:
+        raise ValueError("chrome_trace needs spans and/or a trace")
+    body: List[Dict[str, Any]] = []
+    if spans is not None:
+        body.extend(_span_events(spans, pid))
+    if trace is not None:
+        body.extend(_instant_events(trace, pid))
+    # Stable, viewer-friendly order: by time, then longest-first so parent
+    # spans precede their children at equal start rounds.
+    body.sort(key=lambda e: (e["ts"], -e.get("dur", 0), e["tid"]))
+
+    nodes = sorted({event["tid"] for event in body})
+    head: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": PH_METADATA,
+            "ts": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    ]
+    for node in nodes:
+        head.append(
+            {
+                "name": "thread_name",
+                "ph": PH_METADATA,
+                "ts": 0,
+                "pid": pid,
+                "tid": node,
+                "args": {"name": f"node {node}"},
+            }
+        )
+    return {
+        "traceEvents": head + body,
+        "displayTimeUnit": "ms",
+        "metadata": dict(metadata or {}, tsUnit="rounds"),
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    spans: Optional[SpanLog] = None,
+    trace: Optional[Iterable[Any]] = None,
+    label: str = "simulation",
+    metadata: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write a Chrome trace JSON file; returns the number of trace events."""
+    payload = chrome_trace(spans=spans, trace=trace, label=label, metadata=metadata)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+    return len(payload["traceEvents"])
+
+
+#: Keys every emitted trace event must carry.
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(payload: Dict[str, Any]) -> int:
+    """Validate a Trace Event Format payload; returns the event count.
+
+    Checks the shape this module promises (and CI enforces): a
+    ``traceEvents`` list whose entries carry the required keys, complete
+    events with non-negative durations, and timestamps that are
+    non-decreasing after the leading metadata events.  Raises
+    ``ValueError`` on the first violation.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("payload has no 'traceEvents' list")
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+    last_ts: Optional[int] = None
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{position} is not an object")
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(f"event #{position} is missing {key!r}")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event #{position} has invalid ts {ts!r}")
+        if event["ph"] == PH_COMPLETE:
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(
+                    f"event #{position} ({event['name']!r}) has invalid dur"
+                )
+        if event["ph"] == PH_METADATA:
+            continue
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event #{position} breaks ts monotonicity ({ts} < {last_ts})"
+            )
+        last_ts = ts
+    return len(events)
+
+
+def write_ndjson(
+    path: Union[str, Path], objects: Iterable[Dict[str, Any]]
+) -> int:
+    """Write one JSON object per line; returns the number of lines."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    written = 0
+    with target.open("w", encoding="utf-8") as handle:
+        for obj in objects:
+            handle.write(json.dumps(obj, sort_keys=True))
+            handle.write("\n")
+            written += 1
+    return written
+
+
+def span_log_lines(spans: SpanLog) -> List[Dict[str, Any]]:
+    """Span records as NDJSON-ready dictionaries (node/open order)."""
+    return spans.to_dicts()
+
+
+def event_log_lines(trace: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Trace events as NDJSON-ready dictionaries (execution order)."""
+    lines: List[Dict[str, Any]] = []
+    for event in trace:
+        lines.append(
+            {
+                "round": event.round,
+                "kind": event.kind,
+                "node": event.node,
+                "peer": event.peer,
+                "detail": None if event.detail is None else repr(event.detail),
+            }
+        )
+    return lines

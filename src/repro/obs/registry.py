@@ -1,0 +1,239 @@
+"""Lightweight metrics registry: counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` is shared by whoever wants to emit telemetry —
+the simulation engine (when observability is enabled), instrumented
+algorithms (via ``ctx.count``), and the orchestrator pool.  It replaces the
+ad-hoc telemetry dictionaries that used to be assembled by hand at each
+call site.
+
+Design constraints:
+
+* **Zero-cost when disabled.**  :data:`NULL_REGISTRY` returns shared no-op
+  instruments, so instrumented code can call ``registry.counter(...).inc()``
+  unconditionally without branching.
+* **Deterministic dumps.**  :meth:`MetricsRegistry.dump` renders a flat,
+  sorted ``{"name{label=value}": number}`` dictionary — stable across runs
+  of the same workload, convenient for JSON output and assertions.
+* **Bounded label cardinality is the caller's job.**  Labels are intended
+  for small enums (status, algorithm), never per-node or per-round values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+LabelSet = Tuple[Tuple[str, Any], ...]
+
+
+def _labelset(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted(labels.items()))
+
+
+def _render_key(name: str, labels: LabelSet) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing count, optionally split by labels."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[LabelSet, float] = {}
+
+    def inc(self, value: float = 1, **labels: Any) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _labelset(labels)
+        self._values[key] = self._values.get(key, 0) + value
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_labelset(labels), 0)
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        return sum(self._values.values())
+
+    def items(self) -> Iterable[Tuple[LabelSet, float]]:
+        return self._values.items()
+
+
+class Gauge:
+    """A point-in-time value (last write wins), optionally labelled."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[LabelSet, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_labelset(labels)] = value
+
+    def value(self, **labels: Any) -> Optional[float]:
+        return self._values.get(_labelset(labels))
+
+    def items(self) -> Iterable[Tuple[LabelSet, float]]:
+        return self._values.items()
+
+
+class _HistogramBucket:
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def summary(self) -> Dict[str, float]:
+        mean = self.sum / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": round(mean, 6),
+        }
+
+
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max/mean) per labelset."""
+
+    __slots__ = ("name", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._buckets: Dict[LabelSet, _HistogramBucket] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _labelset(labels)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _HistogramBucket()
+            self._buckets[key] = bucket
+        bucket.observe(float(value))
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        bucket = self._buckets.get(_labelset(labels))
+        return bucket.summary() if bucket else _HistogramBucket().summary()
+
+    def items(self) -> Iterable[Tuple[LabelSet, _HistogramBucket]]:
+        return self._buckets.items()
+
+
+class MetricsRegistry:
+    """Named home for instruments; instruments are created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self._gauges[name] = instrument
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = Histogram(name)
+            self._histograms[name] = instrument
+        return instrument
+
+    def dump(self) -> Dict[str, Any]:
+        """Flat, sorted ``{"name{labels}": value}`` snapshot of everything."""
+        flat: Dict[str, Any] = {}
+        for name, counter in self._counters.items():
+            for labels, value in counter.items():
+                flat[_render_key(name, labels)] = value
+        for name, gauge in self._gauges.items():
+            for labels, value in gauge.items():
+                flat[_render_key(name, labels)] = value
+        for name, histogram in self._histograms.items():
+            for labels, bucket in histogram.items():
+                base = _render_key(name, labels)
+                for stat, value in bucket.summary().items():
+                    flat[f"{base}.{stat}"] = value
+        return {key: flat[key] for key in sorted(flat)}
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+
+    def inc(self, value: float = 1, **labels: Any) -> None:
+        pass
+
+    def set(self, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: float, **labels: Any) -> None:
+        pass
+
+    def value(self, **labels: Any) -> float:
+        return 0
+
+    def total(self) -> float:
+        return 0
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        return {}
+
+    def items(self):
+        return ()
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing; safe to share globally."""
+
+    def __init__(self) -> None:  # no instrument maps at all
+        pass
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> Any:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> Any:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> Any:
+        return _NULL_INSTRUMENT
+
+    def dump(self) -> Dict[str, Any]:
+        return {}
+
+
+#: Shared no-op registry: instrument unconditionally, pay nothing.
+NULL_REGISTRY = NullRegistry()

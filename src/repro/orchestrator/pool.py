@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+
 from .cache import ResultCache
 from .jobs import JobSpec, execute_job
 from .progress import ProgressReporter
@@ -125,6 +127,9 @@ class BatchReport:
     elapsed_s: float = 0.0
     cache_stats: Optional[Dict[str, Any]] = None
     progress: Optional[Dict[str, Any]] = None
+    #: Flat :meth:`repro.obs.MetricsRegistry.dump` snapshot (when a registry
+    #: was passed to :func:`run_jobs`).
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def total(self) -> int:
@@ -151,6 +156,8 @@ class BatchReport:
             payload["cache"] = self.cache_stats
         if self.progress is not None:
             payload["progress"] = self.progress
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
         return payload
 
 
@@ -163,6 +170,7 @@ def run_jobs(
     timeout: Optional[float] = None,
     retries: int = 0,
     progress: Optional[ProgressReporter] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> BatchReport:
     """Run a grid of jobs; returns records in submission order.
 
@@ -171,6 +179,11 @@ def run_jobs(
     previously computed cells across stores and sessions.  New records
     are appended to ``store`` as they finish, so an interrupted batch is
     resumable from exactly where it died.
+
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`) collects batch
+    telemetry — ``orchestrator.jobs`` counters labelled by status and
+    source, and an ``orchestrator.job_seconds`` histogram over executed
+    jobs — and its flat dump lands in :attr:`BatchReport.metrics`.
     """
     started = time.monotonic()
     run_store = store if isinstance(store, RunStore) else (
@@ -186,6 +199,7 @@ def run_jobs(
     )
     if progress is None:
         progress = ProgressReporter(total=len(specs))
+    metrics = registry if registry is not None else NULL_REGISTRY
     report = BatchReport()
 
     results: List[Optional[RunRecord]] = [None] * len(specs)
@@ -199,6 +213,16 @@ def run_jobs(
             report.failed += 1
         if persist and run_store is not None:
             run_store.append(record)
+        metrics.counter("orchestrator.jobs").inc(
+            status=record.status,
+            source=record.telemetry.get("source", "unknown"),
+        )
+        if record.telemetry.get("source") == "executed":
+            elapsed = record.telemetry.get("elapsed_s")
+            if isinstance(elapsed, (int, float)):
+                metrics.histogram("orchestrator.job_seconds").observe(
+                    float(elapsed), status=record.status
+                )
         progress.update(record)
 
     for index, spec in enumerate(specs):
@@ -260,4 +284,9 @@ def run_jobs(
     if cache is not None:
         report.cache_stats = cache.stats()
     report.progress = progress.summary()
+    if registry is not None:
+        registry.gauge("orchestrator.batch_elapsed_s").set(
+            round(report.elapsed_s, 4)
+        )
+        report.metrics = registry.dump()
     return report

@@ -60,29 +60,41 @@ class ProgressReporter:
 
     @property
     def throughput(self) -> float:
-        """Completed jobs per wall-clock second."""
+        """Completed jobs per wall-clock second (0.0 until a job finishes).
+
+        Guarded against zero/garbage elapsed clocks: with no completed
+        jobs or a non-positive elapsed time there is no meaningful rate.
+        """
         elapsed = self.elapsed_s
-        return self.done / elapsed if elapsed > 0 else 0.0
+        if self.done == 0 or elapsed <= 0:
+            return 0.0
+        return self.done / elapsed
 
     @property
-    def eta_s(self) -> float:
-        """Estimated seconds to completion at the current throughput."""
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds to completion, or ``None`` while unknown.
+
+        Unknown means no job has finished yet (no rate to extrapolate
+        from); callers must handle ``None`` rather than trusting a fake
+        zero that reads as "done".
+        """
         remaining = max(0, self.total - self.done)
         rate = self.throughput
-        return remaining / rate if rate > 0 else 0.0
+        if rate <= 0:
+            return None if remaining else 0.0
+        return remaining / rate
 
     def line(self) -> str:
         parts = [
             f"[{self.done}/{self.total}]",
             f"ok={self.ok}",
             f"failed={self.failed}",
+            f"cached={self.cached}",
+            f"resumed={self.resumed}",
+            f"{self.throughput:.1f} job/s",
         ]
-        if self.cached:
-            parts.append(f"cached={self.cached}")
-        if self.resumed:
-            parts.append(f"resumed={self.resumed}")
-        parts.append(f"{self.throughput:.1f} job/s")
-        parts.append(f"eta {self.eta_s:.0f}s")
+        eta = self.eta_s
+        parts.append("eta ?" if eta is None else f"eta {eta:.0f}s")
         return " ".join(parts)
 
     def _maybe_emit(self) -> None:
@@ -98,7 +110,9 @@ class ProgressReporter:
     def summary(self) -> Dict[str, Any]:
         """Flat telemetry dictionary for reports and ``--json`` output."""
         timings = sorted(self.job_seconds)
+        eta = self.eta_s
         return {
+            "eta_s": round(eta, 3) if eta is not None else None,
             "total": self.total,
             "done": self.done,
             "ok": self.ok,

@@ -64,6 +64,9 @@ class SimulationResult:
     trace: Optional[EventTrace] = None
     #: Knowledge tracker (only populated when knowledge tracking was enabled).
     knowledge: Optional[KnowledgeTracker] = None
+    #: Observability recorder (only populated when ``observe=True``):
+    #: span-attributed awake accounting plus a metrics registry.
+    obs: Optional[Any] = None
 
     @property
     def max_awake(self) -> int:
@@ -72,6 +75,11 @@ class SimulationResult:
     @property
     def rounds(self) -> int:
         return self.metrics.rounds
+
+    @property
+    def spans(self):
+        """The run's :class:`repro.obs.SpanLog` (``None`` unless observed)."""
+        return self.obs.spans if self.obs is not None else None
 
 
 @dataclass
@@ -113,6 +121,19 @@ class SleepingSimulator:
         merely counted.
     trace:
         Record an :class:`~repro.sim.tracing.EventTrace`.
+    max_trace_events:
+        Optional ring-buffer cap for the event trace: keep only the most
+        recent events and count the rest in ``trace.dropped``.
+    observe:
+        Enable the :mod:`repro.obs` instrumentation layer: per-node span
+        accounting (awake rounds / messages / bits attributed to the
+        innermost span opened via ``ctx.span``) plus engine counters in a
+        metrics registry.  Never alters the execution — runs are
+        byte-identical with this on or off.
+    obs_registry:
+        Optional :class:`repro.obs.MetricsRegistry` to record into
+        (e.g. one shared across a batch); a fresh one is created when
+        omitted and ``observe`` is true.
     track_knowledge:
         Maintain causal knowledge sets (Theorem 3 experiments).
     max_rounds:
@@ -132,6 +153,9 @@ class SleepingSimulator:
         strict_congest: bool = True,
         congest_factor: Optional[int] = None,
         trace: bool = False,
+        max_trace_events: Optional[int] = None,
+        observe: bool = False,
+        obs_registry: Optional[Any] = None,
         track_knowledge: bool = False,
         max_rounds: Optional[int] = None,
         max_awake_events: int = 50_000_000,
@@ -159,10 +183,17 @@ class SleepingSimulator:
         congest_kwargs = {} if congest_factor is None else {"factor": congest_factor}
         self.congest = CongestPolicy(universe, strict=strict_congest, **congest_kwargs)
 
-        self.trace = EventTrace() if trace else None
+        self.trace = EventTrace(max_events=max_trace_events) if trace else None
         self.knowledge = (
             KnowledgeTracker(self._node_ids) if track_knowledge else None
         )
+        self.obs = None
+        if observe:
+            # Imported lazily: unobserved simulations never pay for (or
+            # depend on) the observability subsystem.
+            from repro.obs import ObsRecorder
+
+            self.obs = ObsRecorder(registry=obs_registry)
         self._n = n
         self._max_id = max_id
 
@@ -179,6 +210,7 @@ class SleepingSimulator:
             ports=tuple(sorted(ports)),
             port_weights={port: ports[port][2] for port in ports},
             rng=Random(f"{self.seed}/{node_id}"),
+            obs=self.obs.node_handle(node_id) if self.obs is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -206,6 +238,7 @@ class SleepingSimulator:
             self._accept_action(node_id, runtime, value, current_round=0)
             heapq.heappush(wakeups, (value.round, node_id))
 
+        observed = self.obs is not None
         awake_events = 0
         while wakeups:
             current_round = wakeups[0][0]
@@ -232,6 +265,11 @@ class SleepingSimulator:
                     bits = self.congest.check(payload)
                     sender_metrics.messages_sent += 1
                     sender_metrics.bits_sent += bits
+                    if observed:
+                        # The sender's generator is still suspended at the
+                        # yield that scheduled this send, so the innermost
+                        # open span is the one that produced the message.
+                        runtime.context.obs.charge_send(bits)
                     metrics.total_bits += bits
                     metrics.max_message_bits = max(metrics.max_message_bits, bits)
                     if self.congest.is_over_budget(bits):
@@ -280,6 +318,8 @@ class SleepingSimulator:
                 metrics.total_awake_rounds += 1
                 awake_events += 1
                 runtime.last_awake_round = current_round
+                if observed:
+                    runtime.context.obs.charge_awake(current_round)
                 if self.trace is not None:
                     self.trace.record(current_round, "wake", node_id)
                 if self.knowledge is not None:
@@ -307,11 +347,15 @@ class SleepingSimulator:
                     "a protocol is probably not terminating"
                 )
 
+        if observed:
+            self.obs.finalize(metrics)
+
         return SimulationResult(
             node_results=results,
             metrics=metrics,
             trace=self.trace,
             knowledge=self.knowledge,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------

@@ -29,6 +29,20 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Any, Callable, Dict, Generator, Mapping, Tuple
 
+class _NullSpan:
+    """Shared no-op context manager returned when observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
 #: Inbox type: port number -> payload received on that port this round.
 Inbox = Dict[int, Any]
 
@@ -85,10 +99,41 @@ class NodeContext:
     port_weights: Dict[int, int]
     #: Private randomness, seeded deterministically by the engine.
     rng: Random
+    #: Per-node observability handle (:class:`repro.obs.NodeObs`), set by
+    #: the engine when it runs with ``observe=True``; ``None`` otherwise.
+    #: Spans never alter protocol behaviour — a run is identical with
+    #: instrumentation on or off.
+    obs: Any = None
 
     @property
     def degree(self) -> int:
         return len(self.ports)
+
+    def span(self, *parts: Any):
+        """Open an accounting span named by ``parts`` (joined with ``:``).
+
+        Use as a context manager around a phase or block of the protocol::
+
+            with ctx.span("phase", 3):
+                with ctx.span("block:upcast_moe"):
+                    result = yield from upcast_min(ctx, ldt, block, value)
+
+        While the generator is suspended inside the span, the engine
+        charges this node's awake rounds, messages, and bits to it (to the
+        innermost span when nested).  Returns a shared no-op context
+        manager when observability is disabled, so instrumented protocols
+        pay only this ``None`` check.
+        """
+        obs = self.obs
+        if obs is None:
+            return _NULL_SPAN
+        return obs.span(parts)
+
+    def count(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Increment a metrics-registry counter (no-op when disabled)."""
+        obs = self.obs
+        if obs is not None:
+            obs.count(name, value, **labels)
 
     def min_weight_port(self) -> int:
         """Return the port with the lightest incident edge."""

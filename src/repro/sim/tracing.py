@@ -21,8 +21,9 @@ which keeps unions cheap even for thousands of nodes.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -43,10 +44,26 @@ class TraceEvent:
 
 
 class EventTrace:
-    """Append-only list of :class:`TraceEvent` with simple query helpers."""
+    """Append-only record of :class:`TraceEvent` with simple query helpers.
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
+    By default the trace grows without bound.  Pass ``max_events`` to cap
+    memory on large-``n`` traced runs: the trace becomes a ring buffer that
+    keeps only the most recent ``max_events`` events and counts evictions
+    in :attr:`dropped`.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        self.max_events = max_events
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
+        #: Events evicted from the ring buffer (0 unless capped and full).
+        self.dropped = 0
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first (a copy)."""
+        return list(self._events)
 
     def record(
         self,
@@ -56,23 +73,30 @@ class EventTrace:
         peer: Optional[int] = None,
         detail: Any = None,
     ) -> None:
-        self.events.append(TraceEvent(round_number, kind, node, peer, detail))
+        if (
+            self.max_events is not None
+            and len(self._events) == self.max_events
+        ):
+            self.dropped += 1
+            if self.max_events == 0:
+                return
+        self._events.append(TraceEvent(round_number, kind, node, peer, detail))
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
-        return [event for event in self.events if event.kind == kind]
+        return [event for event in self._events if event.kind == kind]
 
     def for_node(self, node: int) -> List[TraceEvent]:
-        return [event for event in self.events if event.node == node]
+        return [event for event in self._events if event.node == node]
 
     def wake_rounds(self, node: int) -> List[int]:
         """Rounds in which ``node`` was awake, in order."""
-        return [e.round for e in self.events if e.kind == "wake" and e.node == node]
+        return [e.round for e in self._events if e.kind == "wake" and e.node == node]
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events)
 
     def __iter__(self):
-        return iter(self.events)
+        return iter(self._events)
 
 
 class KnowledgeTracker:

@@ -1,0 +1,139 @@
+"""Exporter tests: Chrome trace shape/validation, NDJSON, report rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import run_randomized_mst
+from repro.graphs import ring_graph
+from repro.obs import (
+    chrome_trace,
+    event_log_lines,
+    render_block_table,
+    span_log_lines,
+    split_phase,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_ndjson,
+)
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    graph = ring_graph(8, seed=2)
+    return run_randomized_mst(graph, seed=2, observe=True, trace=True, verify=True)
+
+
+class TestChromeTrace:
+    def test_payload_validates(self, observed_run):
+        payload = chrome_trace(
+            spans=observed_run.spans, trace=observed_run.simulation.trace
+        )
+        count = validate_chrome_trace(payload)
+        assert count == len(payload["traceEvents"])
+        assert payload["metadata"]["tsUnit"] == "rounds"
+
+    def test_span_only_and_trace_only_payloads(self, observed_run):
+        validate_chrome_trace(chrome_trace(spans=observed_run.spans))
+        validate_chrome_trace(chrome_trace(trace=observed_run.simulation.trace))
+        with pytest.raises(ValueError):
+            chrome_trace()
+
+    def test_metadata_names_every_node(self, observed_run):
+        payload = chrome_trace(spans=observed_run.spans, label="my run")
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert names == {f"node {n}" for n in observed_run.spans.nodes()}
+        assert meta[0]["args"]["name"] == "my run"
+
+    def test_complete_events_carry_span_args(self, observed_run):
+        payload = chrome_trace(spans=observed_run.spans)
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            assert event["dur"] >= 1
+            assert set(event["args"]) == {"path", "awake", "messages", "bits"}
+
+    def test_write_and_reload(self, observed_run, tmp_path):
+        target = tmp_path / "trace.json"
+        count = write_chrome_trace(
+            target, spans=observed_run.spans, trace=observed_run.simulation.trace
+        )
+        payload = json.loads(target.read_text())
+        assert validate_chrome_trace(payload) == count
+
+
+class TestValidateRejections:
+    def test_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+
+    def test_empty_list(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_missing_required_key(self):
+        event = {"name": "x", "ph": "i", "ts": 0, "pid": 1}  # no tid
+        with pytest.raises(ValueError, match="tid"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_negative_ts(self):
+        event = {"name": "x", "ph": "i", "ts": -1, "pid": 1, "tid": 0}
+        with pytest.raises(ValueError, match="invalid ts"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_complete_event_without_duration(self):
+        event = {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 0}
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_non_monotonic_ts(self):
+        events = [
+            {"name": "a", "ph": "i", "ts": 5, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "i", "ts": 4, "pid": 1, "tid": 0},
+        ]
+        with pytest.raises(ValueError, match="monotonicity"):
+            validate_chrome_trace({"traceEvents": events})
+
+
+class TestNdjson:
+    def test_span_lines_round_trip(self, observed_run, tmp_path):
+        target = tmp_path / "spans.ndjson"
+        lines = span_log_lines(observed_run.spans)
+        written = write_ndjson(target, lines)
+        assert written == len(lines) == len(observed_run.spans)
+        parsed = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert parsed == lines
+
+    def test_event_lines(self, observed_run):
+        lines = event_log_lines(observed_run.simulation.trace)
+        assert len(lines) == len(observed_run.simulation.trace)
+        assert {"round", "kind", "node", "peer", "detail"} == set(lines[0])
+
+
+class TestReport:
+    def test_split_phase(self):
+        assert split_phase(("phase:3", "block:upcast_moe")) == (3, "block:upcast_moe")
+        assert split_phase(("phase:2", "merge:1", "block:merge_up")) == (
+            2,
+            "merge:1/block:merge_up",
+        )
+        assert split_phase(("phase:4",)) == (4, "(phase)")
+        assert split_phase(("block:x",)) == (None, "block:x")
+        assert split_phase(()) == (None, "(unattributed)")
+
+    def test_render_block_table(self, observed_run):
+        table = render_block_table(observed_run.spans)
+        lines = table.splitlines()
+        assert lines[0].split()[0] == "block"
+        assert lines[0].split()[-1] == "max"
+        assert any("block:upcast_moe" in line for line in lines)
+
+    def test_render_empty_log(self):
+        from repro.obs import SpanLog
+
+        assert render_block_table(SpanLog()) == "(no span data)"

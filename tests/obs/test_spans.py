@@ -1,0 +1,120 @@
+"""Span attribution semantics, via hand-written protocols on tiny graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import path_graph
+from repro.obs import ROOT_PATH, UNATTRIBUTED, ObsRecorder
+from repro.sim import Awake, simulate
+
+
+def test_innermost_span_gets_the_charge():
+    """An awake round at a yield belongs to the span containing the yield."""
+    graph = path_graph(2, seed=0)
+
+    def protocol(ctx):
+        with ctx.span("outer"):
+            yield Awake(1)
+            with ctx.span("inner"):
+                yield Awake(2, ctx.broadcast("hi"))
+            yield Awake(3)
+        yield Awake(4)
+        return None
+
+    result = simulate(graph, protocol, observe=True)
+    for node in graph.node_ids:
+        by_label = {r.label: r for r in result.spans.for_node(node)}
+        assert set(by_label) == {UNATTRIBUTED, "outer", "outer/inner"}
+        # Direct charges only: the inner span's round is not double-counted.
+        assert by_label["outer"].awake == 2
+        assert by_label["outer/inner"].awake == 1
+        assert by_label[UNATTRIBUTED].awake == 1
+        assert by_label["outer/inner"].messages == 1
+        assert by_label["outer/inner"].first_round == 2
+
+
+def test_extents_cover_descendants():
+    graph = path_graph(2, seed=0)
+
+    def protocol(ctx):
+        with ctx.span("outer"):
+            with ctx.span("inner"):
+                yield Awake(5)
+        return None
+
+    result = simulate(graph, protocol, observe=True)
+    outer = next(r for r in result.spans if r.label == "outer")
+    # No direct charges on the parent, but the child's rounds define extent.
+    assert outer.awake == 0
+    assert outer.first_round is None
+    assert (outer.extent_first, outer.extent_last) == (5, 5)
+
+
+def test_sends_are_charged_to_the_scheduling_span():
+    """Messages go out at the yield's round while the generator is suspended
+    there, so the span around the yield owns them."""
+    graph = path_graph(2, seed=0)
+
+    def protocol(ctx):
+        with ctx.span("talk"):
+            yield Awake(1, ctx.broadcast("x"))
+        with ctx.span("quiet"):
+            yield Awake(2)
+        return None
+
+    result = simulate(graph, protocol, observe=True)
+    for node in graph.node_ids:
+        by_label = {r.label: r for r in result.spans.for_node(node)}
+        assert by_label["talk"].messages == 1
+        assert by_label["talk"].bits > 0
+        assert by_label["quiet"].messages == 0
+
+
+def test_uninstrumented_protocol_lands_in_root_span():
+    graph = path_graph(3, seed=1)
+
+    def protocol(ctx):
+        yield Awake(1, ctx.broadcast(ctx.node_id))
+        return None
+
+    result = simulate(graph, protocol, observe=True)
+    per_node = result.spans.per_node_awake()
+    for node, stats in result.metrics.per_node.items():
+        assert per_node[node] == stats.awake_rounds
+    assert result.spans.unattributed_awake() == per_node
+
+
+def test_span_parts_join_with_colon():
+    recorder = ObsRecorder()
+    obs = recorder.node_handle(0)
+    with obs.span(("phase", 3)):
+        obs.charge_awake(7)
+    records = [r for r in recorder.spans if not r.is_root]
+    assert records[0].name == "phase:3"
+    assert records[0].path == ("phase:3",)
+
+
+def test_unbalanced_exit_raises():
+    recorder = ObsRecorder()
+    obs = recorder.node_handle(0)
+    with pytest.raises(RuntimeError, match="underflow"):
+        obs._pop()
+
+
+def test_root_path_and_close_order():
+    recorder = ObsRecorder()
+    for node in (2, 0, 1):
+        recorder.node_handle(node)
+    recorder.close()
+    roots = [r for r in recorder.spans if r.is_root]
+    assert [r.node for r in roots] == [0, 1, 2]
+    assert all(r.path == ROOT_PATH for r in roots)
+
+
+def test_count_feeds_registry():
+    recorder = ObsRecorder()
+    obs = recorder.node_handle(4)
+    obs.count("algo.phases", algorithm="test")
+    obs.count("algo.phases", 2, algorithm="test")
+    assert recorder.registry.counter("algo.phases").value(algorithm="test") == 3

@@ -1,0 +1,113 @@
+"""ProgressReporter guards and the pool's metrics-registry wiring."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import MetricsRegistry
+from repro.orchestrator import (
+    JobSpec,
+    ProgressReporter,
+    expand_grid,
+    run_jobs,
+)
+from repro.orchestrator.store import RunRecord
+
+
+def _record(status="ok", source="executed", elapsed=0.5):
+    spec = JobSpec(algorithm="randomized", family="ring", n=8, seed=0)
+    record = (
+        RunRecord.ok(spec, {"rounds": 1})
+        if status == "ok"
+        else RunRecord.failed(spec, "boom")
+    )
+    record.telemetry = {"source": source, "elapsed_s": elapsed}
+    return record
+
+
+class TestGuards:
+    def test_fresh_reporter_has_no_rate_or_eta(self):
+        reporter = ProgressReporter(total=10)
+        assert reporter.throughput == 0.0
+        assert reporter.eta_s is None
+
+    def test_zero_total_finished_eta(self):
+        reporter = ProgressReporter(total=0)
+        assert reporter.eta_s == 0.0
+
+    def test_line_before_any_update_shows_unknown_eta(self):
+        reporter = ProgressReporter(total=4)
+        line = reporter.line()
+        assert "[0/4]" in line
+        assert "eta ?" in line
+        assert "cached=0" in line
+        assert "resumed=0" in line
+
+    def test_throughput_appears_after_first_update(self):
+        reporter = ProgressReporter(total=2)
+        reporter.update(_record())
+        assert reporter.throughput > 0
+        assert reporter.eta_s is not None
+        assert "eta ?" not in reporter.line()
+
+    def test_summary_reports_nullable_eta(self):
+        reporter = ProgressReporter(total=3)
+        assert reporter.summary()["eta_s"] is None
+        reporter.update(_record())
+        assert isinstance(reporter.summary()["eta_s"], float)
+
+
+class TestCountsAndLine:
+    def test_sources_counted_and_always_shown(self):
+        reporter = ProgressReporter(total=3)
+        reporter.update(_record(source="cache"))
+        reporter.update(_record(source="resume"))
+        reporter.update(_record(status="failed"))
+        assert (reporter.cached, reporter.resumed, reporter.failed) == (1, 1, 1)
+        line = reporter.line()
+        assert "cached=1" in line
+        assert "resumed=1" in line
+        assert "failed=1" in line
+
+    def test_stream_emission(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, stream=stream)
+        reporter.update(_record())
+        assert "[1/1]" in stream.getvalue()
+
+
+class TestPoolRegistryWiring:
+    def test_run_jobs_populates_registry(self, tmp_path):
+        specs = expand_grid(["randomized"], ["ring"], [8], [0, 1])
+        registry = MetricsRegistry()
+        report = run_jobs(specs, registry=registry)
+
+        jobs = registry.counter("orchestrator.jobs")
+        assert jobs.value(status="ok", source="executed") == 2
+        assert registry.histogram("orchestrator.job_seconds").summary(
+            status="ok"
+        )["count"] == 2
+
+        assert report.metrics == registry.dump()
+        assert report.summary()["metrics"] == report.metrics
+        assert "orchestrator.jobs{source=executed,status=ok}" in report.metrics
+
+    def test_registry_sees_cache_and_failures(self, tmp_path):
+        specs = expand_grid(["randomized"], ["ring"], [8], [0])
+        bad = expand_grid(["crashing"], ["ring"], [8], [0])
+        from repro.orchestrator import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        run_jobs(specs, cache=cache)  # prime
+
+        registry = MetricsRegistry()
+        run_jobs(specs + bad, cache=cache, registry=registry)
+        jobs = registry.counter("orchestrator.jobs")
+        assert jobs.value(status="ok", source="cache") == 1
+        assert jobs.value(status="failed", source="executed") == 1
+
+    def test_no_registry_means_no_metrics(self):
+        specs = expand_grid(["randomized"], ["ring"], [8], [0])
+        report = run_jobs(specs)
+        assert report.metrics is None
+        assert "metrics" not in report.summary()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim import EventTrace, KnowledgeTracker
 
 
@@ -25,6 +27,49 @@ class TestEventTrace:
         trace = EventTrace()
         trace.record(1, "wake", 1)
         assert [event.kind for event in trace] == ["wake"]
+
+
+class TestEventTraceRingBuffer:
+    def test_unbounded_by_default(self):
+        trace = EventTrace()
+        for round_number in range(100):
+            trace.record(round_number, "wake", 0)
+        assert len(trace) == 100
+        assert trace.dropped == 0
+
+    def test_cap_keeps_newest_and_counts_dropped(self):
+        trace = EventTrace(max_events=3)
+        for round_number in range(10):
+            trace.record(round_number, "wake", 0)
+        assert len(trace) == 3
+        assert trace.dropped == 7
+        assert [event.round for event in trace] == [7, 8, 9]
+
+    def test_cap_not_reached_drops_nothing(self):
+        trace = EventTrace(max_events=5)
+        trace.record(1, "wake", 0)
+        assert len(trace) == 1
+        assert trace.dropped == 0
+
+    def test_zero_cap_records_nothing(self):
+        trace = EventTrace(max_events=0)
+        trace.record(1, "wake", 0)
+        trace.record(2, "send", 0, peer=1)
+        assert len(trace) == 0
+        assert trace.dropped == 2
+        assert trace.events == []
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            EventTrace(max_events=-1)
+
+    def test_filters_respect_the_window(self):
+        trace = EventTrace(max_events=2)
+        trace.record(1, "wake", 5)
+        trace.record(2, "send", 5, peer=6)
+        trace.record(3, "wake", 5)
+        assert [event.kind for event in trace.for_node(5)] == ["send", "wake"]
+        assert trace.wake_rounds(5) == [3]
 
 
 class TestKnowledgeTracker:
