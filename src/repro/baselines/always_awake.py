@@ -37,12 +37,17 @@ def traditional_metrics(metrics: Metrics) -> Metrics:
     """
     converted = copy.deepcopy(metrics)
     total = 0
+    max_awake = 0
     for node_metrics in converted.per_node.values():
         node_metrics.awake_rounds = max(
             node_metrics.terminated_round, node_metrics.awake_rounds
         )
         total += node_metrics.awake_rounds
+        max_awake = max(max_awake, node_metrics.awake_rounds)
     converted.total_awake_rounds = total
+    # Rewriting per-node counts invalidates the engine-maintained running
+    # maximum; recompute it so ``max_awake`` stays O(1) and correct.
+    converted.max_awake_running = max_awake
     return converted
 
 

@@ -1,0 +1,56 @@
+"""Reproducible benchmark harness with regression gating.
+
+The paper's empirical story (``O(log n)`` awake fits, Table 1 grids, the
+Theorem 4 trade-off) is bounded by how large an ``n`` the pure-Python
+engine can sweep, so the engine's wall-clock performance is itself a
+tracked artifact.  This package measures it reproducibly:
+
+* :mod:`repro.bench.harness` — warmup + repeated timing with
+  median/IQR summaries.
+* :mod:`repro.bench.suites` — the benchmark registry: microbenchmarks
+  (CONGEST bit accounting, the engine round loop) and end-to-end MST
+  runs at fixed seeds, organised in ``micro`` / ``e2e`` tiers with a CI
+  ``smoke`` subset.
+* :mod:`repro.bench.env` — an environment fingerprint stamped into every
+  result file so numbers are never compared across unlike machines
+  silently.
+* :mod:`repro.bench.report` — the ``BENCH_<name>.json`` schema
+  (``repro-bench/1``), baseline comparison, and regression gating used
+  by ``repro-mst bench --check``.
+
+Results accumulate across PRs as committed ``BENCH_*.json`` files (see
+``BENCH_engine.json`` at the repository root); CI runs the smoke tier and
+warns when a benchmark's median regresses past the threshold.
+"""
+
+from .env import environment_fingerprint
+from .harness import BenchTiming, time_callable
+from .report import (
+    SCHEMA_VERSION,
+    BenchComparison,
+    build_payload,
+    compare_to_baseline,
+    load_bench_json,
+    make_baseline_comparison,
+    validate_bench_payload,
+    write_bench_json,
+)
+from .suites import BENCHMARKS, Benchmark, get_benchmark, select_benchmarks
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchComparison",
+    "BenchTiming",
+    "Benchmark",
+    "SCHEMA_VERSION",
+    "build_payload",
+    "compare_to_baseline",
+    "environment_fingerprint",
+    "get_benchmark",
+    "load_bench_json",
+    "make_baseline_comparison",
+    "select_benchmarks",
+    "time_callable",
+    "validate_bench_payload",
+    "write_bench_json",
+]

@@ -1,0 +1,63 @@
+"""Environment fingerprint stamped into every benchmark result file.
+
+Benchmark numbers are only comparable on like hardware and interpreters;
+the fingerprint makes silent cross-machine comparisons visible.  The
+regression gate (:func:`repro.bench.report.compare_to_baseline`) does not
+*refuse* to compare across differing fingerprints — CI runners vary — but
+reports flag the mismatch so a human can discount noise accordingly.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, Optional
+
+
+def _git_revision() -> Optional[str]:
+    """Best-effort short git revision of the working tree (None outside git)."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = completed.stdout.strip()
+    return revision or None
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Return the dictionary written under ``env`` in ``BENCH_*.json``."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "pythonhashseed": os.environ.get("PYTHONHASHSEED"),
+        "git_revision": _git_revision(),
+    }
+
+
+def fingerprint_mismatches(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Return ``{key: (current, baseline)}`` for keys that differ.
+
+    Volatile keys (git revision — expected to differ across PRs) are
+    excluded; the rest genuinely change what a second of wall-clock means.
+    """
+    volatile = {"git_revision"}
+    mismatches: Dict[str, Any] = {}
+    for key in sorted(set(current) | set(baseline)):
+        if key in volatile:
+            continue
+        if current.get(key) != baseline.get(key):
+            mismatches[key] = (current.get(key), baseline.get(key))
+    return mismatches

@@ -1,0 +1,78 @@
+"""Timing core: warmup, repeats, and robust summary statistics.
+
+Benchmarks are timed with ``time.perf_counter`` around a zero-argument
+callable.  Warmup iterations run first (filling caches, importing lazily
+loaded modules, warming the allocator) and are discarded; the remaining
+samples are summarised by their median and interquartile range, which are
+robust to the occasional scheduler hiccup that makes means useless on
+shared runners.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass(frozen=True)
+class BenchTiming:
+    """Raw samples plus the summary statistics written into reports."""
+
+    samples_s: List[float]
+    repeats: int
+    warmup: int
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.samples_s)
+
+    @property
+    def mean_s(self) -> float:
+        return statistics.fmean(self.samples_s)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.samples_s)
+
+    @property
+    def iqr_s(self) -> float:
+        """Interquartile range; 0.0 when there are fewer than 4 samples."""
+        if len(self.samples_s) < 4:
+            return 0.0
+        q1, _, q3 = statistics.quantiles(self.samples_s, n=4)
+        return q3 - q1
+
+    def summary(self) -> dict:
+        return {
+            "median_s": self.median_s,
+            "iqr_s": self.iqr_s,
+            "min_s": self.min_s,
+            "mean_s": self.mean_s,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "samples_s": list(self.samples_s),
+        }
+
+
+def time_callable(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> BenchTiming:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` discarded runs."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    perf_counter = time.perf_counter
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = perf_counter()
+        fn()
+        samples.append(perf_counter() - start)
+    return BenchTiming(samples_s=samples, repeats=repeats, warmup=warmup)

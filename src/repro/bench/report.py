@@ -1,0 +1,277 @@
+"""``BENCH_*.json`` schema, baseline comparison, and regression gating.
+
+File layout (schema ``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "suite": "engine",
+      "created_unix": 1754500000,
+      "env": { ... environment fingerprint ... },
+      "benchmarks": [
+        {"name": "...", "tier": "micro", "params": {...},
+         "median_s": ..., "iqr_s": ..., "min_s": ..., "mean_s": ...,
+         "repeats": 5, "warmup": 1, "samples_s": [...]},
+        ...
+      ],
+      "baseline_comparison": null | {
+        "reference": "<label of what current numbers are compared against>",
+        "headline": {"name": ..., "baseline_median_s": ...,
+                     "current_median_s": ..., "speedup": ...},
+        "benchmarks": {name: {"baseline_median_s": ...,
+                              "current_median_s": ..., "speedup": ...}}
+      }
+    }
+
+``compare_to_baseline`` implements the regression gate used by
+``repro-mst bench --check``: a benchmark regresses when its current
+median exceeds ``threshold ×`` its baseline median.  Missing benchmarks
+(on either side) never fail the gate — they are reported so renames don't
+silently drop coverage.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .env import fingerprint_mismatches
+
+SCHEMA_VERSION = "repro-bench/1"
+
+_REQUIRED_TOP_KEYS = ("schema", "suite", "created_unix", "env", "benchmarks")
+_REQUIRED_BENCH_KEYS = (
+    "name",
+    "tier",
+    "params",
+    "median_s",
+    "iqr_s",
+    "min_s",
+    "mean_s",
+    "repeats",
+    "warmup",
+    "samples_s",
+)
+
+
+def build_payload(
+    suite: str,
+    results: Sequence[Tuple[Any, Any]],
+    env: Mapping[str, Any],
+    baseline_comparison: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the schema payload from ``(Benchmark, BenchTiming)`` pairs."""
+    benchmarks = []
+    for benchmark, timing in results:
+        entry = benchmark.describe()
+        entry.pop("smoke", None)
+        entry.update(timing.summary())
+        benchmarks.append(entry)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "created_unix": int(time.time()),
+        "env": dict(env),
+        "benchmarks": benchmarks,
+        "baseline_comparison": (
+            dict(baseline_comparison) if baseline_comparison is not None else None
+        ),
+    }
+
+
+def validate_bench_payload(payload: Any) -> int:
+    """Validate a payload against ``repro-bench/1``; return benchmark count.
+
+    Raises ``ValueError`` with a pointed message on the first problem.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload must be an object, got {type(payload).__name__}")
+    for key in _REQUIRED_TOP_KEYS:
+        if key not in payload:
+            raise ValueError(f"missing top-level key {key!r}")
+    if payload["schema"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {payload['schema']!r} (expected {SCHEMA_VERSION!r})"
+        )
+    if not isinstance(payload["env"], dict):
+        raise ValueError("env must be an object")
+    benchmarks = payload["benchmarks"]
+    if not isinstance(benchmarks, list):
+        raise ValueError("benchmarks must be a list")
+    seen = set()
+    for position, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict):
+            raise ValueError(f"benchmarks[{position}] must be an object")
+        for key in _REQUIRED_BENCH_KEYS:
+            if key not in entry:
+                raise ValueError(f"benchmarks[{position}] missing key {key!r}")
+        name = entry["name"]
+        if name in seen:
+            raise ValueError(f"duplicate benchmark name {name!r}")
+        seen.add(name)
+        samples = entry["samples_s"]
+        if not isinstance(samples, list) or not samples:
+            raise ValueError(f"benchmarks[{position}] samples_s must be non-empty")
+        if any(
+            not isinstance(sample, (int, float)) or sample < 0 for sample in samples
+        ):
+            raise ValueError(
+                f"benchmarks[{position}] samples_s must be non-negative numbers"
+            )
+        if entry["median_s"] < 0:
+            raise ValueError(f"benchmarks[{position}] median_s must be >= 0")
+    return len(benchmarks)
+
+
+def write_bench_json(path: Union[str, Path], payload: Mapping[str, Any]) -> Path:
+    """Validate and write ``payload`` to ``path`` (pretty, sorted, trailing \\n)."""
+    validate_bench_payload(dict(payload))
+    target = Path(path)
+    target.write_text(json.dumps(dict(payload), indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_bench_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a ``BENCH_*.json`` file."""
+    source = Path(path)
+    payload = json.loads(source.read_text())
+    validate_bench_payload(payload)
+    return payload
+
+
+def _medians(payload: Mapping[str, Any]) -> Dict[str, float]:
+    return {
+        entry["name"]: float(entry["median_s"]) for entry in payload["benchmarks"]
+    }
+
+
+@dataclass(frozen=True)
+class ComparisonEntry:
+    """Per-benchmark verdict of a baseline comparison."""
+
+    name: str
+    baseline_median_s: float
+    current_median_s: float
+    #: ``current / baseline`` — above 1.0 means slower than the baseline.
+    ratio: float
+    regressed: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "baseline_median_s": self.baseline_median_s,
+            "current_median_s": self.current_median_s,
+            "ratio": self.ratio,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of gating current results against a committed baseline."""
+
+    threshold: float
+    entries: List[ComparisonEntry]
+    #: Benchmarks present only in the baseline / only in the current run.
+    missing_in_current: List[str] = field(default_factory=list)
+    missing_in_baseline: List[str] = field(default_factory=list)
+    #: Environment keys that differ (``{key: (current, baseline)}``).
+    env_mismatches: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> List[ComparisonEntry]:
+        return [entry for entry in self.entries if entry.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "entries": [entry.to_dict() for entry in self.entries],
+            "missing_in_current": list(self.missing_in_current),
+            "missing_in_baseline": list(self.missing_in_baseline),
+            "env_mismatches": {
+                key: list(value) for key, value in self.env_mismatches.items()
+            },
+        }
+
+
+def compare_to_baseline(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    threshold: float = 1.25,
+) -> BenchComparison:
+    """Gate ``current`` against ``baseline`` at ``threshold`` slowdown.
+
+    Only benchmarks present in both payloads are gated; a benchmark
+    regresses when ``current_median > threshold * baseline_median``.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    current_medians = _medians(current)
+    baseline_medians = _medians(baseline)
+    entries: List[ComparisonEntry] = []
+    for name in sorted(set(current_medians) & set(baseline_medians)):
+        baseline_median = baseline_medians[name]
+        current_median = current_medians[name]
+        ratio = (
+            current_median / baseline_median
+            if baseline_median > 0
+            else float("inf") if current_median > 0 else 1.0
+        )
+        entries.append(
+            ComparisonEntry(
+                name=name,
+                baseline_median_s=baseline_median,
+                current_median_s=current_median,
+                ratio=ratio,
+                regressed=ratio > threshold,
+            )
+        )
+    return BenchComparison(
+        threshold=threshold,
+        entries=entries,
+        missing_in_current=sorted(set(baseline_medians) - set(current_medians)),
+        missing_in_baseline=sorted(set(current_medians) - set(baseline_medians)),
+        env_mismatches=fingerprint_mismatches(
+            dict(current.get("env", {})), dict(baseline.get("env", {}))
+        ),
+    )
+
+
+def make_baseline_comparison(
+    current: Mapping[str, Any],
+    reference: Mapping[str, Any],
+    label: str,
+    headline: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build the ``baseline_comparison`` block recording speedups.
+
+    ``reference`` holds the *older* (e.g. pre-optimization) numbers;
+    ``speedup`` is ``reference_median / current_median``, so values above
+    1.0 mean the current engine is faster.  ``headline`` names the
+    benchmark whose speedup is surfaced at the top (the end-to-end run at
+    the largest smoke ``n``, per the repo's acceptance criteria).
+    """
+    current_medians = _medians(current)
+    reference_medians = _medians(reference)
+    per_benchmark: Dict[str, Any] = {}
+    for name in sorted(set(current_medians) & set(reference_medians)):
+        reference_median = reference_medians[name]
+        current_median = current_medians[name]
+        per_benchmark[name] = {
+            "baseline_median_s": reference_median,
+            "current_median_s": current_median,
+            "speedup": (
+                reference_median / current_median if current_median > 0 else None
+            ),
+        }
+    block: Dict[str, Any] = {"reference": label, "benchmarks": per_benchmark}
+    if headline is not None and headline in per_benchmark:
+        block["headline"] = {"name": headline, **per_benchmark[headline]}
+    return block

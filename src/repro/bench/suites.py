@@ -1,0 +1,235 @@
+"""The benchmark registry: what gets timed, at which tier, with what inputs.
+
+Every benchmark is deterministic end to end — fixed graph seeds, fixed
+protocol seeds, fixed payload corpora — so two runs on the same machine
+and interpreter time the *same* computation and their medians are directly
+comparable.  Benchmarks build their inputs (graphs, corpora) once in
+``make()``; only the returned thunk is timed.
+
+Tiers
+-----
+``micro``
+    Isolated hot paths: CONGEST bit accounting over a realistic payload
+    corpus, and the engine round loop driven by a payload-light heartbeat
+    protocol (so engine overhead, not bit accounting, dominates).
+``e2e``
+    Full MST runs through the public runners at fixed seeds — the number
+    that actually bounds how large an ``n`` the experiment sweeps reach.
+
+The ``smoke`` flag marks the subset cheap enough for CI on every push.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.sim import Awake
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark: metadata plus a thunk factory."""
+
+    name: str
+    tier: str  # "micro" | "e2e"
+    smoke: bool
+    params: Mapping[str, Any]
+    make: Callable[[], Callable[[], Any]] = field(repr=False)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "tier": self.tier,
+            "smoke": self.smoke,
+            "params": dict(self.params),
+        }
+
+
+# ----------------------------------------------------------------------
+# Micro: CONGEST bit accounting
+# ----------------------------------------------------------------------
+
+def payload_corpus(count: int = 512, seed: int = 1234) -> List[Any]:
+    """A fixed, realistic mix of protocol payload shapes.
+
+    Mirrors what the MST protocols actually send: short string tags
+    followed by a few bounded integers, occasional booleans, ``inf``
+    sentinels (Upcast-Min), bare integers, and a sprinkling of nested
+    tuples to exercise the uncached recursive path.
+    """
+    rng = Random(seed)
+    corpus: List[Any] = []
+    for _ in range(count):
+        kind = rng.randrange(6)
+        if kind == 0:
+            corpus.append(
+                (
+                    "mwoe",
+                    rng.randrange(10**6),
+                    rng.randrange(4096),
+                    rng.randrange(16),
+                )
+            )
+        elif kind == 1:
+            corpus.append(("hb", rng.randrange(10**4), bool(rng.randrange(2))))
+        elif kind == 2:
+            corpus.append(
+                (
+                    "up",
+                    rng.randrange(512),
+                    math.inf if rng.randrange(2) else rng.randrange(10**6),
+                )
+            )
+        elif kind == 3:
+            corpus.append(rng.randrange(10**9))
+        elif kind == 4:
+            corpus.append(("id", "x" * (1 + rng.randrange(8)), rng.randrange(10**6)))
+        else:
+            corpus.append((("nest", rng.randrange(64)), rng.randrange(10**6), None))
+    return corpus
+
+
+def _make_payload_bits(loops: int = 30) -> Callable[[], Any]:
+    from repro.sim.congest import CongestPolicy
+
+    corpus = payload_corpus()
+
+    def run() -> None:
+        # A fresh policy per sample: the first corpus pass is cold, the
+        # remaining ``loops - 1`` passes measure the steady state the
+        # engine sees (repetitive shapes, warm accounting).
+        policy = CongestPolicy(10**6, strict=False)
+        check = policy.check
+        for _ in range(loops):
+            for payload in corpus:
+                check(payload)
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Micro: engine round loop
+# ----------------------------------------------------------------------
+
+def _heartbeat_protocol(ctx: Any):
+    """Payload-light staggered heartbeats: stresses the round loop itself."""
+    node_id = ctx.node_id
+    offset = node_id % 3
+    sends = {port: ("hb", node_id) for port in ctx.ports}
+    for i in range(1, 61):
+        yield Awake(3 * i + offset, sends)
+    return None
+
+
+def _make_engine_loop(n: int = 128) -> Callable[[], Any]:
+    from repro.graphs import ring_graph
+    from repro.sim import simulate
+
+    graph = ring_graph(n, seed=1)
+
+    def run() -> None:
+        simulate(graph, _heartbeat_protocol, seed=0)
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# End to end: MST runs at fixed seeds
+# ----------------------------------------------------------------------
+
+def _make_mst_randomized(n: int) -> Callable[[], Any]:
+    from repro.core import run_randomized_mst
+    from repro.orchestrator import GRAPH_FAMILIES
+
+    graph = GRAPH_FAMILIES["gnp"](n, 0, None)
+
+    def run() -> None:
+        run_randomized_mst(graph, seed=0)
+
+    return run
+
+
+def _make_mst_deterministic(n: int) -> Callable[[], Any]:
+    from repro.core import run_deterministic_mst
+    from repro.orchestrator import GRAPH_FAMILIES
+
+    graph = GRAPH_FAMILIES["gnp"](n, 0, None)
+
+    def run() -> None:
+        run_deterministic_mst(graph)
+
+    return run
+
+
+#: The registry, in execution order (cheap first).
+BENCHMARKS: Tuple[Benchmark, ...] = (
+    Benchmark(
+        name="payload_bits_micro",
+        tier="micro",
+        smoke=True,
+        params={"corpus": 512, "loops": 30, "seed": 1234},
+        make=_make_payload_bits,
+    ),
+    Benchmark(
+        name="engine_round_loop",
+        tier="micro",
+        smoke=True,
+        params={"family": "ring", "n": 128, "heartbeats": 60, "seed": 1},
+        make=_make_engine_loop,
+    ),
+    Benchmark(
+        name="mst_randomized_e2e_n64",
+        tier="e2e",
+        smoke=True,
+        params={"family": "gnp", "n": 64, "seed": 0},
+        make=lambda: _make_mst_randomized(64),
+    ),
+    Benchmark(
+        name="mst_deterministic_e2e_n64",
+        tier="e2e",
+        smoke=True,
+        params={"family": "gnp", "n": 64, "seed": 0},
+        make=lambda: _make_mst_deterministic(64),
+    ),
+    Benchmark(
+        name="mst_randomized_e2e_n256",
+        tier="e2e",
+        smoke=True,
+        params={"family": "gnp", "n": 256, "seed": 0},
+        make=lambda: _make_mst_randomized(256),
+    ),
+)
+
+#: The end-to-end benchmark at the largest smoke ``n`` — the headline
+#: number for ``baseline_comparison`` (see the acceptance criteria).
+HEADLINE_BENCHMARK = "mst_randomized_e2e_n256"
+
+
+def get_benchmark(name: str) -> Benchmark:
+    for benchmark in BENCHMARKS:
+        if benchmark.name == name:
+            return benchmark
+    known = ", ".join(b.name for b in BENCHMARKS)
+    raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+
+
+def select_benchmarks(
+    suite: str = "smoke", names: Sequence[str] = ()
+) -> List[Benchmark]:
+    """Resolve a suite name (or explicit benchmark names) to benchmarks.
+
+    ``names`` wins when non-empty; otherwise ``suite`` is one of
+    ``smoke`` (CI subset), ``micro``, ``e2e``, or ``full``.
+    """
+    if names:
+        return [get_benchmark(name) for name in names]
+    if suite == "full":
+        return list(BENCHMARKS)
+    if suite == "smoke":
+        return [b for b in BENCHMARKS if b.smoke]
+    if suite in ("micro", "e2e"):
+        return [b for b in BENCHMARKS if b.tier == suite]
+    raise ValueError(f"unknown suite {suite!r}; use smoke, micro, e2e, or full")

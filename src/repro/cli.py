@@ -286,6 +286,103 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.failed == 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        build_payload,
+        compare_to_baseline,
+        environment_fingerprint,
+        load_bench_json,
+        make_baseline_comparison,
+        select_benchmarks,
+        time_callable,
+        write_bench_json,
+    )
+    from repro.bench.suites import HEADLINE_BENCHMARK
+
+    def say(message: str) -> None:
+        if not args.quiet and not args.json:
+            print(message)
+
+    if args.input:
+        payload = load_bench_json(args.input)
+        say(f"loaded    : {args.input} ({len(payload['benchmarks'])} benchmarks)")
+    else:
+        try:
+            benchmarks = select_benchmarks(args.suite, args.names or ())
+        except (KeyError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        results = []
+        for benchmark in benchmarks:
+            thunk = benchmark.make()
+            timing = time_callable(
+                thunk, repeats=args.repeats, warmup=args.warmup
+            )
+            results.append((benchmark, timing))
+            say(
+                f"{benchmark.name:<28}: median {timing.median_s * 1000:9.2f} ms"
+                f"  iqr {timing.iqr_s * 1000:7.2f} ms  ({benchmark.tier})"
+            )
+        comparison_block = None
+        if args.compare_ref:
+            reference = load_bench_json(args.compare_ref)
+            comparison_block = make_baseline_comparison(
+                build_payload(args.suite_name, results, {}),
+                reference,
+                label=args.compare_label or str(args.compare_ref),
+                headline=HEADLINE_BENCHMARK,
+            )
+        payload = build_payload(
+            args.suite_name,
+            results,
+            environment_fingerprint(),
+            baseline_comparison=comparison_block,
+        )
+
+    if args.output:
+        write_bench_json(args.output, payload)
+        say(f"wrote     : {args.output}")
+
+    exit_code = 0
+    check_report = None
+    if args.check:
+        baseline = load_bench_json(args.check)
+        comparison = compare_to_baseline(
+            payload, baseline, threshold=args.threshold
+        )
+        check_report = comparison.to_dict()
+        for entry in comparison.entries:
+            marker = "REGRESSED" if entry.regressed else "ok"
+            say(
+                f"check {entry.name:<28}: {entry.current_median_s * 1000:9.2f} ms"
+                f" vs baseline {entry.baseline_median_s * 1000:9.2f} ms"
+                f"  x{entry.ratio:.2f}  {marker}"
+            )
+        for name in comparison.missing_in_current:
+            say(f"check {name:<28}: missing from current run")
+        for key, (cur, base) in sorted(comparison.env_mismatches.items()):
+            say(f"env mismatch {key}: current={cur!r} baseline={base!r}")
+        if not comparison.ok:
+            message = (
+                f"{len(comparison.regressions)} benchmark(s) regressed past "
+                f"x{args.threshold:.2f} of {args.check}"
+            )
+            if args.warn_only:
+                print(f"WARNING: {message}", file=sys.stderr)
+            else:
+                print(f"FAILED: {message}", file=sys.stderr)
+                exit_code = 1
+        else:
+            say(f"check     : ok (threshold x{args.threshold:.2f})")
+
+    if args.json:
+        output = dict(payload)
+        if check_report is not None:
+            output["check"] = check_report
+        print(json.dumps(output, sort_keys=True))
+    return exit_code
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.analysis import generate_table1, render_table
 
@@ -471,6 +568,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit one JSON object instead of text"
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the benchmark suite; write/gate BENCH_*.json results",
+    )
+    bench_parser.add_argument(
+        "--suite", choices=("smoke", "micro", "e2e", "full"), default="smoke",
+        help="which benchmark tier to run (default: the CI smoke subset)",
+    )
+    bench_parser.add_argument(
+        "--names", nargs="+", default=None, metavar="NAME",
+        help="run only these benchmarks (overrides --suite)",
+    )
+    bench_parser.add_argument("--repeats", type=int, default=5)
+    bench_parser.add_argument("--warmup", type=int, default=1)
+    bench_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write results as BENCH JSON (schema repro-bench/1)",
+    )
+    bench_parser.add_argument(
+        "--suite-name", default="engine",
+        help="suite label stamped into the JSON (default: engine)",
+    )
+    bench_parser.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="gate a previously written results file instead of re-running",
+    )
+    bench_parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare medians against a committed BENCH baseline file",
+    )
+    bench_parser.add_argument(
+        "--threshold", type=float, default=1.25,
+        help="slowdown ratio above which --check fails (default 1.25)",
+    )
+    bench_parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (for flaky shared runners)",
+    )
+    bench_parser.add_argument(
+        "--compare-ref", default=None, metavar="REF_JSON",
+        help="embed a baseline_comparison block computed against this file",
+    )
+    bench_parser.add_argument(
+        "--compare-label", default=None,
+        help="label recorded as baseline_comparison.reference",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true", help="emit the full payload as JSON"
+    )
+    bench_parser.add_argument("--quiet", action="store_true")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     table_parser = subparsers.add_parser("table1", help="regenerate Table 1")
     table_parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])

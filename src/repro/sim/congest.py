@@ -16,12 +16,35 @@ cost the sum of their fields.  The point is not bit-exact wire encoding but a
 faithful *asymptotic* check: a payload that smuggles ``Θ(n)`` values through
 one edge in one round will blow the budget, while the paper's constant-field
 messages always fit.
+
+Performance
+-----------
+:func:`payload_bits` is the naive recursive reference definition; it is the
+engine's single hottest call (one per message) on highly repetitive payload
+shapes, so :meth:`CongestPolicy.check` layers two accelerations on top of
+it, both proven equivalent by the property tests in
+``tests/sim/test_congest_cache.py``:
+
+* a **shape-compiled fast path**: flat tuples of scalars are sized by a
+  per-shape compiled summing function (shape = the tuple of exact element
+  classes), skipping the recursion, ``isinstance`` dispatch, and generator
+  overhead of the reference;
+* a **bounded per-shape value memo** mapping ``payload -> bits``.  The
+  memos are routed by the exact element classes because Python hashes
+  ``1``, ``1.0`` and ``True`` identically even though their bit costs
+  differ — a single ``payload -> bits`` dict would conflate them, but
+  within one shape's memo every key has identical element classes, so
+  payload-equality implies bit-equality.
+
+Payloads containing nested tuples (or any unsupported class) fall back to
+the reference recursion and are never cached, so the fast structures only
+ever hold flat, hashable tuples.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Callable, Dict, Optional, Tuple
 
 #: Bits charged per scalar field for type tags / framing.
 FIELD_OVERHEAD_BITS = 2
@@ -67,6 +90,67 @@ def payload_bits(payload: Any) -> int:
     return scalar_bits(payload)
 
 
+# ----------------------------------------------------------------------
+# Shape-compiled sizing (CongestPolicy.check fast path)
+# ----------------------------------------------------------------------
+
+#: Memo entries kept per policy; the engine sees a small working set of
+#: payload values, so the cap exists only to bound pathological protocols.
+CACHE_CAPACITY = 4096
+
+_BOOL_NONE_BITS = 1 + FIELD_OVERHEAD_BITS
+
+
+def _int_field_bits(value: int) -> int:
+    return (abs(value)).bit_length() + 1 + FIELD_OVERHEAD_BITS if value else 4
+
+
+def _bool_field_bits(_value: Any) -> int:
+    return _BOOL_NONE_BITS
+
+
+def _float_field_bits(value: float) -> int:
+    if math.isinf(value):
+        return 1 + FIELD_OVERHEAD_BITS
+    return 64 + FIELD_OVERHEAD_BITS
+
+
+def _str_field_bits(value: str) -> int:
+    return 8 * len(value) + FIELD_OVERHEAD_BITS
+
+
+#: Exact-class scalar sizers.  Exact (not ``isinstance``) dispatch keeps
+#: ``bool`` (a subclass of ``int``) and user subclasses out of the fast
+#: path; anything unlisted falls back to :func:`scalar_bits`.
+_SCALAR_SIZERS: Dict[type, Callable[[Any], int]] = {
+    int: _int_field_bits,
+    bool: _bool_field_bits,
+    float: _float_field_bits,
+    str: _str_field_bits,
+    type(None): _bool_field_bits,
+}
+
+
+def _compile_shape(classes: Tuple[type, ...]) -> Optional[Callable[[Any], int]]:
+    """Return a sizing function for flat tuples of these exact classes.
+
+    Returns ``None`` when the shape contains nested tuples or unsupported
+    classes — callers must then use the :func:`payload_bits` reference.
+    """
+    try:
+        sizers = tuple(_SCALAR_SIZERS[cls] for cls in classes)
+    except KeyError:
+        return None
+
+    def sized(payload: Any, _sizers=sizers, _base=FIELD_OVERHEAD_BITS) -> int:
+        total = _base
+        for sizer, fieldvalue in zip(_sizers, payload):
+            total += sizer(fieldvalue)
+        return total
+
+    return sized
+
+
 def congest_budget_bits(universe: int, factor: int = DEFAULT_CONGEST_FACTOR) -> int:
     """Return the per-message bit budget for a value universe of size ``universe``.
 
@@ -107,10 +191,70 @@ class CongestPolicy:
         self.strict = strict
         self.factor = factor
         self.budget = congest_budget_bits(universe, factor)
+        #: ``(shape, payload) -> bits`` memo; see the module docstring for
+        #: why the exact element classes are part of the key.
+        #: ``shape -> (sizer, payload -> bits memo)``; ``(None, None)``
+        #: marks unsupported shapes.  Routing by the exact element-class
+        #: tuple means hash-equal payloads of different types (``(1,)`` vs
+        #: ``(True,)``) land in *different* memos, so each memo can key on
+        #: the payload alone.
+        self._shape_table: Dict[
+            Tuple[type, ...],
+            Tuple[Optional[Callable[[Any], int]], Optional[Dict[Any, int]]],
+        ] = {}
+        self._cache_entries = 0
 
     def check(self, payload: Any) -> int:
-        """Return the payload size in bits (raising in strict mode if over)."""
-        bits = payload_bits(payload)
+        """Return the payload size in bits, agreeing with :func:`payload_bits`.
+
+        This only *measures* — it never raises on oversized payloads; the
+        engine (or :meth:`check_strict`) decides what to do with the
+        measurement.  Repeated shapes/values hit the policy's internal
+        shape-compiled sizers and bounded value memo.
+        """
+        if payload.__class__ is tuple:
+            classes = tuple([fieldvalue.__class__ for fieldvalue in payload])
+            shape_table = self._shape_table
+            entry = shape_table.get(classes)
+            if entry is None:
+                sizer = _compile_shape(classes)
+                entry = shape_table[classes] = (
+                    sizer,
+                    {} if sizer is not None else None,
+                )
+            sizer, cache = entry
+            if sizer is None:
+                # Nested tuples / unsupported classes: reference recursion,
+                # uncached (nested numeric fields hash-collide across types).
+                return payload_bits(payload)
+            bits = cache.get(payload)
+            if bits is None:
+                bits = sizer(payload)
+                if self._cache_entries >= CACHE_CAPACITY:
+                    # Cheap bounded behaviour: drop every memo and let the
+                    # live working set repopulate (it is tiny in practice).
+                    for _, shape_cache in shape_table.values():
+                        if shape_cache is not None:
+                            shape_cache.clear()
+                    self._cache_entries = 0
+                cache[payload] = bits
+                self._cache_entries += 1
+            return bits
+        return scalar_bits(payload)
+
+    def check_strict(self, payload: Any, node_id: int = -1, port: int = -1) -> int:
+        """Measure ``payload`` and raise if it exceeds the budget in strict mode.
+
+        Returns the size in bits.  In strict mode an over-budget payload
+        raises :class:`~repro.sim.errors.CongestViolation` carrying
+        ``node_id``/``port`` context (``-1`` when unknown); in lenient mode
+        this is identical to :meth:`check`.
+        """
+        bits = self.check(payload)
+        if self.strict and bits > self.budget:
+            from .errors import CongestViolation
+
+            raise CongestViolation(node_id, port, bits, self.budget)
         return bits
 
     def is_over_budget(self, bits: int) -> bool:

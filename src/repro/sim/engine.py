@@ -84,7 +84,13 @@ class SimulationResult:
 
 @dataclass
 class _NodeRuntime:
-    """Engine-internal per-node state."""
+    """Engine-internal per-node state.
+
+    ``node_metrics`` and ``ports_map`` alias the per-node
+    :class:`~repro.sim.metrics.NodeMetrics` and adjacency entries so the
+    round loop reaches them with one attribute load instead of method
+    calls and nested dict lookups per message.
+    """
 
     context: NodeContext
     protocol: Any
@@ -94,6 +100,10 @@ class _NodeRuntime:
     pending_knowledge: int = 0
     last_awake_round: int = 0
     finished: bool = False
+    #: Alias of ``metrics.per_node[node_id]`` for this run.
+    node_metrics: Any = None
+    #: Alias of the engine's adjacency entry: port -> (nbr, nbr_port, w).
+    ports_map: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
 
 
 class SleepingSimulator:
@@ -218,7 +228,17 @@ class SleepingSimulator:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Execute the simulation to completion and return its result."""
+        """Execute the simulation to completion and return its result.
+
+        Dispatches to one of two loop specializations producing *identical*
+        results (the differential tests in ``tests/sim`` are the oracle):
+
+        * the **fast path**, taken when no observer (trace, knowledge,
+          obs) is attached — all observer branches are hoisted out, hot
+          attributes are bound to locals, aggregate counters accumulate in
+          locals and are flushed into :class:`Metrics` once;
+        * the **general path**, which additionally feeds the observers.
+        """
         metrics = Metrics()
         results: Dict[int, Any] = {}
         runtimes: Dict[int, _NodeRuntime] = {}
@@ -229,8 +249,9 @@ class SleepingSimulator:
             context = self._make_context(node_id)
             protocol = self.protocol_factory(context)
             runtime = _NodeRuntime(context=context, protocol=protocol)
+            runtime.node_metrics = metrics.node(node_id)
+            runtime.ports_map = self._adjacency[node_id]
             runtimes[node_id] = runtime
-            metrics.node(node_id)  # ensure every node appears in per_node
             finished, value = prime_protocol(protocol)
             if finished:
                 self._finish_node(node_id, runtime, value, 0, results, metrics)
@@ -238,7 +259,173 @@ class SleepingSimulator:
             self._accept_action(node_id, runtime, value, current_round=0)
             heapq.heappush(wakeups, (value.round, node_id))
 
+        if self.trace is None and self.knowledge is None and self.obs is None:
+            self._run_fast(metrics, results, runtimes, wakeups)
+        else:
+            self._run_general(metrics, results, runtimes, wakeups)
+
+        if self.obs is not None:
+            self.obs.finalize(metrics)
+
+        return SimulationResult(
+            node_results=results,
+            metrics=metrics,
+            trace=self.trace,
+            knowledge=self.knowledge,
+            obs=self.obs,
+        )
+
+    def _run_fast(
+        self,
+        metrics: Metrics,
+        results: Dict[int, Any],
+        runtimes: Dict[int, _NodeRuntime],
+        wakeups: List[Tuple[int, int]],
+    ) -> None:
+        """Observer-free round loop (the common benchmark/sweep configuration)."""
+        congest = self.congest
+        congest_check = congest.check
+        congest_budget = congest.budget
+        congest_strict = congest.strict
+        max_rounds = self.max_rounds
+        max_awake_events = self.max_awake_events
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        accept = self._accept_action
+        finish = self._finish_node
+        step = run_protocol_step
+
+        total_bits = 0
+        max_message_bits = 0
+        messages_delivered = 0
+        messages_lost = 0
+        total_awake_rounds = 0
+        congest_violations = 0
+        max_awake_running = 0
+        last_round = 0
+        awake_events = 0
+
+        # Inboxes are keyed by receiver and populated lazily on first
+        # delivery; every receiver is awake this round, so phase B drains
+        # the dict completely and it is reused round after round.
+        inboxes: Dict[int, Dict[int, Any]] = {}
+        awake_now: List[int] = []
+
+        while wakeups:
+            current_round = wakeups[0][0]
+            if max_rounds is not None and current_round > max_rounds:
+                raise SimulationLimitExceeded(
+                    f"round {current_round} exceeds max_rounds={max_rounds}"
+                )
+            awake_now.clear()
+            while wakeups and wakeups[0][0] == current_round:
+                awake_now.append(heappop(wakeups)[1])
+            awake_set = set(awake_now)
+            last_round = current_round
+
+            # Phase A: transmit.  All sends scheduled for this round go out
+            # simultaneously; only awake receivers hear them.
+            for node_id in awake_now:
+                runtime = runtimes[node_id]
+                pending = runtime.pending_sends
+                if not pending:
+                    continue
+                sender_metrics = runtime.node_metrics
+                ports_map = runtime.ports_map
+                for port, payload in pending.items():
+                    neighbour_id, neighbour_port, _ = ports_map[port]
+                    bits = congest_check(payload)
+                    sender_metrics.messages_sent += 1
+                    sender_metrics.bits_sent += bits
+                    total_bits += bits
+                    if bits > max_message_bits:
+                        max_message_bits = bits
+                    if bits > congest_budget:
+                        congest_violations += 1
+                        if congest_strict:
+                            raise CongestViolation(
+                                node_id, port, bits, congest_budget
+                            )
+                    if neighbour_id in awake_set:
+                        inbox = inboxes.get(neighbour_id)
+                        if inbox is None:
+                            inbox = inboxes[neighbour_id] = {}
+                        inbox[neighbour_port] = payload
+                        messages_delivered += 1
+                        receiver = runtimes[neighbour_id].node_metrics
+                        receiver.messages_received += 1
+                        receiver.bits_received += bits
+                    else:
+                        messages_lost += 1
+                        runtimes[
+                            neighbour_id
+                        ].node_metrics.messages_lost_as_receiver += 1
+                runtime.pending_sends = {}
+
+            # Phase B: local computation.  Resume every awake node with its
+            # inbox; it either terminates or schedules its next awake round.
+            for node_id in awake_now:
+                runtime = runtimes[node_id]
+                node_metrics = runtime.node_metrics
+                awake = node_metrics.awake_rounds + 1
+                node_metrics.awake_rounds = awake
+                if awake > max_awake_running:
+                    max_awake_running = awake
+                total_awake_rounds += 1
+                awake_events += 1
+                runtime.last_awake_round = current_round
+                inbox = inboxes.pop(node_id, None)
+                if inbox is None:
+                    inbox = {}
+                try:
+                    finished, value = step(runtime.protocol, inbox)
+                except (ProtocolViolation, CongestViolation):
+                    raise
+                except Exception as error:  # noqa: BLE001 - wrapped deliberately
+                    raise NodeCrashed(node_id, current_round, error) from error
+                if finished:
+                    finish(node_id, runtime, value, current_round, results, metrics)
+                else:
+                    accept(node_id, runtime, value, current_round)
+                    heappush(wakeups, (value.round, node_id))
+
+            if awake_events > max_awake_events:
+                raise SimulationLimitExceeded(
+                    f"exceeded max_awake_events={max_awake_events}; "
+                    "a protocol is probably not terminating"
+                )
+
+        metrics.rounds = last_round
+        metrics.total_awake_rounds = total_awake_rounds
+        metrics.messages_delivered = messages_delivered
+        metrics.messages_lost = messages_lost
+        metrics.total_bits = total_bits
+        metrics.max_message_bits = max_message_bits
+        metrics.congest_violations = congest_violations
+        metrics.max_awake_running = max_awake_running
+
+    def _run_general(
+        self,
+        metrics: Metrics,
+        results: Dict[int, Any],
+        runtimes: Dict[int, _NodeRuntime],
+        wakeups: List[Tuple[int, int]],
+    ) -> None:
+        """Round loop with observers (trace / knowledge / obs) attached.
+
+        Kept semantically line-for-line with :meth:`_run_fast`; the only
+        additions are the observer feeds.  Both paths must fill
+        :class:`Metrics` identically — the observe-on/off determinism
+        tests compare them end to end.
+        """
+        trace = self.trace
+        knowledge = self.knowledge
         observed = self.obs is not None
+        congest = self.congest
+        congest_budget = congest.budget
+        congest_strict = congest.strict
+        max_awake_running = 0
+        last_round = 0
         awake_events = 0
         while wakeups:
             current_round = wakeups[0][0]
@@ -248,21 +435,24 @@ class SleepingSimulator:
                 )
             awake_now: List[int] = []
             while wakeups and wakeups[0][0] == current_round:
-                _, node_id = heapq.heappop(wakeups)
-                awake_now.append(node_id)
+                awake_now.append(heapq.heappop(wakeups)[1])
             awake_set = set(awake_now)
-            metrics.rounds = current_round
+            last_round = current_round
 
-            # Phase A: transmit.  All sends scheduled for this round go out
-            # simultaneously; only awake receivers hear them.
-            inboxes: Dict[int, Dict[int, Any]] = {node_id: {} for node_id in awake_now}
-            received_masks: Dict[int, List[int]] = {node_id: [] for node_id in awake_now}
+            # Phase A: transmit (see _run_fast; plus observer feeds).
+            inboxes: Dict[int, Dict[int, Any]] = {
+                node_id: {} for node_id in awake_now
+            }
+            received_masks: Dict[int, List[int]] = {
+                node_id: [] for node_id in awake_now
+            }
             for node_id in awake_now:
                 runtime = runtimes[node_id]
-                sender_metrics = metrics.node(node_id)
+                sender_metrics = runtime.node_metrics
+                ports_map = runtime.ports_map
                 for port, payload in runtime.pending_sends.items():
-                    neighbour_id, neighbour_port, _ = self._adjacency[node_id][port]
-                    bits = self.congest.check(payload)
+                    neighbour_id, neighbour_port, _ = ports_map[port]
+                    bits = congest.check(payload)
                     sender_metrics.messages_sent += 1
                     sender_metrics.bits_sent += bits
                     if observed:
@@ -271,29 +461,30 @@ class SleepingSimulator:
                         # open span is the one that produced the message.
                         runtime.context.obs.charge_send(bits)
                     metrics.total_bits += bits
-                    metrics.max_message_bits = max(metrics.max_message_bits, bits)
-                    if self.congest.is_over_budget(bits):
+                    if bits > metrics.max_message_bits:
+                        metrics.max_message_bits = bits
+                    if bits > congest_budget:
                         metrics.congest_violations += 1
-                        if self.congest.strict:
+                        if congest_strict:
                             raise CongestViolation(
-                                node_id, port, bits, self.congest.budget
+                                node_id, port, bits, congest_budget
                             )
-                    if self.trace is not None:
-                        self.trace.record(
+                    if trace is not None:
+                        trace.record(
                             current_round, "send", node_id, neighbour_id, payload
                         )
                     if neighbour_id in awake_set:
                         inboxes[neighbour_id][neighbour_port] = payload
                         metrics.messages_delivered += 1
-                        receiver = metrics.node(neighbour_id)
+                        receiver = runtimes[neighbour_id].node_metrics
                         receiver.messages_received += 1
                         receiver.bits_received += bits
-                        if self.knowledge is not None:
+                        if knowledge is not None:
                             received_masks[neighbour_id].append(
                                 runtime.pending_knowledge
                             )
-                        if self.trace is not None:
-                            self.trace.record(
+                        if trace is not None:
+                            trace.record(
                                 current_round,
                                 "deliver",
                                 neighbour_id,
@@ -302,29 +493,33 @@ class SleepingSimulator:
                             )
                     else:
                         metrics.messages_lost += 1
-                        metrics.node(neighbour_id).messages_lost_as_receiver += 1
-                        if self.trace is not None:
-                            self.trace.record(
+                        runtimes[
+                            neighbour_id
+                        ].node_metrics.messages_lost_as_receiver += 1
+                        if trace is not None:
+                            trace.record(
                                 current_round, "lose", neighbour_id, node_id, payload
                             )
                 runtime.pending_sends = {}
 
-            # Phase B: local computation.  Resume every awake node with its
-            # inbox; it either terminates or schedules its next awake round.
+            # Phase B: local computation (see _run_fast; plus observer feeds).
             for node_id in awake_now:
                 runtime = runtimes[node_id]
-                node_metrics = metrics.node(node_id)
-                node_metrics.awake_rounds += 1
+                node_metrics = runtime.node_metrics
+                awake = node_metrics.awake_rounds + 1
+                node_metrics.awake_rounds = awake
+                if awake > max_awake_running:
+                    max_awake_running = awake
                 metrics.total_awake_rounds += 1
                 awake_events += 1
                 runtime.last_awake_round = current_round
                 if observed:
                     runtime.context.obs.charge_awake(current_round)
-                if self.trace is not None:
-                    self.trace.record(current_round, "wake", node_id)
-                if self.knowledge is not None:
-                    self.knowledge.absorb(node_id, received_masks[node_id])
-                    self.knowledge.note_awake(node_id)
+                if trace is not None:
+                    trace.record(current_round, "wake", node_id)
+                if knowledge is not None:
+                    knowledge.absorb(node_id, received_masks[node_id])
+                    knowledge.note_awake(node_id)
                 try:
                     finished, value = run_protocol_step(
                         runtime.protocol, inboxes[node_id]
@@ -347,16 +542,8 @@ class SleepingSimulator:
                     "a protocol is probably not terminating"
                 )
 
-        if observed:
-            self.obs.finalize(metrics)
-
-        return SimulationResult(
-            node_results=results,
-            metrics=metrics,
-            trace=self.trace,
-            knowledge=self.knowledge,
-            obs=self.obs,
-        )
+        metrics.rounds = last_round
+        metrics.max_awake_running = max_awake_running
 
     # ------------------------------------------------------------------
     # Helpers

@@ -62,10 +62,25 @@ class Metrics:
     congest_violations: int = 0
     #: Per-node counters keyed by node ID.
     per_node: Dict[int, NodeMetrics] = field(default_factory=dict)
+    #: Running maximum of per-node ``awake_rounds``, maintained incrementally
+    #: by the engine so ``max_awake`` (used by ``summary()`` and every
+    #: benchmark table) is O(1) after a run instead of an O(n) scan per
+    #: call.  Zero for hand-assembled metrics, in which case ``max_awake``
+    #: falls back to :meth:`recompute_max_awake`.
+    max_awake_running: int = 0
 
     @property
     def max_awake(self) -> int:
-        """Worst-case awake complexity: ``max_v A_v`` over all nodes."""
+        """Worst-case awake complexity: ``max_v A_v`` over all nodes.
+
+        O(1) when the engine maintained :attr:`max_awake_running`;
+        otherwise recomputed from the per-node counters.  The two always
+        agree after an engine run (asserted by the tier-1 metrics tests).
+        """
+        return self.max_awake_running or self.recompute_max_awake()
+
+    def recompute_max_awake(self) -> int:
+        """O(n) reference recomputation of :attr:`max_awake`."""
         if not self.per_node:
             return 0
         return max(node.awake_rounds for node in self.per_node.values())

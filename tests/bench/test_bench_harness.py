@@ -1,0 +1,51 @@
+"""Unit tests for the timing core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchTiming, time_callable
+
+
+class TestTimeCallable:
+    def test_runs_warmup_plus_repeats(self):
+        calls = []
+        timing = time_callable(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert len(timing.samples_s) == 3
+        assert timing.repeats == 3
+        assert timing.warmup == 2
+
+    def test_zero_warmup_allowed(self):
+        timing = time_callable(lambda: None, repeats=1, warmup=0)
+        assert len(timing.samples_s) == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, warmup=-1)
+
+    def test_samples_are_nonnegative(self):
+        timing = time_callable(lambda: sum(range(1000)), repeats=4, warmup=0)
+        assert all(sample >= 0 for sample in timing.samples_s)
+
+
+class TestBenchTiming:
+    def test_summary_statistics(self):
+        timing = BenchTiming(samples_s=[0.4, 0.1, 0.2, 0.3], repeats=4, warmup=1)
+        assert timing.median_s == pytest.approx(0.25)
+        assert timing.min_s == 0.1
+        assert timing.mean_s == pytest.approx(0.25)
+        assert timing.iqr_s > 0
+
+    def test_iqr_zero_for_few_samples(self):
+        timing = BenchTiming(samples_s=[0.2, 0.1], repeats=2, warmup=0)
+        assert timing.iqr_s == 0.0
+
+    def test_summary_dict_round_trips(self):
+        timing = BenchTiming(samples_s=[0.1, 0.2, 0.3], repeats=3, warmup=1)
+        summary = timing.summary()
+        assert summary["median_s"] == timing.median_s
+        assert summary["samples_s"] == [0.1, 0.2, 0.3]
+        assert summary["repeats"] == 3

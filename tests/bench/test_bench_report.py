@@ -1,0 +1,154 @@
+"""Schema validation, baseline comparison, and regression-gate tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchTiming,
+    build_payload,
+    compare_to_baseline,
+    load_bench_json,
+    make_baseline_comparison,
+    validate_bench_payload,
+    write_bench_json,
+)
+from repro.bench.suites import Benchmark
+
+
+def _benchmark(name: str, tier: str = "micro") -> Benchmark:
+    return Benchmark(
+        name=name, tier=tier, smoke=True, params={"n": 8}, make=lambda: (lambda: None)
+    )
+
+
+def _payload(medians, env=None, suite="engine"):
+    """Build a valid payload with the given ``{name: median}`` mapping."""
+    results = [
+        (
+            _benchmark(name),
+            BenchTiming(samples_s=[median, median, median], repeats=3, warmup=1),
+        )
+        for name, median in medians.items()
+    ]
+    return build_payload(suite, results, env or {"python": "3.11.0"})
+
+
+class TestSchema:
+    def test_build_payload_validates(self):
+        payload = _payload({"a": 0.1, "b": 0.2})
+        assert validate_bench_payload(payload) == 2
+        assert payload["schema"] == SCHEMA_VERSION
+
+    def test_round_trip_through_disk(self, tmp_path):
+        payload = _payload({"a": 0.1})
+        path = write_bench_json(tmp_path / "BENCH_test.json", payload)
+        loaded = load_bench_json(path)
+        assert loaded["benchmarks"][0]["name"] == "a"
+        assert loaded["benchmarks"][0]["median_s"] == pytest.approx(0.1)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("schema"),
+            lambda p: p.update(schema="repro-bench/999"),
+            lambda p: p.pop("benchmarks"),
+            lambda p: p.update(benchmarks="not-a-list"),
+            lambda p: p["benchmarks"][0].pop("median_s"),
+            lambda p: p["benchmarks"][0].update(samples_s=[]),
+            lambda p: p["benchmarks"][0].update(samples_s=[-1.0]),
+            lambda p: p["benchmarks"].append(dict(p["benchmarks"][0])),
+        ],
+    )
+    def test_validation_rejects_malformed(self, mutate):
+        payload = _payload({"a": 0.1})
+        mutate(payload)
+        with pytest.raises(ValueError):
+            validate_bench_payload(payload)
+
+
+class TestRegressionGate:
+    def test_no_regression_within_threshold(self):
+        comparison = compare_to_baseline(
+            _payload({"a": 0.11}), _payload({"a": 0.10}), threshold=1.25
+        )
+        assert comparison.ok
+        assert comparison.entries[0].ratio == pytest.approx(1.1)
+
+    def test_synthetic_regression_detected(self):
+        """A >threshold slowdown fails the gate — the acceptance criterion."""
+        comparison = compare_to_baseline(
+            _payload({"a": 0.30}), _payload({"a": 0.10}), threshold=1.25
+        )
+        assert not comparison.ok
+        (regressed,) = comparison.regressions
+        assert regressed.name == "a"
+        assert regressed.ratio == pytest.approx(3.0)
+
+    def test_speedups_never_fail(self):
+        comparison = compare_to_baseline(
+            _payload({"a": 0.01}), _payload({"a": 0.10}), threshold=1.25
+        )
+        assert comparison.ok
+
+    def test_missing_benchmarks_reported_not_failed(self):
+        comparison = compare_to_baseline(
+            _payload({"a": 0.1, "new": 0.1}), _payload({"a": 0.1, "gone": 0.1})
+        )
+        assert comparison.ok
+        assert comparison.missing_in_current == ["gone"]
+        assert comparison.missing_in_baseline == ["new"]
+
+    def test_env_mismatch_surfaces(self):
+        comparison = compare_to_baseline(
+            _payload({"a": 0.1}, env={"python": "3.11.0", "machine": "x86_64"}),
+            _payload({"a": 0.1}, env={"python": "3.9.2", "machine": "x86_64"}),
+        )
+        assert "python" in comparison.env_mismatches
+        assert "machine" not in comparison.env_mismatches
+
+    def test_zero_baseline_handled(self):
+        comparison = compare_to_baseline(
+            _payload({"a": 0.1}), _payload({"a": 0.0}), threshold=1.25
+        )
+        assert comparison.entries[0].ratio == float("inf")
+        assert not comparison.ok
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_to_baseline(_payload({"a": 1.0}), _payload({"a": 1.0}), 0)
+
+    def test_to_dict_is_json_shaped(self):
+        report = compare_to_baseline(
+            _payload({"a": 0.3}), _payload({"a": 0.1})
+        ).to_dict()
+        assert report["ok"] is False
+        assert report["entries"][0]["regressed"] is True
+
+
+class TestBaselineComparison:
+    def test_speedup_recorded(self):
+        block = make_baseline_comparison(
+            _payload({"e2e": 0.5, "micro": 0.2}),
+            _payload({"e2e": 1.5, "micro": 0.3}),
+            label="pre-PR engine",
+            headline="e2e",
+        )
+        assert block["reference"] == "pre-PR engine"
+        assert block["benchmarks"]["e2e"]["speedup"] == pytest.approx(3.0)
+        assert block["headline"]["name"] == "e2e"
+        assert block["headline"]["speedup"] == pytest.approx(3.0)
+
+    def test_headline_omitted_when_absent(self):
+        block = make_baseline_comparison(
+            _payload({"a": 0.5}), _payload({"a": 1.0}), label="x", headline="zzz"
+        )
+        assert "headline" not in block
+
+    def test_payload_with_comparison_block_validates(self):
+        reference = _payload({"a": 1.0})
+        current = _payload({"a": 0.5})
+        block = make_baseline_comparison(current, reference, label="ref")
+        merged = dict(current, baseline_comparison=block)
+        assert validate_bench_payload(merged) == 1

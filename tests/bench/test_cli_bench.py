@@ -1,0 +1,177 @@
+"""End-to-end tests for the ``repro bench`` subcommand, including the
+acceptance-critical regression gate: ``bench --check`` must exit nonzero
+when a benchmark is slower than the baseline by more than the threshold.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import BenchTiming, build_payload, load_bench_json, write_bench_json
+from repro.bench.suites import Benchmark
+from repro.cli import main
+
+
+def _fake_results(medians):
+    return [
+        (
+            Benchmark(
+                name=name,
+                tier="micro",
+                smoke=True,
+                params={},
+                make=lambda: (lambda: None),
+            ),
+            BenchTiming(samples_s=[median] * 3, repeats=3, warmup=0),
+        )
+        for name, median in medians.items()
+    ]
+
+
+def _write(path, medians, env=None):
+    payload = build_payload("engine", _fake_results(medians), env or {})
+    return write_bench_json(path, payload)
+
+
+class TestBenchRun:
+    def test_single_micro_benchmark_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_out.json"
+        code = main(
+            [
+                "bench",
+                "--names",
+                "payload_bits_micro",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--output",
+                str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        payload = load_bench_json(out)
+        (bench,) = payload["benchmarks"]
+        assert bench["name"] == "payload_bits_micro"
+        assert bench["median_s"] > 0
+
+    def test_unknown_name_exits_2(self, capsys):
+        assert main(["bench", "--names", "no_such_benchmark", "--quiet"]) == 2
+
+    def test_json_mode_emits_payload(self, tmp_path, capsys):
+        current = _write(tmp_path / "current.json", {"payload_bits_micro": 0.01})
+        code = main(["bench", "--input", str(current), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["benchmarks"][0]["name"] == "payload_bits_micro"
+
+
+class TestBenchCheckGate:
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        """Synthetic >threshold regression: current is 10x the baseline."""
+        baseline = _write(tmp_path / "baseline.json", {"payload_bits_micro": 0.001})
+        current = _write(tmp_path / "current.json", {"payload_bits_micro": 0.010})
+        code = main(
+            ["bench", "--input", str(current), "--check", str(baseline), "--quiet"]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_regression_from_live_run_exits_nonzero(self, tmp_path, capsys):
+        """Same gate, but with the benchmark actually executed by the CLI.
+
+        The baseline median is absurdly small (1 ns), so any real run of
+        the micro benchmark regresses past the threshold.
+        """
+        baseline = _write(tmp_path / "baseline.json", {"payload_bits_micro": 1e-9})
+        code = main(
+            [
+                "bench",
+                "--names",
+                "payload_bits_micro",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--check",
+                str(baseline),
+                "--quiet",
+            ]
+        )
+        assert code == 1
+
+    def test_warn_only_downgrades_to_zero(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "baseline.json", {"payload_bits_micro": 0.001})
+        current = _write(tmp_path / "current.json", {"payload_bits_micro": 0.010})
+        code = main(
+            [
+                "bench",
+                "--input",
+                str(current),
+                "--check",
+                str(baseline),
+                "--warn-only",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "WARNING" in capsys.readouterr().err
+
+    def test_within_threshold_passes(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "baseline.json", {"payload_bits_micro": 0.010})
+        current = _write(tmp_path / "current.json", {"payload_bits_micro": 0.011})
+        code = main(
+            ["bench", "--input", str(current), "--check", str(baseline), "--quiet"]
+        )
+        assert code == 0
+
+    def test_json_mode_includes_check_report(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "baseline.json", {"payload_bits_micro": 0.001})
+        current = _write(tmp_path / "current.json", {"payload_bits_micro": 0.010})
+        code = main(
+            [
+                "bench",
+                "--input",
+                str(current),
+                "--check",
+                str(baseline),
+                "--warn-only",
+                "--json",
+            ]
+        )
+        assert code == 0
+        output = json.loads(capsys.readouterr().out)
+        assert output["check"]["ok"] is False
+        assert output["check"]["entries"][0]["regressed"] is True
+
+
+class TestBenchCompareRef:
+    def test_baseline_comparison_embedded(self, tmp_path, capsys):
+        reference = _write(tmp_path / "reference.json", {"payload_bits_micro": 10.0})
+        out = tmp_path / "BENCH_out.json"
+        code = main(
+            [
+                "bench",
+                "--names",
+                "payload_bits_micro",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--compare-ref",
+                str(reference),
+                "--compare-label",
+                "synthetic reference",
+                "--output",
+                str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        block = load_bench_json(out)["baseline_comparison"]
+        assert block["reference"] == "synthetic reference"
+        assert block["benchmarks"]["payload_bits_micro"]["speedup"] > 1
