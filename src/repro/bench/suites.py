@@ -15,6 +15,11 @@ Tiers
 ``e2e``
     Full MST runs through the public runners at fixed seeds — the number
     that actually bounds how large an ``n`` the experiment sweeps reach.
+``fault``
+    Runs under a fault-injecting channel model (:mod:`repro.sim.transport`):
+    the general loop with channel dispatch and the delayed-message heap.
+    Guards the robustness workload the same way ``micro``/``e2e`` guard
+    the default path.
 
 The ``smoke`` flag marks the subset cheap enough for CI on every push.
 """
@@ -34,7 +39,7 @@ class Benchmark:
     """One registered benchmark: metadata plus a thunk factory."""
 
     name: str
-    tier: str  # "micro" | "e2e"
+    tier: str  # "micro" | "e2e" | "fault"
     smoke: bool
     params: Mapping[str, Any]
     make: Callable[[], Callable[[], Any]] = field(repr=False)
@@ -137,6 +142,42 @@ def _make_engine_loop(n: int = 128) -> Callable[[], Any]:
 
 
 # ----------------------------------------------------------------------
+# Fault tier: the general loop under channel models
+# ----------------------------------------------------------------------
+
+def _make_engine_fault_drop(n: int = 128, p: float = 0.05) -> Callable[[], Any]:
+    from repro.graphs import ring_graph
+    from repro.sim import DropChannel, simulate
+
+    # Heartbeats never read their inbox, so they tolerate any loss rate:
+    # this times the general loop + channel dispatch, not protocol recovery.
+    graph = ring_graph(n, seed=1)
+    channel = DropChannel(p)
+
+    def run() -> None:
+        simulate(graph, _heartbeat_protocol, seed=0, channel=channel)
+
+    return run
+
+
+def _make_mst_fault_dup(n: int, p: float = 0.1) -> Callable[[], Any]:
+    from repro.core import run_randomized_mst
+    from repro.orchestrator import GRAPH_FAMILIES
+    from repro.sim import DuplicateChannel
+
+    # Duplication is the fault the MST protocols survive (stale copies
+    # mostly arrive while receivers sleep), so the run completes and the
+    # delayed-message heap gets a real workout.
+    graph = GRAPH_FAMILIES["gnp"](n, 0, None)
+    channel = DuplicateChannel(p)
+
+    def run() -> None:
+        run_randomized_mst(graph, seed=0, channel=channel)
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # End to end: MST runs at fixed seeds
 # ----------------------------------------------------------------------
 
@@ -201,6 +242,20 @@ BENCHMARKS: Tuple[Benchmark, ...] = (
         params={"family": "gnp", "n": 256, "seed": 0},
         make=lambda: _make_mst_randomized(256),
     ),
+    Benchmark(
+        name="engine_fault_drop_loop",
+        tier="fault",
+        smoke=True,
+        params={"family": "ring", "n": 128, "drop": 0.05, "seed": 1},
+        make=_make_engine_fault_drop,
+    ),
+    Benchmark(
+        name="mst_randomized_fault_dup_n64",
+        tier="fault",
+        smoke=True,
+        params={"family": "gnp", "n": 64, "dup": 0.1, "seed": 0},
+        make=lambda: _make_mst_fault_dup(64),
+    ),
 )
 
 #: The end-to-end benchmark at the largest smoke ``n`` — the headline
@@ -222,7 +277,7 @@ def select_benchmarks(
     """Resolve a suite name (or explicit benchmark names) to benchmarks.
 
     ``names`` wins when non-empty; otherwise ``suite`` is one of
-    ``smoke`` (CI subset), ``micro``, ``e2e``, or ``full``.
+    ``smoke`` (CI subset), ``micro``, ``e2e``, ``fault``, or ``full``.
     """
     if names:
         return [get_benchmark(name) for name in names]
@@ -230,6 +285,8 @@ def select_benchmarks(
         return list(BENCHMARKS)
     if suite == "smoke":
         return [b for b in BENCHMARKS if b.smoke]
-    if suite in ("micro", "e2e"):
+    if suite in ("micro", "e2e", "fault"):
         return [b for b in BENCHMARKS if b.tier == suite]
-    raise ValueError(f"unknown suite {suite!r}; use smoke, micro, e2e, or full")
+    raise ValueError(
+        f"unknown suite {suite!r}; use smoke, micro, e2e, fault, or full"
+    )

@@ -52,6 +52,10 @@ from repro.orchestrator import GRAPH_FAMILIES
 def _run_algorithm(args: argparse.Namespace, **sim_kwargs):
     """Shared graph-build + runner dispatch for ``run`` and ``trace``."""
     graph = GRAPH_FAMILIES[args.graph](args.n, args.seed, args.id_range)
+    return graph, _dispatch_algorithm(args, graph, **sim_kwargs)
+
+
+def _dispatch_algorithm(args: argparse.Namespace, graph, **sim_kwargs):
     if args.algorithm == "randomized":
         result = run_randomized_mst(
             graph,
@@ -69,12 +73,66 @@ def _run_algorithm(args: argparse.Namespace, **sim_kwargs):
         result = run_traditional_ghs(graph, seed=args.seed, **sim_kwargs)
     else:
         result = run_sleeping_spanning_tree(graph, seed=args.seed, **sim_kwargs)
-    return graph, result
+    return result
+
+
+def _faults_sim_kwargs(args: argparse.Namespace, sim_kwargs: dict):
+    """Resolve ``--faults`` into sim kwargs; returns the normalized spec.
+
+    Raises ``ValueError`` on a bad spec.  The perfect channel resolves to
+    ``None`` and leaves ``sim_kwargs`` untouched.
+    """
+    from repro.orchestrator import channel_from_spec, resolve_channel_spec
+    from repro.orchestrator.jobs import FAULT_MAX_AWAKE_EVENTS
+
+    faults = resolve_channel_spec(getattr(args, "faults", None))
+    if faults is not None:
+        sim_kwargs["channel"] = channel_from_spec(faults)
+        sim_kwargs.setdefault("max_awake_events", FAULT_MAX_AWAKE_EVENTS)
+    return faults
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     sim_kwargs = {"trace": True} if args.save_trace else {}
-    graph, result = _run_algorithm(args, **sim_kwargs)
+    try:
+        faults = _faults_sim_kwargs(args, sim_kwargs)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    outcome = None
+    if faults is not None and args.algorithm in (
+        "randomized", "deterministic", "traditional"
+    ):
+        # A fault-injected MST run may crash, hang, or silently produce a
+        # wrong tree; classify instead of tracebacking.
+        from repro.graphs import verify_or_diagnose
+
+        graph = GRAPH_FAMILIES[args.graph](args.n, args.seed, args.id_range)
+        diagnosis = verify_or_diagnose(
+            graph, lambda: _dispatch_algorithm(args, graph, **sim_kwargs)
+        )
+        outcome = diagnosis.outcome
+        if not diagnosis.completed:
+            if args.json:
+                print(json.dumps(
+                    {
+                        "algorithm": args.algorithm,
+                        "faults": faults,
+                        "outcome": outcome,
+                        "error": diagnosis.error,
+                        "correct": False,
+                    },
+                    sort_keys=True,
+                ))
+            else:
+                print(f"faults           : {faults}")
+                print(f"outcome          : {outcome}")
+                print(f"error            : {diagnosis.error}")
+            return 1
+        result = diagnosis.result
+    else:
+        graph, result = _run_algorithm(args, **sim_kwargs)
 
     trace_events = None
     if args.save_trace:
@@ -106,6 +164,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "metrics": metrics.summary(),
             "correct": ok,
         }
+        if faults is not None:
+            payload["faults"] = faults
+            payload["outcome"] = outcome
         if trace_events is not None:
             payload["trace"] = {"events": trace_events, "path": args.save_trace}
         print(json.dumps(payload, sort_keys=True))
@@ -114,6 +175,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if trace_events is not None:
         print(f"trace            : {trace_events} events -> {args.save_trace}")
     print(f"algorithm        : {result.algorithm}")
+    if faults is not None:
+        print(f"faults           : {faults}")
+        if outcome is not None:
+            print(f"outcome          : {outcome}")
+        fault_counts = metrics.fault_summary()
+        print(
+            "fault counters   : "
+            + " ".join(f"{key}={value}" for key, value in fault_counts.items())
+        )
     print(f"graph            : {args.graph} n={graph.n} m={graph.m} N={graph.max_id}")
     print(f"phases           : {result.phases}")
     print(f"awake complexity : {metrics.max_awake} "
@@ -137,20 +207,56 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_ndjson,
     )
 
-    graph, result = _run_algorithm(args, observe=True, trace=True)
+    sim_kwargs = {"observe": True, "trace": True}
+    try:
+        faults = _faults_sim_kwargs(args, sim_kwargs)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if faults is not None and args.algorithm in (
+        "randomized", "deterministic", "traditional"
+    ):
+        # A faulted run may die (that is the point of injecting faults);
+        # report the diagnosis cleanly instead of an unhandled traceback.
+        from repro.graphs import verify_or_diagnose
+
+        graph = GRAPH_FAMILIES[args.graph](args.n, args.seed, args.id_range)
+        diagnosis = verify_or_diagnose(
+            graph, lambda: _dispatch_algorithm(args, graph, **sim_kwargs)
+        )
+        if not diagnosis.completed:
+            failure = {
+                "faults": faults,
+                "outcome": diagnosis.outcome,
+                "error": diagnosis.error,
+            }
+            if args.json:
+                print(json.dumps(failure, sort_keys=True))
+            else:
+                print(f"faults           : {faults}")
+                print(f"outcome          : {diagnosis.outcome}")
+                print(f"error            : {diagnosis.error}")
+            return 1
+        result = diagnosis.result
+    else:
+        graph, result = _run_algorithm(args, **sim_kwargs)
     spans = result.spans
     label = f"{result.algorithm} {args.graph} n={graph.n} seed={args.seed}"
+    metadata = {
+        "algorithm": result.algorithm,
+        "family": args.graph,
+        "n": graph.n,
+        "seed": args.seed,
+    }
+    if faults is not None:
+        metadata["faults"] = faults
     events = write_chrome_trace(
         args.output,
         spans=spans,
         trace=result.simulation.trace,
         label=label,
-        metadata={
-            "algorithm": result.algorithm,
-            "family": args.graph,
-            "n": graph.n,
-            "seed": args.seed,
-        },
+        metadata=metadata,
     )
     ndjson_lines = None
     if args.ndjson:
@@ -174,6 +280,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "identity_ok": identity_ok,
             "metrics": result.metrics.summary(),
         }
+        if faults is not None:
+            payload["faults"] = faults
         if ndjson_lines is not None:
             payload["ndjson"] = {"path": str(args.ndjson), "lines": ndjson_lines}
         print(json.dumps(payload, sort_keys=True))
@@ -213,6 +321,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         "seeds": args.seeds,
         "id_range_factor": args.id_range_factor,
         "options": {},
+        "faults": args.faults,
     }
     if args.spec:
         with open(args.spec, "r", encoding="utf-8") as handle:
@@ -233,6 +342,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             seed_list,
             id_range_factor=grid["id_range_factor"],
             options=grid["options"] or None,
+            faults=grid["faults"] or None,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
@@ -485,6 +595,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the execution trace and save it as JSONL",
     )
     run_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="channel spec for fault injection (e.g. drop:0.05, delay:3, "
+        "dup:0.1, crash:2@50, drop:0.01+crash:1@40); the run is classified "
+        "as correct / detected_wrong / silent_wrong / hung",
+    )
+    run_parser.add_argument(
         "--json", action="store_true", help="emit one JSON object instead of text"
     )
     run_parser.set_defaults(func=_cmd_run)
@@ -503,6 +619,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, default=2, help="number of seeds (0..N-1) per cell"
     )
     batch_parser.add_argument("--id-range-factor", type=int, default=None)
+    batch_parser.add_argument(
+        "--faults", nargs="+", default=None, metavar="SPEC",
+        help="channel-spec grid axis (e.g. --faults perfect drop:0.01 "
+        "crash:2@50); each cell runs under each spec",
+    )
     batch_parser.add_argument(
         "--spec", default=None, metavar="PATH",
         help="JSON grid spec file; its keys override the grid flags",
@@ -565,6 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write per-span NDJSON structured logs",
     )
     trace_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="channel spec for fault injection; fault events land in the "
+        "Chrome trace under the 'fault' category",
+    )
+    trace_parser.add_argument(
         "--json", action="store_true", help="emit one JSON object instead of text"
     )
     trace_parser.set_defaults(func=_cmd_trace)
@@ -574,7 +700,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the benchmark suite; write/gate BENCH_*.json results",
     )
     bench_parser.add_argument(
-        "--suite", choices=("smoke", "micro", "e2e", "full"), default="smoke",
+        "--suite", choices=("smoke", "micro", "e2e", "fault", "full"),
+        default="smoke",
         help="which benchmark tier to run (default: the CI smoke subset)",
     )
     bench_parser.add_argument(

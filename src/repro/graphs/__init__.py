@@ -22,15 +22,20 @@ from .mst_reference import (
     verify_mst,
 )
 from .validation import (
+    DIAGNOSIS_OUTCOMES,
+    MSTDiagnosis,
     check_local_mst_outputs,
     require_connected,
     require_sleeping_model_inputs,
     tree_depths,
+    verify_or_diagnose,
 )
 from .weighted_graph import Edge, WeightedGraph
 
 __all__ = [
+    "DIAGNOSIS_OUTCOMES",
     "Edge",
+    "MSTDiagnosis",
     "UnionFind",
     "WeightedGraph",
     "adversarial_moe_chain",
@@ -53,4 +58,5 @@ __all__ = [
     "star_graph",
     "tree_depths",
     "verify_mst",
+    "verify_or_diagnose",
 ]

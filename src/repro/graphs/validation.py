@@ -6,9 +6,17 @@ can sanity-check their own graph inputs before running the algorithms.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set
 
 from .weighted_graph import WeightedGraph
+
+#: The four ways a (possibly fault-injected) MST run can end.  ``correct``
+#: and ``silent_wrong`` both passed the output convention; only comparison
+#: against the reference MST separates them.  ``detected_wrong`` means the
+#: run itself (or output validation) raised; ``hung`` means it exceeded a
+#: simulation limit without terminating.
+DIAGNOSIS_OUTCOMES = ("correct", "detected_wrong", "silent_wrong", "hung")
 
 
 def require_connected(graph: WeightedGraph) -> None:
@@ -82,6 +90,58 @@ def check_local_mst_outputs(
                 f"{edge.u} reported={u_has}, {edge.v} reported={v_has}"
             )
     return union
+
+
+@dataclass(frozen=True)
+class MSTDiagnosis:
+    """Outcome classification of one (possibly fault-injected) MST run.
+
+    ``outcome`` is one of :data:`DIAGNOSIS_OUTCOMES`; ``result`` is
+    whatever the runner returned (``None`` unless the run completed);
+    ``error`` is the stringified failure for ``detected_wrong`` / ``hung``.
+    """
+
+    outcome: str
+    result: object = None
+    error: Optional[str] = None
+
+    @property
+    def completed(self) -> bool:
+        """True when the run terminated and passed output validation."""
+        return self.outcome in ("correct", "silent_wrong")
+
+
+def verify_or_diagnose(
+    graph: WeightedGraph, run: Callable[[], object]
+) -> MSTDiagnosis:
+    """Execute ``run`` and classify its outcome against the reference MST.
+
+    This is the fault-injection oracle: under a perfect channel every run
+    is ``correct``; under drops/delays/crashes (see
+    :mod:`repro.sim.transport`) an awake-optimal protocol may crash on a
+    missing message (``detected_wrong`` — the failure was *detected*,
+    either by the protocol itself or by the output-convention check), spin
+    past a simulation limit (``hung``), or — worst — terminate cleanly
+    with a tree that is not the MST (``silent_wrong``).
+
+    ``run`` must return an object exposing ``is_correct_mst(graph)``
+    (e.g. :class:`repro.core.runner.MSTRunResult`).  Exceptions raised by
+    ``run`` are classified, not propagated — except for
+    ``KeyboardInterrupt``/``SystemExit``.
+    """
+    # Imported lazily: the graphs layer must not depend on the simulator
+    # at import time (layering), only on its error taxonomy at call time.
+    from repro.sim.errors import SimulationError, SimulationLimitExceeded
+
+    try:
+        result = run()
+    except SimulationLimitExceeded as error:
+        return MSTDiagnosis(outcome="hung", error=str(error))
+    except (SimulationError, AssertionError, ValueError) as error:
+        return MSTDiagnosis(outcome="detected_wrong", error=str(error))
+    if result.is_correct_mst(graph):
+        return MSTDiagnosis(outcome="correct", result=result)
+    return MSTDiagnosis(outcome="silent_wrong", result=result)
 
 
 def tree_depths(

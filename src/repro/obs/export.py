@@ -29,13 +29,20 @@ PH_COMPLETE = "X"
 PH_INSTANT = "i"
 PH_METADATA = "M"
 
-#: Instant-event categories per simulator event kind.
+#: Instant-event categories per simulator event kind.  The ``fault``
+#: category groups everything injected by a channel model
+#: (:mod:`repro.sim.transport`) so fault events filter as one family in
+#: the trace viewer.
 EVENT_CATEGORIES = {
     "wake": "wake",
     "send": "message",
     "deliver": "message",
     "lose": "message",
     "terminate": "lifecycle",
+    "drop": "fault",
+    "delay": "fault",
+    "duplicate": "fault",
+    "crash": "fault",
 }
 
 
@@ -70,7 +77,10 @@ def _instant_events(trace: Iterable[Any], pid: int) -> List[Dict[str, Any]]:
         args: Dict[str, Any] = {}
         if event.peer is not None:
             args["peer"] = event.peer
-        if event.kind in ("send", "deliver", "lose") and event.detail is not None:
+        if (
+            event.kind in ("send", "deliver", "lose", "drop", "delay", "duplicate")
+            and event.detail is not None
+        ):
             args["payload"] = repr(event.detail)
         events.append(
             {

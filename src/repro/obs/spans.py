@@ -148,6 +148,11 @@ class _SpanContext:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        # An exception unwinds every open span before the engine can ask
+        # which one the node died in; remember the innermost label so
+        # NodeCrashed can still name it.
+        if exc_type is not None and self._obs._crash_label is None:
+            self._obs._crash_label = self._obs.current_label()
         self._obs._pop()
         return False
 
@@ -203,11 +208,12 @@ class NodeObs:
     ``ctx.span``) and bumps counters through :meth:`count`.
     """
 
-    __slots__ = ("recorder", "node", "_stack")
+    __slots__ = ("recorder", "node", "_stack", "_crash_label")
 
     def __init__(self, recorder: "ObsRecorder", node: int):
         self.recorder = recorder
         self.node = node
+        self._crash_label: Optional[str] = None
         self._stack: List[_OpenSpan] = [
             _OpenSpan(node, ROOT_PATH, recorder._next_index())
         ]
@@ -224,6 +230,7 @@ class NodeObs:
     # -- engine-facing API ---------------------------------------------
 
     def charge_awake(self, round_number: int) -> None:
+        self._crash_label = None  # a new step: any recorded unwind is stale
         top = self._stack[-1]
         top.awake += 1
         if top.first_round is None:
@@ -237,6 +244,27 @@ class NodeObs:
         top = self._stack[-1]
         top.messages += 1
         top.bits += bits
+
+    def current_label(self) -> Optional[str]:
+        """Label of the innermost open span, ``None`` when only the root
+        is open.
+
+        The engine attaches this to :class:`~repro.sim.errors.NodeCrashed`
+        so a fault post-mortem names the phase/block the node died in.
+        """
+        top = self._stack[-1]
+        if not top.path:
+            return None
+        return "/".join(top.path)
+
+    def take_crash_label(self) -> Optional[str]:
+        """The innermost span open when the last exception unwound, if any.
+
+        Falls back to :meth:`current_label` (an exception raised outside
+        every span leaves nothing recorded).  Clears the recorded label.
+        """
+        label, self._crash_label = self._crash_label, None
+        return label or self.current_label()
 
     def close_all(self) -> None:
         """Close any spans left open (normally just the root) at run end."""
@@ -312,6 +340,23 @@ class ObsRecorder:
             metrics.messages_delivered, outcome="delivered"
         )
         registry.counter("sim.messages").inc(metrics.messages_lost, outcome="lost")
+        # Fault counters only materialize when the channel model injected
+        # something: fault-free dumps stay byte-identical to runs predating
+        # the transport layer.
+        if metrics.messages_dropped:
+            registry.counter("sim.messages").inc(
+                metrics.messages_dropped, outcome="dropped"
+            )
+        if metrics.messages_delayed:
+            registry.counter("sim.messages").inc(
+                metrics.messages_delayed, outcome="delayed"
+            )
+        if metrics.messages_duplicated:
+            registry.counter("sim.messages").inc(
+                metrics.messages_duplicated, outcome="duplicated"
+            )
+        if metrics.nodes_crashed:
+            registry.counter("sim.nodes_crashed").inc(metrics.nodes_crashed)
         registry.counter("sim.bits").inc(metrics.total_bits)
         registry.gauge("sim.rounds").set(metrics.rounds)
         registry.gauge("sim.max_awake").set(metrics.max_awake)

@@ -19,7 +19,14 @@ already completed.
 """
 
 from .cache import ResultCache
-from .jobs import JobSpec, canonical_json, execute_job, expand_grid, grid_key
+from .jobs import (
+    FAULT_MAX_AWAKE_EVENTS,
+    JobSpec,
+    canonical_json,
+    execute_job,
+    expand_grid,
+    grid_key,
+)
 from .pool import BatchReport, JobTimeout, execute_with_policy, run_jobs
 from .progress import ProgressReporter
 from .registry import (
@@ -28,8 +35,10 @@ from .registry import (
     DIAGNOSTIC_ALGORITHMS,
     GRAPH_FAMILIES,
     algorithm_runner,
+    channel_from_spec,
     graph_factory,
     resolve_algorithm,
+    resolve_channel_spec,
     resolve_family,
 )
 from .store import (
@@ -58,6 +67,8 @@ __all__ = [
     "STATUS_OK",
     "algorithm_runner",
     "canonical_json",
+    "channel_from_spec",
+    "FAULT_MAX_AWAKE_EVENTS",
     "execute_job",
     "execute_with_policy",
     "expand_grid",
@@ -65,6 +76,7 @@ __all__ = [
     "grid_key",
     "load_records",
     "resolve_algorithm",
+    "resolve_channel_spec",
     "resolve_family",
     "run_jobs",
 ]

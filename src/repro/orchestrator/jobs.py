@@ -20,7 +20,20 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .registry import algorithm_runner, graph_factory, resolve_algorithm, resolve_family
+from .registry import (
+    algorithm_runner,
+    channel_from_spec,
+    graph_factory,
+    resolve_algorithm,
+    resolve_channel_spec,
+    resolve_family,
+)
+
+#: Awake-event cap applied to fault-injected jobs that don't set their own:
+#: a protocol livelocked by message loss must terminate as ``hung`` instead
+#: of spinning forever.  Far above any terminating run at orchestrator
+#: scales (n=256 randomized MST uses ~6e4 awake events).
+FAULT_MAX_AWAKE_EVENTS = 2_000_000
 
 
 def canonical_json(payload: Any) -> str:
@@ -103,23 +116,39 @@ def expand_grid(
     seeds: Sequence[int],
     id_range_factor: Optional[int] = None,
     options: Optional[Mapping[str, Any]] = None,
+    faults: Optional[Sequence[Optional[str]]] = None,
 ) -> List[JobSpec]:
     """Expand a grid into one :class:`JobSpec` per cell.
 
     Iteration order matches the historical sweep loop — family, size,
-    seed, algorithm — so exports stay row-compatible.
+    seed, algorithm — so exports stay row-compatible.  ``faults`` adds a
+    channel-spec axis (innermost): each entry is a
+    :func:`repro.sim.transport.parse_channel_spec` string; the perfect
+    channel (``None``/``"perfect"``) stores no ``faults`` option, so
+    fault-free specs hash identically to pre-transport grids and their
+    cached results stay valid.
     """
     canonical = [resolve_algorithm(name) for name in algorithms]
     resolved_families = [resolve_family(name) for name in families]
+    fault_axis = [resolve_channel_spec(spec) for spec in (faults or [None])]
     specs: List[JobSpec] = []
     for family, n, seed in itertools.product(resolved_families, sizes, seeds):
         id_range = None if id_range_factor is None else id_range_factor * n
         for algorithm in canonical:
-            specs.append(
-                JobSpec.create(
-                    algorithm, family, n, seed, id_range=id_range, options=options
+            for fault_spec in fault_axis:
+                cell_options = dict(options or {})
+                if fault_spec is not None:
+                    cell_options["faults"] = fault_spec
+                specs.append(
+                    JobSpec.create(
+                        algorithm,
+                        family,
+                        n,
+                        seed,
+                        id_range=id_range,
+                        options=cell_options,
+                    )
                 )
-            )
     return specs
 
 
@@ -136,24 +165,85 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
     The record's fields intentionally match
     :class:`repro.analysis.sweep.SweepPoint` so sweep exports, store
     records, and cache entries are interchangeable.
+
+    When the spec carries a ``faults`` option (a channel spec string, see
+    :mod:`repro.sim.transport`), the run is executed under that channel,
+    classified by :func:`repro.graphs.verify_or_diagnose`, and the record
+    additionally carries ``faults``/``outcome``/``error`` plus the fault
+    counters; runs that crashed or hung keep the record shape with
+    ``None`` metrics fields.  Fault-free specs produce records identical
+    to before the transport layer existed.
     """
     graph = graph_factory(spec.family)(spec.n, spec.seed, spec.id_range)
     runner = algorithm_runner(spec.algorithm)
-    result = runner(graph, spec.seed, **dict(spec.options))
-    metrics = result.metrics
-    return {
+    options = dict(spec.options)
+    faults = options.pop("faults", None)
+    if faults is None:
+        result = runner(graph, spec.seed, **options)
+        metrics = result.metrics
+        return {
+            "algorithm": spec.algorithm,
+            "family": spec.family,
+            "n": graph.n,
+            "m": graph.m,
+            "max_id": graph.max_id,
+            "seed": spec.seed,
+            "phases": result.phases,
+            "max_awake": metrics.max_awake,
+            "mean_awake": round(metrics.mean_awake, 3),
+            "rounds": metrics.rounds,
+            "awake_round_product": metrics.awake_round_product,
+            "messages": metrics.messages_delivered,
+            "bits": metrics.total_bits,
+            "correct": result.is_correct_mst(graph),
+        }
+
+    from repro.graphs import verify_or_diagnose
+
+    options.setdefault("max_awake_events", FAULT_MAX_AWAKE_EVENTS)
+    diagnosis = verify_or_diagnose(
+        graph,
+        lambda: runner(
+            graph, spec.seed, channel=channel_from_spec(faults), **options
+        ),
+    )
+    record: Dict[str, Any] = {
         "algorithm": spec.algorithm,
         "family": spec.family,
         "n": graph.n,
         "m": graph.m,
         "max_id": graph.max_id,
         "seed": spec.seed,
-        "phases": result.phases,
-        "max_awake": metrics.max_awake,
-        "mean_awake": round(metrics.mean_awake, 3),
-        "rounds": metrics.rounds,
-        "awake_round_product": metrics.awake_round_product,
-        "messages": metrics.messages_delivered,
-        "bits": metrics.total_bits,
-        "correct": result.is_correct_mst(graph),
+        "faults": faults,
+        "outcome": diagnosis.outcome,
+        "error": diagnosis.error,
+        "correct": diagnosis.outcome == "correct",
     }
+    if diagnosis.completed:
+        result = diagnosis.result
+        metrics = result.metrics
+        record.update(
+            {
+                "phases": result.phases,
+                "max_awake": metrics.max_awake,
+                "mean_awake": round(metrics.mean_awake, 3),
+                "rounds": metrics.rounds,
+                "awake_round_product": metrics.awake_round_product,
+                "messages": metrics.messages_delivered,
+                "bits": metrics.total_bits,
+            }
+        )
+        record.update(metrics.fault_summary())
+    else:
+        record.update(
+            {
+                "phases": None,
+                "max_awake": None,
+                "mean_awake": None,
+                "rounds": None,
+                "awake_round_product": None,
+                "messages": None,
+                "bits": None,
+            }
+        )
+    return record

@@ -19,6 +19,11 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.baselines import run_pipelined_ghs, run_traditional_ghs
 from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.sim.transport import (
+    CHANNEL_SPEC_EXAMPLES,
+    parse_channel_spec,
+    validate_channel_spec,
+)
 from repro.graphs import (
     WeightedGraph,
     complete_graph,
@@ -140,3 +145,25 @@ def resolve_family(name: str) -> str:
 def graph_factory(name: str) -> GraphFactory:
     """Return the graph factory for family ``name``."""
     return GRAPH_FAMILIES[resolve_family(name)]
+
+
+def resolve_channel_spec(spec: Optional[str]) -> Optional[str]:
+    """Validate a ``--faults`` channel spec and return its normalized form.
+
+    ``None``, the empty string, and ``"perfect"`` normalize to ``None``
+    (the default perfect channel — no fault axis recorded).  Unknown specs
+    raise ``ValueError`` listing examples; see
+    :func:`repro.sim.transport.parse_channel_spec` for the grammar.
+    """
+    try:
+        return validate_channel_spec(spec)
+    except ValueError as error:
+        message = str(error)
+        if "examples:" not in message:
+            message = f"{message}; examples: {', '.join(CHANNEL_SPEC_EXAMPLES)}"
+        raise ValueError(message) from None
+
+
+def channel_from_spec(spec: Optional[str]):
+    """Build the :class:`~repro.sim.transport.ChannelModel` for ``spec``."""
+    return parse_channel_spec(spec)

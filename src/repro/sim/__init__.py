@@ -10,6 +10,9 @@ Public surface:
 * :class:`~repro.sim.tracing.EventTrace`, :class:`~repro.sim.tracing.KnowledgeTracker`
   — optional observers.
 * :mod:`repro.sim.congest` — CONGEST message-size policy.
+* :mod:`repro.sim.transport` — pluggable channel models and seeded fault
+  injection (:class:`~repro.sim.transport.PerfectChannel`,
+  :class:`~repro.sim.transport.DropChannel`, ...).
 """
 
 from .congest import CongestPolicy, congest_budget_bits, payload_bits
@@ -25,11 +28,29 @@ from .metrics import Metrics, NodeMetrics
 from .node import Awake, Inbox, NodeContext, Protocol, ProtocolFactory
 from .replay import LoadedRun, load_trace, save_trace
 from .tracing import EventTrace, KnowledgeTracker, TraceEvent
+from .transport import (
+    ChannelModel,
+    CompositeChannel,
+    CrashSchedule,
+    DelayChannel,
+    DropChannel,
+    DuplicateChannel,
+    Outcome,
+    PerfectChannel,
+    parse_channel_spec,
+    validate_channel_spec,
+)
 
 __all__ = [
     "Awake",
+    "ChannelModel",
+    "CompositeChannel",
     "CongestPolicy",
     "CongestViolation",
+    "CrashSchedule",
+    "DelayChannel",
+    "DropChannel",
+    "DuplicateChannel",
     "EventTrace",
     "Inbox",
     "KnowledgeTracker",
@@ -38,6 +59,8 @@ __all__ = [
     "NodeContext",
     "NodeCrashed",
     "NodeMetrics",
+    "Outcome",
+    "PerfectChannel",
     "Protocol",
     "ProtocolFactory",
     "ProtocolViolation",
@@ -49,6 +72,8 @@ __all__ = [
     "congest_budget_bits",
     "payload_bits",
     "load_trace",
+    "parse_channel_spec",
     "save_trace",
     "simulate",
+    "validate_channel_spec",
 ]

@@ -15,6 +15,18 @@ of the paper:
 * Only awake rounds are charged to a node's awake complexity; the run time
   (round complexity) counts every round up to the last node's termination.
 
+Transport layer
+---------------
+Message delivery is delegated to a pluggable :class:`~repro.sim.transport.
+ChannelModel` (``SleepingSimulator(channel=...)``).  The default
+:class:`~repro.sim.transport.PerfectChannel` reproduces the paper's
+semantics byte-for-byte — and when it is in use with no observers
+attached, the engine keeps its inlined fast-path loop, so the default
+configuration pays nothing for the abstraction.  Seeded fault models
+(drop/delay/duplicate/crash) route through the general loop, which
+resolves every :class:`~repro.sim.transport.Outcome` into the metrics,
+trace, and observability layers.
+
 Sparse execution
 ----------------
 Round complexities in this paper are huge (``Θ(n log n)`` randomized,
@@ -50,6 +62,7 @@ from .node import (
     run_protocol_step,
 )
 from .tracing import EventTrace, KnowledgeTracker
+from .transport import ChannelModel, PerfectChannel
 
 
 @dataclass
@@ -129,6 +142,14 @@ class SleepingSimulator:
         If true (default), oversized messages raise
         :class:`~repro.sim.errors.CongestViolation`; otherwise they are
         merely counted.
+    channel:
+        A :class:`~repro.sim.transport.ChannelModel` deciding the fate of
+        every transmitted message.  Defaults to
+        :class:`~repro.sim.transport.PerfectChannel` (the paper's
+        semantics, byte-identical to the pre-transport engine).  Fault
+        models — ``DropChannel``, ``DelayChannel``, ``DuplicateChannel``,
+        ``CrashSchedule`` — inject seeded, reproducible faults; see
+        :mod:`repro.sim.transport`.
     trace:
         Record an :class:`~repro.sim.tracing.EventTrace`.
     max_trace_events:
@@ -162,6 +183,7 @@ class SleepingSimulator:
         congest_universe: Optional[int] = None,
         strict_congest: bool = True,
         congest_factor: Optional[int] = None,
+        channel: Optional[ChannelModel] = None,
         trace: bool = False,
         max_trace_events: Optional[int] = None,
         observe: bool = False,
@@ -192,6 +214,8 @@ class SleepingSimulator:
         universe = congest_universe or max(n, max_id, max_weight)
         congest_kwargs = {} if congest_factor is None else {"factor": congest_factor}
         self.congest = CongestPolicy(universe, strict=strict_congest, **congest_kwargs)
+
+        self.channel: ChannelModel = channel if channel is not None else PerfectChannel()
 
         self.trace = EventTrace(max_events=max_trace_events) if trace else None
         self.knowledge = (
@@ -234,11 +258,15 @@ class SleepingSimulator:
         results (the differential tests in ``tests/sim`` are the oracle):
 
         * the **fast path**, taken when no observer (trace, knowledge,
-          obs) is attached — all observer branches are hoisted out, hot
-          attributes are bound to locals, aggregate counters accumulate in
-          locals and are flushed into :class:`Metrics` once;
-        * the **general path**, which additionally feeds the observers.
+          obs) is attached *and* the channel is the default
+          :class:`~repro.sim.transport.PerfectChannel` — all observer and
+          transport branches are hoisted out, hot attributes are bound to
+          locals, aggregate counters accumulate in locals and are flushed
+          into :class:`Metrics` once;
+        * the **general path**, which feeds the observers and resolves
+          channel-model outcomes (drops, delays, duplicates, crashes).
         """
+        self.channel.reset(self._node_ids, Random(f"{self.seed}/transport"))
         metrics = Metrics()
         results: Dict[int, Any] = {}
         runtimes: Dict[int, _NodeRuntime] = {}
@@ -259,7 +287,12 @@ class SleepingSimulator:
             self._accept_action(node_id, runtime, value, current_round=0)
             heapq.heappush(wakeups, (value.round, node_id))
 
-        if self.trace is None and self.knowledge is None and self.obs is None:
+        if (
+            self.trace is None
+            and self.knowledge is None
+            and self.obs is None
+            and self.channel.is_perfect
+        ):
             self._run_fast(metrics, results, runtimes, wakeups)
         else:
             self._run_general(metrics, results, runtimes, wakeups)
@@ -287,13 +320,9 @@ class SleepingSimulator:
         congest_check = congest.check
         congest_budget = congest.budget
         congest_strict = congest.strict
-        max_rounds = self.max_rounds
         max_awake_events = self.max_awake_events
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        accept = self._accept_action
-        finish = self._finish_node
-        step = run_protocol_step
+        pop_round = self._pop_round
+        advance = self._advance_protocol
 
         total_bits = 0
         max_message_bits = 0
@@ -312,14 +341,7 @@ class SleepingSimulator:
         awake_now: List[int] = []
 
         while wakeups:
-            current_round = wakeups[0][0]
-            if max_rounds is not None and current_round > max_rounds:
-                raise SimulationLimitExceeded(
-                    f"round {current_round} exceeds max_rounds={max_rounds}"
-                )
-            awake_now.clear()
-            while wakeups and wakeups[0][0] == current_round:
-                awake_now.append(heappop(wakeups)[1])
+            current_round = pop_round(wakeups, awake_now)
             awake_set = set(awake_now)
             last_round = current_round
 
@@ -377,17 +399,9 @@ class SleepingSimulator:
                 inbox = inboxes.pop(node_id, None)
                 if inbox is None:
                     inbox = {}
-                try:
-                    finished, value = step(runtime.protocol, inbox)
-                except (ProtocolViolation, CongestViolation):
-                    raise
-                except Exception as error:  # noqa: BLE001 - wrapped deliberately
-                    raise NodeCrashed(node_id, current_round, error) from error
-                if finished:
-                    finish(node_id, runtime, value, current_round, results, metrics)
-                else:
-                    accept(node_id, runtime, value, current_round)
-                    heappush(wakeups, (value.round, node_id))
+                advance(
+                    node_id, runtime, inbox, current_round, results, metrics, wakeups
+                )
 
             if awake_events > max_awake_events:
                 raise SimulationLimitExceeded(
@@ -411,46 +425,113 @@ class SleepingSimulator:
         runtimes: Dict[int, _NodeRuntime],
         wakeups: List[Tuple[int, int]],
     ) -> None:
-        """Round loop with observers (trace / knowledge / obs) attached.
+        """Round loop with observers and/or a non-default channel attached.
 
-        Kept semantically line-for-line with :meth:`_run_fast`; the only
-        additions are the observer feeds.  Both paths must fill
-        :class:`Metrics` identically — the observe-on/off determinism
-        tests compare them end to end.
+        Kept semantically aligned with :meth:`_run_fast` under the
+        perfect channel — both paths must fill :class:`Metrics`
+        identically (the observe-on/off determinism tests compare them end
+        to end).  On top of that it feeds the observers and resolves
+        transport outcomes: drops, delayed deliveries (a heap of
+        in-flight messages with deliver-at rounds), duplicates, and
+        crash-stop node failures.
         """
         trace = self.trace
         knowledge = self.knowledge
         observed = self.obs is not None
+        channel = self.channel
+        channel_deliver = channel.deliver
+        has_crashes = any(
+            channel.crash_round(node_id) is not None
+            for node_id in self._node_ids
+        )
         congest = self.congest
         congest_budget = congest.budget
         congest_strict = congest.strict
         max_awake_running = 0
         last_round = 0
         awake_events = 0
+        # In-flight messages re-scheduled by the channel (delays and
+        # duplicate copies): a heap of ``(deliver_round, sequence,
+        # receiver, receiver_port, payload, bits, sender, knowledge_mask)``.
+        delayed: List[Tuple[int, int, int, int, Any, int, int, int]] = []
+        delayed_seq = 0
+        awake_now: List[int] = []
         while wakeups:
-            current_round = wakeups[0][0]
-            if self.max_rounds is not None and current_round > self.max_rounds:
-                raise SimulationLimitExceeded(
-                    f"round {current_round} exceeds max_rounds={self.max_rounds}"
-                )
-            awake_now: List[int] = []
-            while wakeups and wakeups[0][0] == current_round:
-                awake_now.append(heapq.heappop(wakeups)[1])
-            awake_set = set(awake_now)
+            current_round = self._pop_round(wakeups, awake_now)
             last_round = current_round
 
-            # Phase A: transmit (see _run_fast; plus observer feeds).
+            if has_crashes:
+                # A node crash-stops at the *start* of its crash round: it
+                # neither transmits nor computes from that round on.
+                alive: List[int] = []
+                for node_id in awake_now:
+                    crash_at = channel.crash_round(node_id)
+                    if crash_at is not None and crash_at <= current_round:
+                        self._crash_node(
+                            node_id, runtimes[node_id], current_round, metrics
+                        )
+                    else:
+                        alive.append(node_id)
+                awake_now = alive
+            awake_set = set(awake_now)
+
             inboxes: Dict[int, Dict[int, Any]] = {
                 node_id: {} for node_id in awake_now
             }
             received_masks: Dict[int, List[int]] = {
                 node_id: [] for node_id in awake_now
             }
+
+            # Delayed arrivals scheduled at or before this round resolve
+            # now: an exactly-now arrival reaches an awake receiver;
+            # anything else was addressed to a round its receiver slept
+            # through and is lost (the sleeping rule, applied at arrival).
+            # Resolving before Phase A means a same-round fresh send
+            # overwrites a stale delayed copy on the same port.
+            while delayed and delayed[0][0] <= current_round:
+                (
+                    arrive_round,
+                    _,
+                    receiver_id,
+                    receiver_port,
+                    payload,
+                    bits,
+                    sender_id,
+                    mask,
+                ) = heapq.heappop(delayed)
+                if arrive_round == current_round and receiver_id in awake_set:
+                    inboxes[receiver_id][receiver_port] = payload
+                    metrics.messages_delivered += 1
+                    receiver = runtimes[receiver_id].node_metrics
+                    receiver.messages_received += 1
+                    receiver.bits_received += bits
+                    if knowledge is not None:
+                        received_masks[receiver_id].append(mask)
+                    if trace is not None:
+                        trace.record(
+                            current_round, "deliver", receiver_id, sender_id, payload
+                        )
+                else:
+                    metrics.messages_lost += 1
+                    runtimes[
+                        receiver_id
+                    ].node_metrics.messages_lost_as_receiver += 1
+                    if trace is not None:
+                        trace.record(
+                            arrive_round, "lose", receiver_id, sender_id, payload
+                        )
+
+            # Phase A: transmit.  Shared delivery bookkeeping; the channel
+            # model decides each message's fate.
             for node_id in awake_now:
                 runtime = runtimes[node_id]
+                pending = runtime.pending_sends
+                if not pending:
+                    continue
                 sender_metrics = runtime.node_metrics
                 ports_map = runtime.ports_map
-                for port, payload in runtime.pending_sends.items():
+                pending_mask = runtime.pending_knowledge
+                for port, payload in pending.items():
                     neighbour_id, neighbour_port, _ = ports_map[port]
                     bits = congest.check(payload)
                     sender_metrics.messages_sent += 1
@@ -473,16 +554,23 @@ class SleepingSimulator:
                         trace.record(
                             current_round, "send", node_id, neighbour_id, payload
                         )
-                    if neighbour_id in awake_set:
+                    outcome = channel_deliver(
+                        current_round,
+                        node_id,
+                        port,
+                        payload,
+                        bits,
+                        neighbour_id in awake_set,
+                    )
+                    kind = outcome.kind
+                    if kind == "deliver":
                         inboxes[neighbour_id][neighbour_port] = payload
                         metrics.messages_delivered += 1
                         receiver = runtimes[neighbour_id].node_metrics
                         receiver.messages_received += 1
                         receiver.bits_received += bits
                         if knowledge is not None:
-                            received_masks[neighbour_id].append(
-                                runtime.pending_knowledge
-                            )
+                            received_masks[neighbour_id].append(pending_mask)
                         if trace is not None:
                             trace.record(
                                 current_round,
@@ -491,7 +579,7 @@ class SleepingSimulator:
                                 node_id,
                                 payload,
                             )
-                    else:
+                    elif kind == "lose":
                         metrics.messages_lost += 1
                         runtimes[
                             neighbour_id
@@ -499,6 +587,57 @@ class SleepingSimulator:
                         if trace is not None:
                             trace.record(
                                 current_round, "lose", neighbour_id, node_id, payload
+                            )
+                    elif kind == "drop":
+                        metrics.messages_dropped += 1
+                        if trace is not None:
+                            trace.record(
+                                current_round, "drop", neighbour_id, node_id, payload
+                            )
+                    else:  # "delay"
+                        metrics.messages_delayed += 1
+                        delayed_seq += 1
+                        heapq.heappush(
+                            delayed,
+                            (
+                                outcome.deliver_round,
+                                delayed_seq,
+                                neighbour_id,
+                                neighbour_port,
+                                payload,
+                                bits,
+                                node_id,
+                                pending_mask,
+                            ),
+                        )
+                        if trace is not None:
+                            trace.record(
+                                current_round, "delay", neighbour_id, node_id, payload
+                            )
+                    duplicate_round = outcome.duplicate_round
+                    if duplicate_round is not None:
+                        metrics.messages_duplicated += 1
+                        delayed_seq += 1
+                        heapq.heappush(
+                            delayed,
+                            (
+                                duplicate_round,
+                                delayed_seq,
+                                neighbour_id,
+                                neighbour_port,
+                                payload,
+                                bits,
+                                node_id,
+                                pending_mask,
+                            ),
+                        )
+                        if trace is not None:
+                            trace.record(
+                                current_round,
+                                "duplicate",
+                                neighbour_id,
+                                node_id,
+                                payload,
                             )
                 runtime.pending_sends = {}
 
@@ -520,21 +659,15 @@ class SleepingSimulator:
                 if knowledge is not None:
                     knowledge.absorb(node_id, received_masks[node_id])
                     knowledge.note_awake(node_id)
-                try:
-                    finished, value = run_protocol_step(
-                        runtime.protocol, inboxes[node_id]
-                    )
-                except (ProtocolViolation, CongestViolation):
-                    raise
-                except Exception as error:  # noqa: BLE001 - wrapped deliberately
-                    raise NodeCrashed(node_id, current_round, error) from error
-                if finished:
-                    self._finish_node(
-                        node_id, runtime, value, current_round, results, metrics
-                    )
-                else:
-                    self._accept_action(node_id, runtime, value, current_round)
-                    heapq.heappush(wakeups, (value.round, node_id))
+                self._advance_protocol(
+                    node_id,
+                    runtime,
+                    inboxes[node_id],
+                    current_round,
+                    results,
+                    metrics,
+                    wakeups,
+                )
 
             if awake_events > self.max_awake_events:
                 raise SimulationLimitExceeded(
@@ -542,12 +675,103 @@ class SleepingSimulator:
                     "a protocol is probably not terminating"
                 )
 
+        # In-flight messages outliving every wake-up arrive at rounds in
+        # which nobody is awake: they resolve to ordinary sleeping losses,
+        # so sends are always conserved as delivered + lost + dropped
+        # (duplicated copies add to the delivered/lost side only).
+        while delayed:
+            (
+                arrive_round,
+                _,
+                receiver_id,
+                _receiver_port,
+                payload,
+                _bits,
+                sender_id,
+                _mask,
+            ) = heapq.heappop(delayed)
+            metrics.messages_lost += 1
+            runtimes[receiver_id].node_metrics.messages_lost_as_receiver += 1
+            if trace is not None:
+                trace.record(arrive_round, "lose", receiver_id, sender_id, payload)
+
         metrics.rounds = last_round
         metrics.max_awake_running = max_awake_running
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+
+    def _pop_round(
+        self, wakeups: List[Tuple[int, int]], awake_now: List[int]
+    ) -> int:
+        """Round-header bookkeeping shared by both loops.
+
+        Pops every wake-up scheduled for the next populated round into
+        ``awake_now`` (cleared first) and returns that round number,
+        enforcing ``max_rounds``.
+        """
+        current_round = wakeups[0][0]
+        if self.max_rounds is not None and current_round > self.max_rounds:
+            raise SimulationLimitExceeded(
+                f"round {current_round} exceeds max_rounds={self.max_rounds}"
+            )
+        awake_now.clear()
+        heappop = heapq.heappop
+        while wakeups and wakeups[0][0] == current_round:
+            awake_now.append(heappop(wakeups)[1])
+        return current_round
+
+    def _advance_protocol(
+        self,
+        node_id: int,
+        runtime: _NodeRuntime,
+        inbox: Dict[int, Any],
+        current_round: int,
+        results: Dict[int, Any],
+        metrics: Metrics,
+        wakeups: List[Tuple[int, int]],
+    ) -> None:
+        """Phase B tail shared by both loops: step, wrap crashes, reschedule."""
+        try:
+            finished, value = run_protocol_step(runtime.protocol, inbox)
+        except (ProtocolViolation, CongestViolation):
+            raise
+        except Exception as error:  # noqa: BLE001 - wrapped deliberately
+            obs = runtime.context.obs
+            span = obs.take_crash_label() if obs is not None else None
+            raise NodeCrashed(node_id, current_round, error, span=span) from error
+        if finished:
+            self._finish_node(
+                node_id, runtime, value, current_round, results, metrics
+            )
+        else:
+            self._accept_action(node_id, runtime, value, current_round)
+            heapq.heappush(wakeups, (value.round, node_id))
+
+    def _crash_node(
+        self,
+        node_id: int,
+        runtime: _NodeRuntime,
+        current_round: int,
+        metrics: Metrics,
+    ) -> None:
+        """Crash-stop ``node_id``: it fails before transmitting this round.
+
+        Pending sends are discarded, the protocol generator is closed, and
+        the node never reports a result — downstream output validation is
+        what notices the hole (see :func:`repro.graphs.verify_or_diagnose`).
+        """
+        runtime.finished = True
+        runtime.pending_sends = {}
+        metrics.nodes_crashed += 1
+        metrics.crashed_nodes[node_id] = current_round
+        if self.trace is not None:
+            self.trace.record(current_round, "crash", node_id)
+        try:
+            runtime.protocol.close()
+        except Exception:  # noqa: BLE001 - a dying generator can't veto the crash
+            pass
 
     def _accept_action(
         self,

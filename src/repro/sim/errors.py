@@ -53,12 +53,26 @@ class SimulationLimitExceeded(SimulationError):
 
 
 class NodeCrashed(SimulationError):
-    """A node protocol raised an exception; wraps the original error."""
+    """A node protocol raised an exception; wraps the original error.
 
-    def __init__(self, node_id: int, round_number: int, cause: BaseException) -> None:
+    When the run had observability enabled, ``span`` names the crashed
+    node's innermost open span (``"phase:3/block:upcast_moe"``) so a fault
+    post-mortem identifies the phase/block, not just the round; it is
+    ``None`` for unobserved runs.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        round_number: int,
+        cause: BaseException,
+        span: "str | None" = None,
+    ) -> None:
+        where = f" in span {span!r}" if span else ""
         super().__init__(
-            f"node {node_id} crashed in round {round_number}: {cause!r}"
+            f"node {node_id} crashed in round {round_number}{where}: {cause!r}"
         )
         self.node_id = node_id
         self.round_number = round_number
+        self.span = span
         self.__cause__ = cause

@@ -60,6 +60,19 @@ class Metrics:
     max_message_bits: int = 0
     #: Number of messages that exceeded the CONGEST budget (lenient mode).
     congest_violations: int = 0
+    #: Messages destroyed in flight by the channel model (fault injection;
+    #: always 0 under the default :class:`~repro.sim.transport.PerfectChannel`).
+    messages_dropped: int = 0
+    #: Messages re-scheduled to a later round by the channel model.  Each
+    #: delayed message additionally resolves into ``messages_delivered`` or
+    #: ``messages_lost`` when its deliver-at round arrives.
+    messages_delayed: int = 0
+    #: Extra message copies emitted by the channel model.
+    messages_duplicated: int = 0
+    #: Nodes killed by the channel's crash schedule.
+    nodes_crashed: int = 0
+    #: Crash plan as executed: ``{node_id: crash_round}``.
+    crashed_nodes: Dict[int, int] = field(default_factory=dict)
     #: Per-node counters keyed by node ID.
     per_node: Dict[int, NodeMetrics] = field(default_factory=dict)
     #: Running maximum of per-node ``awake_rounds``, maintained incrementally
@@ -109,9 +122,33 @@ class Metrics:
         """Return the sorted list of per-node awake counts."""
         return sorted(node.awake_rounds for node in self.per_node.values())
 
-    def summary(self) -> Dict[str, float]:
-        """Return a flat summary dictionary convenient for tables/benchmarks."""
+    @property
+    def faults_observed(self) -> bool:
+        """True when the channel model injected at least one fault."""
+        return bool(
+            self.messages_dropped
+            or self.messages_delayed
+            or self.messages_duplicated
+            or self.nodes_crashed
+        )
+
+    def fault_summary(self) -> Dict[str, int]:
+        """The fault-injection counters as a flat dictionary."""
         return {
+            "messages_dropped": self.messages_dropped,
+            "messages_delayed": self.messages_delayed,
+            "messages_duplicated": self.messages_duplicated,
+            "nodes_crashed": self.nodes_crashed,
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Return a flat summary dictionary convenient for tables/benchmarks.
+
+        Fault counters are appended only when at least one fault actually
+        occurred, which keeps fault-free summaries byte-identical to the
+        pre-transport engine (the golden tests pin this).
+        """
+        payload = {
             "rounds": self.rounds,
             "max_awake": self.max_awake,
             "mean_awake": round(self.mean_awake, 3),
@@ -122,6 +159,9 @@ class Metrics:
             "max_message_bits": self.max_message_bits,
             "congest_violations": self.congest_violations,
         }
+        if self.faults_observed:
+            payload.update(self.fault_summary())
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

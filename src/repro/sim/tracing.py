@@ -3,8 +3,10 @@
 Two optional observers plug into the engine:
 
 * :class:`EventTrace` records a flat list of events (wake, send, deliver,
-  lose, terminate) for debugging, for the merging walk-through example that
-  reproduces Figures 2-5, and for tests that assert *when* things happened.
+  lose, terminate — plus the fault kinds drop, delay, duplicate, crash when
+  a fault-injecting channel model is attached) for debugging, for the
+  merging walk-through example that reproduces Figures 2-5, and for tests
+  that assert *when* things happened.
 
 * :class:`KnowledgeTracker` implements the information-flow bookkeeping used
   by the Theorem 3 lower-bound experiments: for each node ``u`` it maintains
@@ -31,9 +33,13 @@ class TraceEvent:
     """One simulator event.
 
     ``kind`` is one of ``"wake"``, ``"send"``, ``"deliver"``, ``"lose"``,
-    ``"terminate"``.  ``node`` is the acting node's ID; ``peer`` (when
-    meaningful) is the other endpoint's ID; ``detail`` carries the payload or
-    return value.
+    ``"terminate"``, or — under a fault-injecting channel model (see
+    :mod:`repro.sim.transport`) — one of the fault kinds ``"drop"`` (the
+    channel destroyed a message), ``"delay"`` (re-scheduled to a later
+    round), ``"duplicate"`` (an extra copy was emitted), ``"crash"`` (the
+    node crash-stopped).  ``node`` is the acting node's ID — for message
+    events, the *receiver*; ``peer`` (when meaningful) is the other
+    endpoint's ID; ``detail`` carries the payload or return value.
     """
 
     round: int

@@ -1,0 +1,129 @@
+"""The ``--faults`` CLI surface: run, trace, and batch under channel models."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_accepts_faults_spec(self):
+        args = build_parser().parse_args(["run", "--faults", "drop:0.05"])
+        assert args.faults == "drop:0.05"
+
+    def test_batch_accepts_multiple_fault_specs(self):
+        args = build_parser().parse_args(
+            ["batch", "--faults", "perfect", "drop:0.01", "crash:1@30"]
+        )
+        assert args.faults == ["perfect", "drop:0.01", "crash:1@30"]
+
+    def test_bench_fault_suite_available(self):
+        args = build_parser().parse_args(["bench", "--suite", "fault"])
+        assert args.suite == "fault"
+
+
+class TestRunFaults:
+    def test_bad_spec_exits_2(self, capsys):
+        assert main(["run", "--faults", "gamma-rays:9000"]) == 2
+        assert "examples:" in capsys.readouterr().err
+
+    def test_survivable_fault_reports_outcome_and_counters(self, capsys):
+        code = main(
+            ["run", "--graph", "ring", "--n", "16", "--seed", "1",
+             "--faults", "dup:0.2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults           : dup:0.2" in out
+        assert "outcome          : correct" in out
+        assert "fault counters" in out and "messages_duplicated=" in out
+
+    def test_fatal_fault_reports_diagnosis_and_fails(self, capsys):
+        code = main(
+            ["run", "--graph", "ring", "--n", "16", "--seed", "1",
+             "--faults", "crash:2@10", "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"] == "crash:2@10"
+        assert payload["outcome"] in ("detected_wrong", "hung", "silent_wrong")
+        assert payload["error"]
+
+    def test_json_payload_carries_fault_fields(self, capsys):
+        code = main(
+            ["run", "--graph", "ring", "--n", "16", "--seed", "1",
+             "--faults", "dup:0.2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"] == "dup:0.2"
+        assert payload["outcome"] == "correct"
+        assert payload["correct"] is True
+
+    def test_perfect_spec_output_identical_to_no_spec(self, capsys):
+        base = ["run", "--graph", "ring", "--n", "16", "--seed", "1", "--json"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--faults", "perfect"]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestTraceFaults:
+    def test_trace_embeds_fault_metadata(self, tmp_path, capsys):
+        output = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--algorithm", "randomized", "--graph", "ring",
+             "--n", "16", "--seed", "1", "--faults", "dup:0.2",
+             "--output", str(output), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"] == "dup:0.2"
+        chrome = json.loads(output.read_text())
+        assert chrome["metadata"]["faults"] == "dup:0.2"
+        names = {event.get("name") for event in chrome["traceEvents"]}
+        assert "duplicate" in names or "delay" in names
+
+
+    def test_trace_fatal_fault_reports_diagnosis(self, tmp_path, capsys):
+        # A fault that kills the run must yield a clean diagnosis (exit 1),
+        # not an unhandled traceback out of the trace subcommand.
+        code = main(
+            ["trace", "--algorithm", "randomized", "--graph", "ring",
+             "--n", "16", "--seed", "1", "--faults", "crash:2@10",
+             "--output", str(tmp_path / "t.json"), "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"] == "crash:2@10"
+        assert payload["outcome"] in ("detected_wrong", "hung", "silent_wrong")
+        assert payload["error"]
+
+
+class TestBatchFaults:
+    def test_batch_fault_axis_end_to_end(self, tmp_path, capsys):
+        store = tmp_path / "ledger.jsonl"
+        code = main(
+            ["batch", "--algorithms", "randomized", "--families", "ring",
+             "--sizes", "8", "--seeds", "2", "--faults", "perfect", "dup:0.2",
+             "--workers", "1", "--store", str(store), "--no-cache", "--json"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)["summary"]
+        assert summary["failed"] == 0
+        assert summary["total"] == 4
+        rows = [json.loads(line) for line in store.read_text().splitlines()]
+        records = [row["metrics"] for row in rows if row.get("status") == "ok"]
+        faulted = [r for r in records if r.get("faults")]
+        plain = [r for r in records if not r.get("faults")]
+        assert len(faulted) == 2 and len(plain) == 2
+        assert all(r["outcome"] == "correct" for r in faulted)
+        assert all("outcome" not in r for r in plain)
+
+    def test_batch_rejects_bad_fault_spec(self, capsys):
+        code = main(
+            ["batch", "--faults", "drop:2", "--sizes", "8", "--seeds", "1"]
+        )
+        assert code == 2
+        assert "examples:" in capsys.readouterr().err

@@ -1,0 +1,40 @@
+"""The fault benchmark tier: registration, selection, and runnability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suites import BENCHMARKS, get_benchmark, select_benchmarks
+
+FAULT_NAMES = {"engine_fault_drop_loop", "mst_randomized_fault_dup_n64"}
+
+
+class TestFaultTier:
+    def test_fault_suite_selects_exactly_the_fault_tier(self):
+        selected = select_benchmarks("fault")
+        assert {b.name for b in selected} == FAULT_NAMES
+        assert all(b.tier == "fault" for b in selected)
+
+    def test_fault_benchmarks_are_in_the_smoke_suite(self):
+        smoke = {b.name for b in select_benchmarks("smoke")}
+        assert FAULT_NAMES <= smoke
+
+    def test_full_suite_includes_fault_tier(self):
+        assert FAULT_NAMES <= {b.name for b in select_benchmarks("full")}
+
+    def test_fault_params_recorded(self):
+        drop = get_benchmark("engine_fault_drop_loop")
+        assert drop.params["drop"] == pytest.approx(0.05)
+        dup = get_benchmark("mst_randomized_fault_dup_n64")
+        assert dup.params["dup"] == pytest.approx(0.1)
+
+    def test_fault_thunks_execute(self):
+        # make() builds inputs once; the returned thunk must run cleanly
+        # (dup faults are survivable, drop faults hit a loss-tolerant
+        # protocol) so the timed body never raises mid-benchmark.
+        for name in sorted(FAULT_NAMES):
+            thunk = get_benchmark(name).make()
+            thunk()
+
+    def test_benchmark_tiers_are_known(self):
+        assert {b.tier for b in BENCHMARKS} == {"micro", "e2e", "fault"}

@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.graphs import (
+    DIAGNOSIS_OUTCOMES,
+    MSTDiagnosis,
     WeightedGraph,
     check_local_mst_outputs,
     mst_weight_set,
@@ -13,6 +15,7 @@ from repro.graphs import (
     require_sleeping_model_inputs,
     ring_graph,
     tree_depths,
+    verify_or_diagnose,
 )
 
 
@@ -85,3 +88,99 @@ class TestTreeDepths:
         parents = {1: 2, 2: 1}
         with pytest.raises(AssertionError):
             tree_depths(parents, root=3)
+
+
+class _FakeResult:
+    def __init__(self, correct: bool):
+        self._correct = correct
+
+    def is_correct_mst(self, graph) -> bool:
+        return self._correct
+
+
+class TestVerifyOrDiagnose:
+    """The fault-injection oracle: all four outcomes, plus real runs."""
+
+    def test_correct(self):
+        graph = ring_graph(6, seed=1)
+        diagnosis = verify_or_diagnose(graph, lambda: _FakeResult(True))
+        assert diagnosis.outcome == "correct"
+        assert diagnosis.completed
+        assert diagnosis.error is None
+        assert diagnosis.result is not None
+
+    def test_silent_wrong(self):
+        graph = ring_graph(6, seed=1)
+        diagnosis = verify_or_diagnose(graph, lambda: _FakeResult(False))
+        assert diagnosis.outcome == "silent_wrong"
+        assert diagnosis.completed  # terminated cleanly, just wrong
+
+    def test_detected_wrong_from_simulation_error(self):
+        from repro.sim.errors import SimulationError
+
+        def boom():
+            raise SimulationError("node 3 crashed")
+
+        diagnosis = verify_or_diagnose(ring_graph(6, seed=1), boom)
+        assert diagnosis.outcome == "detected_wrong"
+        assert not diagnosis.completed
+        assert "node 3 crashed" in diagnosis.error
+        assert diagnosis.result is None
+
+    def test_detected_wrong_from_output_convention(self):
+        def bad_outputs():
+            raise AssertionError("nodes missing MST output: [3]")
+
+        diagnosis = verify_or_diagnose(ring_graph(6, seed=1), bad_outputs)
+        assert diagnosis.outcome == "detected_wrong"
+
+    def test_hung(self):
+        from repro.sim.errors import SimulationLimitExceeded
+
+        def spin():
+            raise SimulationLimitExceeded("round 1001 exceeds max_rounds=1000")
+
+        diagnosis = verify_or_diagnose(ring_graph(6, seed=1), spin)
+        assert diagnosis.outcome == "hung"
+        assert not diagnosis.completed
+
+    def test_unexpected_exceptions_propagate(self):
+        def broken():
+            raise OSError("disk on fire")
+
+        with pytest.raises(OSError):
+            verify_or_diagnose(ring_graph(6, seed=1), broken)
+
+    def test_outcomes_tuple_covers_all(self):
+        assert set(DIAGNOSIS_OUTCOMES) == {
+            "correct",
+            "detected_wrong",
+            "silent_wrong",
+            "hung",
+        }
+        assert MSTDiagnosis("correct").completed
+        assert not MSTDiagnosis("hung").completed
+
+    def test_real_run_perfect_channel_is_correct(self):
+        from repro.core import run_randomized_mst
+
+        graph = ring_graph(8, seed=2)
+        diagnosis = verify_or_diagnose(
+            graph, lambda: run_randomized_mst(graph, seed=0)
+        )
+        assert diagnosis.outcome == "correct"
+        assert diagnosis.result.is_correct_mst(graph)
+
+    def test_real_run_crash_schedule_is_detected(self):
+        from repro.core import run_randomized_mst
+        from repro.sim import CrashSchedule
+
+        graph = ring_graph(8, seed=2)
+        diagnosis = verify_or_diagnose(
+            graph,
+            lambda: run_randomized_mst(
+                graph, seed=0, channel=CrashSchedule.random(2, 50)
+            ),
+        )
+        assert diagnosis.outcome in ("detected_wrong", "hung")
+        assert diagnosis.error
