@@ -14,6 +14,12 @@ rate, randomized MST runs over several seeds through the orchestrator
                        the failure mode benchmarks must guard against;
 * ``hung``           — exceeded a simulation limit without terminating.
 
+Every cell also runs with the ``repro.invariants`` monitors attached, so
+beyond *that* a run failed, the sweep reports *which paper invariant*
+broke first in each drop-rate bucket — localising the failure to a lemma
+(star-merge contract, MOE sparsification, FLDT structure, ...) instead of
+a generic wrong-output error.
+
 The takeaway: the protocols are loss-*detecting*, not loss-*tolerant* —
 drops overwhelmingly surface as ``detected_wrong`` crashes, not silent
 corruption, because fragment bookkeeping goes visibly inconsistent the
@@ -38,34 +44,47 @@ def main() -> None:
         "perfect" if rate == 0.0 else f"drop:{rate}" for rate in DROP_RATES
     ]
     specs = expand_grid(
-        ["randomized"], ["gnp"], [N], SEEDS, faults=fault_specs
+        ["randomized"], ["gnp"], [N], SEEDS, faults=fault_specs,
+        monitors="all",
     )
     print(
         f"randomized MST on gnp graphs, n={N}, {len(list(SEEDS))} seeds, "
-        f"drop rates {', '.join(str(rate) for rate in DROP_RATES)}"
+        f"drop rates {', '.join(str(rate) for rate in DROP_RATES)}, "
+        "invariant monitors attached"
     )
     report = run_jobs(specs, workers=2)
     assert report.failed == 0, "fault outcomes are classifications, not failures"
 
     by_rate: dict = {spec: Counter() for spec in fault_specs}
+    first_invariants: dict = {spec: Counter() for spec in fault_specs}
     for spec, record in zip(specs, report.records):
         metrics = record.metrics or {}
         faults = metrics.get("faults") or "perfect"
         outcome = metrics.get("outcome", "correct" if metrics.get("correct") else "?")
         by_rate[faults][outcome] += 1
+        first = metrics.get("first_invariant")
+        if first:
+            first_invariants[faults][first] += 1
 
     header = (
         f"{'drop rate':>10} {'correct':>8} {'detected':>9} "
-        f"{'silent':>7} {'hung':>5}"
+        f"{'silent':>7} {'hung':>5}  {'first broken invariant':<28}"
     )
     print()
     print(header)
     print("-" * len(header))
     for rate, spec in zip(DROP_RATES, fault_specs):
         counts = by_rate[spec]
+        firsts = first_invariants[spec]
+        if firsts:
+            broken = ", ".join(
+                f"{name} x{times}" for name, times in firsts.most_common()
+            )
+        else:
+            broken = "-"
         print(
             f"{rate:>10} {counts['correct']:>8} {counts['detected_wrong']:>9} "
-            f"{counts['silent_wrong']:>7} {counts['hung']:>5}"
+            f"{counts['silent_wrong']:>7} {counts['hung']:>5}  {broken:<28}"
         )
 
     silent = sum(counts["silent_wrong"] for counts in by_rate.values())
@@ -81,6 +100,11 @@ def main() -> None:
             f"WARNING: {silent} run(s) terminated cleanly with a wrong tree "
             "- silent corruption."
         )
+    print(
+        "Where monitors caught a violation before the crash, the column "
+        "above names\nthe first paper invariant that broke (see "
+        "docs/invariants.md)."
+    )
 
 
 if __name__ == "__main__":

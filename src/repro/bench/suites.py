@@ -20,6 +20,11 @@ Tiers
     the general loop with channel dispatch and the delayed-message heap.
     Guards the robustness workload the same way ``micro``/``e2e`` guard
     the default path.
+``monitors``
+    Full MST runs with every invariant monitor attached
+    (:mod:`repro.invariants`): probe buffering, group checking, and span
+    forwarding on top of the general loop.  Compared against the ``e2e``
+    twins, the ratio *is* the monitoring overhead.
 
 The ``smoke`` flag marks the subset cheap enough for CI on every push.
 """
@@ -39,7 +44,7 @@ class Benchmark:
     """One registered benchmark: metadata plus a thunk factory."""
 
     name: str
-    tier: str  # "micro" | "e2e" | "fault"
+    tier: str  # "micro" | "e2e" | "fault" | "monitors"
     smoke: bool
     params: Mapping[str, Any]
     make: Callable[[], Callable[[], Any]] = field(repr=False)
@@ -178,6 +183,29 @@ def _make_mst_fault_dup(n: int, p: float = 0.1) -> Callable[[], Any]:
 
 
 # ----------------------------------------------------------------------
+# Monitors tier: MST runs with every invariant monitor attached
+# ----------------------------------------------------------------------
+
+def _make_mst_monitored(algorithm: str, n: int) -> Callable[[], Any]:
+    from repro.core import run_deterministic_mst, run_randomized_mst
+    from repro.invariants import build_monitor_set
+    from repro.orchestrator import GRAPH_FAMILIES
+
+    graph = GRAPH_FAMILIES["gnp"](n, 0, None)
+    runner = (
+        run_randomized_mst if algorithm == "randomized" else run_deterministic_mst
+    )
+
+    def run() -> None:
+        # A fresh MonitorSet per sample: attach() resets state, but the
+        # timed work must include building the checker wiring the way a
+        # monitored orchestrator job does.
+        runner(graph, seed=0, monitors=build_monitor_set("all"))
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # End to end: MST runs at fixed seeds
 # ----------------------------------------------------------------------
 
@@ -256,6 +284,20 @@ BENCHMARKS: Tuple[Benchmark, ...] = (
         params={"family": "gnp", "n": 64, "dup": 0.1, "seed": 0},
         make=lambda: _make_mst_fault_dup(64),
     ),
+    Benchmark(
+        name="mst_randomized_monitored_n64",
+        tier="monitors",
+        smoke=True,
+        params={"family": "gnp", "n": 64, "seed": 0, "monitors": "all"},
+        make=lambda: _make_mst_monitored("randomized", 64),
+    ),
+    Benchmark(
+        name="mst_deterministic_monitored_n64",
+        tier="monitors",
+        smoke=True,
+        params={"family": "gnp", "n": 64, "seed": 0, "monitors": "all"},
+        make=lambda: _make_mst_monitored("deterministic", 64),
+    ),
 )
 
 #: The end-to-end benchmark at the largest smoke ``n`` — the headline
@@ -277,7 +319,8 @@ def select_benchmarks(
     """Resolve a suite name (or explicit benchmark names) to benchmarks.
 
     ``names`` wins when non-empty; otherwise ``suite`` is one of
-    ``smoke`` (CI subset), ``micro``, ``e2e``, ``fault``, or ``full``.
+    ``smoke`` (CI subset), ``micro``, ``e2e``, ``fault``, ``monitors``,
+    or ``full``.
     """
     if names:
         return [get_benchmark(name) for name in names]
@@ -285,8 +328,9 @@ def select_benchmarks(
         return list(BENCHMARKS)
     if suite == "smoke":
         return [b for b in BENCHMARKS if b.smoke]
-    if suite in ("micro", "e2e", "fault"):
+    if suite in ("micro", "e2e", "fault", "monitors"):
         return [b for b in BENCHMARKS if b.tier == suite]
     raise ValueError(
-        f"unknown suite {suite!r}; use smoke, micro, e2e, fault, or full"
+        f"unknown suite {suite!r}; use smoke, micro, e2e, fault, monitors, "
+        "or full"
     )

@@ -16,6 +16,12 @@ Subcommands
     trace-event JSON (open in Perfetto or chrome://tracing), and print
     the per-phase × per-block awake breakdown — the paper's "9 blocks ×
     O(1) awake rounds" decomposition, measured.
+``check``
+    Run one algorithm with the paper's invariant monitors attached
+    (:mod:`repro.invariants`) and report which lemma-level invariants
+    held; with ``--faults`` the report names the *first* invariant the
+    injected faults broke.  ``--sweep`` runs a small perfect-channel
+    grid and asserts that no monitor fires anywhere.
 ``table1``
     Regenerate Table 1 across sizes and print the fitted constants.
 ``experiments``
@@ -27,6 +33,9 @@ Subcommands
 Examples::
 
     python -m repro.cli run --algorithm randomized --graph ring --n 64
+    python -m repro.cli check --algorithm randomized --n 24 \
+        --faults drop:0.02 --json
+    python -m repro.cli check --sweep --sizes 8 16 --seed-range 2
     python -m repro.cli trace --algorithm randomized --n 64 \
         --output trace.json
     python -m repro.cli run --algorithm deterministic --coloring log-star \
@@ -92,15 +101,57 @@ def _faults_sim_kwargs(args: argparse.Namespace, sim_kwargs: dict):
     return faults
 
 
+def _monitors_sim_kwargs(args: argparse.Namespace, sim_kwargs: dict):
+    """Resolve ``--monitors`` into sim kwargs; returns the MonitorSet.
+
+    Raises ``ValueError`` on unknown monitor names.  ``None`` / ``off``
+    leaves ``sim_kwargs`` untouched (the engine fast path stays usable).
+    """
+    spec = getattr(args, "monitors", None)
+    if spec is None:
+        return None
+    from repro.invariants import build_monitor_set
+
+    monitor_set = build_monitor_set(spec)
+    if monitor_set is not None:
+        sim_kwargs["monitors"] = monitor_set
+    return monitor_set
+
+
+def _diagnosis_extras(diagnosis, monitor_set) -> dict:
+    """Diagnosis refinements shared by the run/check fault reports."""
+    extras = {}
+    if diagnosis.missing_nodes:
+        extras["missing_nodes"] = list(diagnosis.missing_nodes)
+    if diagnosis.crashed_nodes:
+        extras["crashed_nodes"] = list(diagnosis.crashed_nodes)
+    if monitor_set is not None:
+        extras["first_invariant"] = diagnosis.first_invariant
+        extras["violations"] = diagnosis.violations
+    return extras
+
+
+def _print_diagnosis_extras(extras: dict) -> None:
+    if "missing_nodes" in extras:
+        print(f"missing outputs  : {extras['missing_nodes']}")
+    if "crashed_nodes" in extras:
+        print(f"crashed nodes    : {extras['crashed_nodes']}")
+    if "first_invariant" in extras:
+        first = extras["first_invariant"] or "-"
+        print(f"violations       : {extras['violations']} (first: {first})")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     sim_kwargs = {"trace": True} if args.save_trace else {}
     try:
         faults = _faults_sim_kwargs(args, sim_kwargs)
+        monitor_set = _monitors_sim_kwargs(args, sim_kwargs)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
 
     outcome = None
+    diagnosis = None
     if faults is not None and args.algorithm in (
         "randomized", "deterministic", "traditional"
     ):
@@ -110,25 +161,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         graph = GRAPH_FAMILIES[args.graph](args.n, args.seed, args.id_range)
         diagnosis = verify_or_diagnose(
-            graph, lambda: _dispatch_algorithm(args, graph, **sim_kwargs)
+            graph,
+            lambda: _dispatch_algorithm(args, graph, **sim_kwargs),
+            monitors=monitor_set,
         )
         outcome = diagnosis.outcome
         if not diagnosis.completed:
+            extras = _diagnosis_extras(diagnosis, monitor_set)
             if args.json:
-                print(json.dumps(
-                    {
-                        "algorithm": args.algorithm,
-                        "faults": faults,
-                        "outcome": outcome,
-                        "error": diagnosis.error,
-                        "correct": False,
-                    },
-                    sort_keys=True,
-                ))
+                payload = {
+                    "algorithm": args.algorithm,
+                    "faults": faults,
+                    "outcome": outcome,
+                    "error": diagnosis.error,
+                    "correct": False,
+                }
+                payload.update(extras)
+                print(json.dumps(payload, sort_keys=True))
             else:
                 print(f"faults           : {faults}")
                 print(f"outcome          : {outcome}")
                 print(f"error            : {diagnosis.error}")
+                _print_diagnosis_extras(extras)
             return 1
         result = diagnosis.result
     else:
@@ -150,6 +204,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ok = is_spanning_tree(graph, result.mst_weights)
         check = "spanning tree"
 
+    monitor_report = monitor_set.report if monitor_set is not None else None
+    monitors_ok = monitor_report.ok() if monitor_report is not None else True
+
     if args.json:
         payload = {
             "algorithm": result.algorithm,
@@ -167,10 +224,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if faults is not None:
             payload["faults"] = faults
             payload["outcome"] = outcome
+            if diagnosis is not None:
+                payload.update(_diagnosis_extras(diagnosis, monitor_set))
+        if monitor_report is not None:
+            payload["monitors"] = monitor_report.to_dict()
         if trace_events is not None:
             payload["trace"] = {"events": trace_events, "path": args.save_trace}
         print(json.dumps(payload, sort_keys=True))
-        return 0 if ok else 1
+        return 0 if ok and monitors_ok else 1
 
     if trace_events is not None:
         print(f"trace            : {trace_events} events -> {args.save_trace}")
@@ -184,6 +245,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "fault counters   : "
             + " ".join(f"{key}={value}" for key, value in fault_counts.items())
         )
+        if diagnosis is not None and diagnosis.crashed_nodes:
+            print(f"crashed nodes    : {list(diagnosis.crashed_nodes)}")
     print(f"graph            : {args.graph} n={graph.n} m={graph.m} N={graph.max_id}")
     print(f"phases           : {result.phases}")
     print(f"awake complexity : {metrics.max_awake} "
@@ -194,8 +257,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"messages         : {metrics.messages_delivered} delivered / "
           f"{metrics.messages_lost} lost")
     print(f"max message bits : {metrics.max_message_bits}")
+    if monitor_report is not None:
+        first = monitor_report.first_invariant or "-"
+        print(
+            f"invariants       : {len(monitor_report)} violation(s) in "
+            f"{monitor_report.checks_run} checks (first: {first})"
+        )
+        for violation in monitor_report.violations[:5]:
+            print(f"  VIOLATION {violation}")
     print(f"{check:<17}: {ok}")
-    return 0 if ok else 1
+    return 0 if ok and monitors_ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -304,6 +375,190 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if identity_ok else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.invariants import resolve_monitor_spec
+
+    try:
+        spec = resolve_monitor_spec(args.monitors)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if spec is None:
+        print(
+            "check needs at least one monitor (got --monitors off)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sweep:
+        return _check_sweep(args, spec)
+    return _check_single(args, spec)
+
+
+def _emit_check_payload(args: argparse.Namespace, payload: dict) -> None:
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+
+
+def _check_single(args: argparse.Namespace, spec: str) -> int:
+    """One monitored cell: run, diagnose, report what broke first.
+
+    Exit code: on the perfect channel a violation (or a wrong tree) is a
+    failure; under ``--faults`` the report itself is the product — broken
+    invariants are the expected outcome, so the exit code only signals
+    operational errors.
+    """
+    from repro.graphs import verify_or_diagnose
+    from repro.invariants import build_monitor_set
+
+    monitor_set = build_monitor_set(spec)
+    sim_kwargs = {"monitors": monitor_set}
+    try:
+        faults = _faults_sim_kwargs(args, sim_kwargs)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    graph = GRAPH_FAMILIES[args.graph](args.n, args.seed, args.id_range)
+    diagnosis = verify_or_diagnose(
+        graph,
+        lambda: _dispatch_algorithm(args, graph, **sim_kwargs),
+        monitors=monitor_set,
+    )
+    report = monitor_set.report
+    payload = {
+        "algorithm": args.algorithm,
+        "graph": {
+            "family": args.graph,
+            "n": graph.n,
+            "m": graph.m,
+            "max_id": graph.max_id,
+            "seed": args.seed,
+        },
+        "faults": faults,
+        "monitors": list(monitor_set.names),
+        "outcome": diagnosis.outcome,
+        "error": diagnosis.error,
+        "correct": diagnosis.outcome == "correct",
+        "checks_run": report.checks_run,
+        "violations": len(report),
+        "first_invariant": report.first_invariant,
+        "missing_nodes": list(diagnosis.missing_nodes),
+        "crashed_nodes": list(diagnosis.crashed_nodes),
+        "report": report.to_dict(),
+    }
+    _emit_check_payload(args, payload)
+    perfect_ok = diagnosis.outcome == "correct" and report.ok()
+    if not args.json:
+        print(f"algorithm        : {args.algorithm}")
+        print(
+            f"graph            : {args.graph} n={graph.n} m={graph.m} "
+            f"N={graph.max_id} seed={args.seed}"
+        )
+        print(f"monitors         : {','.join(monitor_set.names)}")
+        if faults is not None:
+            print(f"faults           : {faults}")
+        print(f"outcome          : {diagnosis.outcome}")
+        if diagnosis.error:
+            print(f"error            : {diagnosis.error}")
+        if diagnosis.missing_nodes:
+            print(f"missing outputs  : {list(diagnosis.missing_nodes)}")
+        if diagnosis.crashed_nodes:
+            print(f"crashed nodes    : {list(diagnosis.crashed_nodes)}")
+        print(f"checks run       : {report.checks_run}")
+        first = report.first_invariant or "-"
+        print(f"violations       : {len(report)} (first: {first})")
+        for violation in report.violations[:10]:
+            print(f"  VIOLATION {violation}")
+        if report.incomplete_groups:
+            print(
+                f"incomplete groups: {len(report.incomplete_groups)} "
+                "(probe groups cut short by the failure)"
+            )
+        if args.output:
+            print(f"report json      : {args.output}")
+    if faults is not None:
+        return 0
+    return 0 if perfect_ok else 1
+
+
+def _check_sweep(args: argparse.Namespace, spec: str) -> int:
+    """Perfect-channel seed sweep: assert no monitor fires anywhere.
+
+    This is the CI smoke gate behind the monitors: every cell must be a
+    correct MST, run a positive number of invariant checks, and record
+    zero violations.
+    """
+    from repro.invariants import build_monitor_set
+
+    cells = []
+    failed = 0
+    total_checks = 0
+    total_violations = 0
+    for family in args.families:
+        for n in args.sizes:
+            for seed in range(args.seed_range):
+                for algorithm in args.algorithms:
+                    monitor_set = build_monitor_set(spec)
+                    graph = GRAPH_FAMILIES[family](n, seed, None)
+                    cell_args = argparse.Namespace(
+                        algorithm=algorithm,
+                        seed=seed,
+                        termination="adaptive",
+                        coloring=args.coloring,
+                    )
+                    result = _dispatch_algorithm(
+                        cell_args, graph, monitors=monitor_set
+                    )
+                    report = monitor_set.finalize()
+                    correct = result.is_correct_mst(graph)
+                    ok = correct and report.ok() and report.checks_run > 0
+                    failed += 0 if ok else 1
+                    total_checks += report.checks_run
+                    total_violations += len(report)
+                    cells.append(
+                        {
+                            "algorithm": algorithm,
+                            "family": family,
+                            "n": n,
+                            "seed": seed,
+                            "correct": correct,
+                            "checks_run": report.checks_run,
+                            "violations": len(report),
+                            "first_invariant": report.first_invariant,
+                            "ok": ok,
+                        }
+                    )
+    payload = {
+        "monitors": spec,
+        "cells": cells,
+        "total_checks": total_checks,
+        "total_violations": total_violations,
+        "failed": failed,
+        "ok": failed == 0,
+    }
+    _emit_check_payload(args, payload)
+    if not args.json:
+        for cell in cells:
+            marker = "ok" if cell["ok"] else "FAILED"
+            first = cell["first_invariant"] or "-"
+            print(
+                f"{cell['algorithm']:<14} {cell['family']:<8} "
+                f"n={cell['n']:<4} seed={cell['seed']:<3} "
+                f"checks={cell['checks_run']:<4} "
+                f"violations={cell['violations']} first={first} {marker}"
+            )
+        print(
+            f"sweep: {len(cells)} cells, {total_checks} checks, "
+            f"{total_violations} violation(s), {failed} failed"
+        )
+        if args.output:
+            print(f"report json      : {args.output}")
+    return 0 if failed == 0 else 1
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.obs import MetricsRegistry
     from repro.orchestrator import (
@@ -322,6 +577,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         "id_range_factor": args.id_range_factor,
         "options": {},
         "faults": args.faults,
+        "monitors": args.monitors,
     }
     if args.spec:
         with open(args.spec, "r", encoding="utf-8") as handle:
@@ -343,6 +599,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             id_range_factor=grid["id_range_factor"],
             options=grid["options"] or None,
             faults=grid["faults"] or None,
+            monitors=grid["monitors"] or None,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
@@ -601,9 +858,77 @@ def build_parser() -> argparse.ArgumentParser:
         "as correct / detected_wrong / silent_wrong / hung",
     )
     run_parser.add_argument(
+        "--monitors", default=None, metavar="SPEC",
+        help="attach runtime invariant monitors: 'all', 'off', or a "
+        "comma-separated subset of "
+        "fldt-wellformed,star-merge,... (see repro.invariants)",
+    )
+    run_parser.add_argument(
         "--json", action="store_true", help="emit one JSON object instead of text"
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="run with invariant monitors attached; report broken lemmas",
+    )
+    check_parser.add_argument(
+        "--algorithm",
+        choices=("randomized", "deterministic"),
+        default="randomized",
+    )
+    check_parser.add_argument(
+        "--graph", choices=sorted(GRAPH_FAMILIES), default="gnp"
+    )
+    check_parser.add_argument("--n", type=int, default=32)
+    check_parser.add_argument("--seed", type=int, default=0)
+    check_parser.add_argument("--id-range", type=int, default=None)
+    check_parser.add_argument(
+        "--termination", choices=("adaptive", "fixed"), default="adaptive"
+    )
+    check_parser.add_argument(
+        "--coloring", choices=("fast-awake", "log-star"), default="fast-awake"
+    )
+    check_parser.add_argument(
+        "--monitors", default="all", metavar="SPEC",
+        help="'all' (default) or a comma-separated subset of monitor names",
+    )
+    check_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="channel spec for fault injection; the report then names the "
+        "first invariant the faults broke",
+    )
+    check_parser.add_argument(
+        "--sweep", action="store_true",
+        help="run a perfect-channel grid instead of one cell and assert "
+        "that no monitor fires anywhere (the CI smoke gate)",
+    )
+    check_parser.add_argument(
+        "--algorithms", nargs="+",
+        default=["randomized", "deterministic"],
+        choices=("randomized", "deterministic"),
+        help="(--sweep) algorithms to grid over",
+    )
+    check_parser.add_argument(
+        "--families", nargs="+", default=["gnp"],
+        help="(--sweep) graph families to grid over",
+    )
+    check_parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[8, 16, 24],
+        help="(--sweep) graph sizes to grid over",
+    )
+    check_parser.add_argument(
+        "--seed-range", type=int, default=3,
+        help="(--sweep) seeds 0..N-1 per cell",
+    )
+    check_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON report to this file",
+    )
+    check_parser.add_argument(
+        "--json", action="store_true", help="emit one JSON object instead of text"
+    )
+    check_parser.set_defaults(func=_cmd_check)
 
     batch_parser = subparsers.add_parser(
         "batch",
@@ -623,6 +948,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", nargs="+", default=None, metavar="SPEC",
         help="channel-spec grid axis (e.g. --faults perfect drop:0.01 "
         "crash:2@50); each cell runs under each spec",
+    )
+    batch_parser.add_argument(
+        "--monitors", default=None, metavar="SPEC",
+        help="attach invariant monitors to every cell ('all' or a "
+        "comma-separated subset); records gain violations/first_invariant",
     )
     batch_parser.add_argument(
         "--spec", default=None, metavar="PATH",
@@ -700,7 +1030,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the benchmark suite; write/gate BENCH_*.json results",
     )
     bench_parser.add_argument(
-        "--suite", choices=("smoke", "micro", "e2e", "fault", "full"),
+        "--suite", choices=("smoke", "micro", "e2e", "fault", "monitors", "full"),
         default="smoke",
         help="which benchmark tier to run (default: the CI smoke subset)",
     )

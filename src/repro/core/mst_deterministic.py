@@ -54,7 +54,7 @@ from .logstar import logstar_coloring
 from .ldt import LDTState
 from .merging import merging_fragments
 from .moe import DIR_IN, DIR_OUT, merge_nbr_info, select_incoming_moes
-from .mst_randomized import _output
+from .mst_randomized import _output, _probe_phase_end
 from .schedule import BlockClock
 from .toolbox import (
     NOTHING,
@@ -158,6 +158,7 @@ def deterministic_mst_protocol(
                     ctx, ldt, clock.take(), message
                 )
             if halt:
+                _probe_phase_end(ctx, ldt, phases_run)
                 break
 
             # Block 4: announce (fragment, MOE weight); detect incoming MOEs
@@ -219,6 +220,18 @@ def deterministic_mst_protocol(
             # --------------------------------------------------------
             # Step (ii): colour the supergraph, then merge Blue fragments.
             # --------------------------------------------------------
+            ctx.probe(
+                "moe_sparsify",
+                phase=phases_run,
+                fragment=ldt.fragment_id,
+                nbr_info=tuple(nbr_info),
+                selected=tuple(
+                    sorted(
+                        (ldt.neighbor_fragment[port], ctx.port_weights[port])
+                        for port in selected
+                    )
+                ),
+            )
             neighbor_fragments = {entry[0] for entry in nbr_info}
             gprime_ports: Set[int] = set(selected)
             if valid_out:
@@ -241,6 +254,15 @@ def deterministic_mst_protocol(
                         gprime_ports,
                         out_port=owner_port if valid_out else None,
                     )
+
+            ctx.probe(
+                "coloring",
+                phase=phases_run,
+                fragment=ldt.fragment_id,
+                color=own_color,
+                nbr_colors=tuple(sorted(_nbr_colors.items())),
+                nbr_fragments=tuple(sorted(neighbor_fragments)),
+            )
 
             # Merge #1: Blue fragments with G' neighbours merge into the
             # neighbour on their lightest valid MOE (canonical "arbitrary"
@@ -276,5 +298,6 @@ def deterministic_mst_protocol(
                     merge_port=singleton_port,
                     fragment_merging=merging_singleton,
                 )
+            _probe_phase_end(ctx, ldt, phases_run)
 
     return _output(ctx, ldt, phases_run)

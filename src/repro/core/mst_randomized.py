@@ -177,6 +177,7 @@ def randomized_mst_session(
                     ctx, ldt, clock.take(), message
                 )
             if halt:
+                _probe_phase_end(ctx, ldt, phases_run)
                 break
 
             # Block 4: announce (fragment, coin, MOE weight); the MOE owner
@@ -190,6 +191,7 @@ def randomized_mst_session(
                 )
             owner_port: Optional[int] = None
             owner_valid = NOTHING
+            owner_target: Optional[int] = None
             if moe_weight:
                 for port, (nbr_fragment, nbr_coin, _) in inbox.items():
                     if (
@@ -197,6 +199,7 @@ def randomized_mst_session(
                         and nbr_fragment != ldt.fragment_id
                     ):
                         owner_port = port
+                        owner_target = nbr_fragment
                         owner_valid = (
                             1 if (coin == TAILS and nbr_coin == HEADS) else 0
                         )
@@ -215,6 +218,18 @@ def randomized_mst_session(
             fragment_merging = coin == TAILS and valid_bit == 1
             merge_port = owner_port if (fragment_merging and owner_port is not None and owner_valid == 1) else None
 
+            ctx.probe(
+                "merge_decision",
+                phase=phases_run,
+                fragment=ldt.fragment_id,
+                coin=coin,
+                moe=moe_weight,
+                merging=1 if fragment_merging else 0,
+                owner=1 if owner_port is not None else 0,
+                valid=owner_valid if owner_port is not None else None,
+                target=owner_target,
+            )
+
             # Blocks 7-9: merge tails fragments into their heads fragments
             # (:func:`merging_fragments` opens one span per block).
             yield from merging_fragments(
@@ -224,8 +239,28 @@ def randomized_mst_session(
                 merge_port=merge_port,
                 fragment_merging=fragment_merging,
             )
+            _probe_phase_end(ctx, ldt, phases_run)
 
     return _output(ctx, ldt, phases_run), ldt, clock
+
+
+def _probe_phase_end(ctx: NodeContext, ldt: LDTState, phase: int) -> None:
+    """Snapshot the node's LDT labels for phase-boundary invariant monitors.
+
+    Shared by both MST algorithms.  A no-op unless the simulator was built
+    with ``monitors=...`` (see :meth:`repro.sim.node.NodeContext.probe`).
+    """
+    ctx.probe(
+        "phase_end",
+        phase=phase,
+        fragment=ldt.fragment_id,
+        level=ldt.level,
+        parent_port=ldt.parent_port,
+        children_ports=tuple(sorted(ldt.children_ports)),
+        tree_weights=tuple(
+            sorted(ctx.port_weights[port] for port in ldt.tree_ports())
+        ),
+    )
 
 
 def _output(ctx: NodeContext, ldt: LDTState, phases: int) -> MSTNodeOutput:

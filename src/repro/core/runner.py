@@ -70,6 +70,21 @@ class MSTRunResult:
         """
         return self.simulation.spans
 
+    @property
+    def monitors(self):
+        """The attached :class:`repro.invariants.MonitorSet`, if any.
+
+        Populated when the run was executed with ``monitors=...``
+        (forwarded through ``sim_kwargs``); ``None`` otherwise.
+        """
+        return self.simulation.monitors
+
+    @property
+    def violations(self):
+        """Invariant violations recorded by attached monitors (``[]``
+        when none were attached)."""
+        return self.simulation.violations
+
     def is_correct_mst(self, graph: WeightedGraph) -> bool:
         """Check against the (unique) reference MST."""
         return self.mst_weights == mst_weight_set(graph)

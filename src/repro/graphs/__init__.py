@@ -24,6 +24,7 @@ from .mst_reference import (
 from .validation import (
     DIAGNOSIS_OUTCOMES,
     MSTDiagnosis,
+    MSTOutputError,
     check_local_mst_outputs,
     require_connected,
     require_sleeping_model_inputs,
@@ -36,6 +37,7 @@ __all__ = [
     "DIAGNOSIS_OUTCOMES",
     "Edge",
     "MSTDiagnosis",
+    "MSTOutputError",
     "UnionFind",
     "WeightedGraph",
     "adversarial_moe_chain",

@@ -7,7 +7,7 @@ can sanity-check their own graph inputs before running the algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .weighted_graph import WeightedGraph
 
@@ -17,6 +17,19 @@ from .weighted_graph import WeightedGraph
 #: run itself (or output validation) raised; ``hung`` means it exceeded a
 #: simulation limit without terminating.
 DIAGNOSIS_OUTCOMES = ("correct", "detected_wrong", "silent_wrong", "hung")
+
+
+class MSTOutputError(AssertionError):
+    """The paper's output convention failed.
+
+    ``missing`` names the nodes that produced no MST output at all — the
+    *output hole* a crash-faulted run leaves behind.  It is empty for the
+    other convention failures (non-incident edges, endpoint disagreement).
+    """
+
+    def __init__(self, message: str, missing: Sequence[int] = ()) -> None:
+        super().__init__(message)
+        self.missing: Tuple[int, ...] = tuple(missing)
 
 
 def require_connected(graph: WeightedGraph) -> None:
@@ -59,9 +72,11 @@ def check_local_mst_outputs(
 
     Returns the union — the globally claimed MST edge set.
     """
-    missing = [node for node in graph.node_ids if node not in node_outputs]
+    missing = sorted(node for node in graph.node_ids if node not in node_outputs)
     if missing:
-        raise AssertionError(f"nodes missing MST output: {missing[:10]}")
+        raise MSTOutputError(
+            f"nodes missing MST output: {missing[:10]}", missing=missing
+        )
 
     incident: Dict[int, Set[int]] = {
         node: {weight for (_, _, weight) in graph.ports_of(node).values()}
@@ -99,11 +114,25 @@ class MSTDiagnosis:
     ``outcome`` is one of :data:`DIAGNOSIS_OUTCOMES`; ``result`` is
     whatever the runner returned (``None`` unless the run completed);
     ``error`` is the stringified failure for ``detected_wrong`` / ``hung``.
+
+    The remaining fields refine the post-mortem: ``missing_nodes`` is the
+    per-node *output hole* (nodes that produced no MST output, from
+    :class:`MSTOutputError`); ``crashed_nodes`` names nodes known to have
+    crashed (from the raising :class:`~repro.sim.errors.NodeCrashed` or
+    the completed run's metrics); ``first_invariant`` / ``violations``
+    come from an attached :class:`repro.invariants.MonitorSet` — the name
+    of the first paper invariant that fired, and how many violations were
+    recorded in total.  All default empty, so pre-monitor call sites and
+    serialized records are unaffected.
     """
 
     outcome: str
     result: object = None
     error: Optional[str] = None
+    missing_nodes: Tuple[int, ...] = ()
+    crashed_nodes: Tuple[int, ...] = ()
+    first_invariant: Optional[str] = None
+    violations: int = 0
 
     @property
     def completed(self) -> bool:
@@ -111,8 +140,26 @@ class MSTDiagnosis:
         return self.outcome in ("correct", "silent_wrong")
 
 
+def _monitor_fields(monitors: object) -> Dict[str, object]:
+    """Finalize an attached monitor set (idempotent) and extract its verdict.
+
+    A crashed/hung run never reached the engine's own finalize, so this is
+    where its incomplete probe groups get filed; a clean run was already
+    finalized by the engine and the second call is a no-op.
+    """
+    if monitors is None:
+        return {}
+    report = monitors.finalize()
+    return {
+        "first_invariant": report.first_invariant,
+        "violations": len(report),
+    }
+
+
 def verify_or_diagnose(
-    graph: WeightedGraph, run: Callable[[], object]
+    graph: WeightedGraph,
+    run: Callable[[], object],
+    monitors: object = None,
 ) -> MSTDiagnosis:
     """Execute ``run`` and classify its outcome against the reference MST.
 
@@ -128,6 +175,12 @@ def verify_or_diagnose(
     (e.g. :class:`repro.core.runner.MSTRunResult`).  Exceptions raised by
     ``run`` are classified, not propagated — except for
     ``KeyboardInterrupt``/``SystemExit``.
+
+    When the run was executed with an attached
+    :class:`repro.invariants.MonitorSet`, pass it as ``monitors``: the
+    diagnosis then names the first paper invariant that fired
+    (``first_invariant``) and the total violation count, even for runs
+    that crashed or hung before the engine could finalize the monitors.
     """
     # Imported lazily: the graphs layer must not depend on the simulator
     # at import time (layering), only on its error taxonomy at call time.
@@ -136,12 +189,33 @@ def verify_or_diagnose(
     try:
         result = run()
     except SimulationLimitExceeded as error:
-        return MSTDiagnosis(outcome="hung", error=str(error))
+        return MSTDiagnosis(
+            outcome="hung", error=str(error), **_monitor_fields(monitors)
+        )
     except (SimulationError, AssertionError, ValueError) as error:
-        return MSTDiagnosis(outcome="detected_wrong", error=str(error))
-    if result.is_correct_mst(graph):
-        return MSTDiagnosis(outcome="correct", result=result)
-    return MSTDiagnosis(outcome="silent_wrong", result=result)
+        missing: Tuple[int, ...] = ()
+        crashed: Tuple[int, ...] = ()
+        if isinstance(error, MSTOutputError):
+            missing = error.missing
+        node_id = getattr(error, "node_id", None)
+        if node_id is not None:
+            crashed = (node_id,)
+        return MSTDiagnosis(
+            outcome="detected_wrong",
+            error=str(error),
+            missing_nodes=missing,
+            crashed_nodes=crashed,
+            **_monitor_fields(monitors),
+        )
+    metrics = getattr(result, "metrics", None)
+    crashed = tuple(sorted(getattr(metrics, "crashed_nodes", None) or {}))
+    outcome = "correct" if result.is_correct_mst(graph) else "silent_wrong"
+    return MSTDiagnosis(
+        outcome=outcome,
+        result=result,
+        crashed_nodes=crashed,
+        **_monitor_fields(monitors),
+    )
 
 
 def tree_depths(

@@ -1,0 +1,91 @@
+"""Runtime protocol-invariant monitors (the paper's lemmas, checked live).
+
+The correctness argument of the paper is a stack of structural invariants
+that hold at every phase boundary — FLDT well-formedness (Section 2.1),
+star-shaped merge components (Section 2.2), <=3 valid incoming MOEs after
+token sparsification and a legal 5-coloring of the fragment supergraph
+(Section 2.3), O(1) awake rounds per Transmission-Schedule block and
+O(log n)-bit messages (Theorem 1).  This package turns each of them into
+an attachable runtime monitor::
+
+    from repro.core import run_randomized_mst
+    from repro.invariants import build_monitor_set
+
+    monitors = build_monitor_set("all")
+    result = run_randomized_mst(graph, seed=0, monitors=monitors)
+    assert monitors.report.ok()
+
+Under fault injection (``repro.sim.transport``) the report's *first*
+violation names the invariant closest to the root cause — which is what
+``repro.graphs.verify_or_diagnose`` and the ``repro check`` CLI surface.
+Detached (the default), the engine is byte-identical to an unmonitored
+run.
+"""
+
+from .checks import (
+    BLOCK_AWAKE_BUDGETS,
+    DEFAULT_BLOCK_AWAKE_BUDGET,
+    check_block_awake,
+    check_coloring_legal,
+    check_congest_budget,
+    check_fldt_wellformed,
+    check_moe_sparsification,
+    check_mst_subforest,
+    check_star_merge,
+)
+from .monitors import (
+    MONITOR_NAMES,
+    MONITOR_REGISTRY,
+    AwakeBudgetMonitor,
+    ColoringMonitor,
+    CongestBudgetMonitor,
+    FLDTMonitor,
+    FinalizeContext,
+    FragmentCountMonitor,
+    InvariantMonitor,
+    MonitorSet,
+    MonitorView,
+    MOESparsificationMonitor,
+    MSTSubforestMonitor,
+    StarMergeMonitor,
+    build_monitor_set,
+    resolve_monitor_spec,
+)
+from .report import (
+    InvariantViolation,
+    Violation,
+    ViolationReport,
+    snapshot_states,
+)
+
+__all__ = [
+    "BLOCK_AWAKE_BUDGETS",
+    "DEFAULT_BLOCK_AWAKE_BUDGET",
+    "MONITOR_NAMES",
+    "MONITOR_REGISTRY",
+    "AwakeBudgetMonitor",
+    "ColoringMonitor",
+    "CongestBudgetMonitor",
+    "FLDTMonitor",
+    "FinalizeContext",
+    "FragmentCountMonitor",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "MOESparsificationMonitor",
+    "MSTSubforestMonitor",
+    "MonitorSet",
+    "MonitorView",
+    "StarMergeMonitor",
+    "Violation",
+    "ViolationReport",
+    "build_monitor_set",
+    "check_block_awake",
+    "check_coloring_legal",
+    "check_congest_budget",
+    "check_fldt_wellformed",
+    "check_moe_sparsification",
+    "check_mst_subforest",
+    "check_star_merge",
+    "resolve_monitor_spec",
+    "snapshot_states",
+]

@@ -1,0 +1,153 @@
+"""Violation report model for runtime protocol-invariant monitors.
+
+A :class:`Violation` is one observed breach of a paper invariant: which
+monitor fired, in which phase (and block / node where that is meaningful),
+a human-readable message, and a snapshot of the offending state so a
+post-mortem does not have to re-run the simulation.
+
+A :class:`ViolationReport` collects every violation of one run in firing
+order.  The **first** entry is the diagnostic headline — under fault
+injection the earliest broken invariant is the one closest to the root
+cause, and it is what :func:`repro.graphs.verify_or_diagnose` surfaces as
+``first_invariant``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Cap on the number of per-node entries embedded in a violation snapshot;
+#: keeps reports readable (and JSON-serializable at sane sizes) on large
+#: graphs while still naming the offending state for small ones.
+SNAPSHOT_NODE_CAP = 32
+
+
+def snapshot_states(
+    snapshots: Dict[int, Any], nodes: Optional[Tuple[int, ...]] = None
+) -> Dict[int, Any]:
+    """Build a bounded state snapshot for a violation.
+
+    ``nodes`` selects the offending subset when the checker knows it;
+    otherwise the lowest-ID :data:`SNAPSHOT_NODE_CAP` nodes are kept.
+    """
+    if nodes:
+        keys = [node for node in nodes if node in snapshots]
+    else:
+        keys = sorted(snapshots)
+    return {node: snapshots[node] for node in keys[:SNAPSHOT_NODE_CAP]}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One breach of one invariant.
+
+    ``invariant`` is the monitor's registry name (e.g. ``star-merge``);
+    ``lemma`` names the paper statement it checks.  ``phase`` / ``block`` /
+    ``node`` are filled when the breach localizes that far (a global check
+    such as FLDT well-formedness has a phase but no single node).
+    """
+
+    invariant: str
+    lemma: str
+    message: str
+    phase: Optional[int] = None
+    block: Optional[str] = None
+    node: Optional[int] = None
+    #: Offending state, keyed by node ID (bounded; see ``snapshot_states``).
+    snapshot: Dict[int, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "lemma": self.lemma,
+            "message": self.message,
+            "phase": self.phase,
+            "block": self.block,
+            "node": self.node,
+            "snapshot": {str(node): state for node, state in self.snapshot.items()},
+        }
+
+    def __str__(self) -> str:
+        where = []
+        if self.phase is not None:
+            where.append(f"phase {self.phase}")
+        if self.block is not None:
+            where.append(f"block {self.block}")
+        if self.node is not None:
+            where.append(f"node {self.node}")
+        location = f" [{', '.join(where)}]" if where else ""
+        return f"{self.invariant}{location}: {self.message}"
+
+
+class InvariantViolation(AssertionError):
+    """Raised in strict mode the moment the first invariant breaks.
+
+    Subclasses ``AssertionError`` so :func:`repro.graphs.verify_or_diagnose`
+    classifies a strict-mode stop as ``detected_wrong``.  Note the raise
+    happens inside the protocol step that completed the offending probe
+    group, so the engine reports it wrapped in
+    :class:`~repro.sim.errors.NodeCrashed` attributed to that node.
+    """
+
+    def __init__(self, violation: Violation):
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class ViolationReport:
+    """All violations of one run, in firing order, plus check bookkeeping."""
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        #: Number of invariant group/finalize checks executed (``0`` means
+        #: the run emitted no probes at all — e.g. an uninstrumented
+        #: baseline protocol — which a sweep should treat as vacuous).
+        self.checks_run: int = 0
+        #: Probe groups still incomplete at finalize (phase truncated by a
+        #: crash/hang); ``(point, phase, reported, expected)`` tuples.
+        self.incomplete_groups: List[Tuple[str, Optional[int], int, int]] = []
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    @property
+    def first(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+    @property
+    def first_invariant(self) -> Optional[str]:
+        return self.violations[0].invariant if self.violations else None
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self):
+        return iter(self.violations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "violations": [violation.to_dict() for violation in self.violations],
+            "first_invariant": self.first_invariant,
+            "checks_run": self.checks_run,
+            "incomplete_groups": [
+                {
+                    "point": point,
+                    "phase": phase,
+                    "reported": reported,
+                    "expected": expected,
+                }
+                for point, phase, reported, expected in self.incomplete_groups
+            ],
+        }
+
+    def summary(self) -> str:
+        if not self.violations:
+            return f"ok ({self.checks_run} checks)"
+        head = self.violations[0]
+        extra = len(self.violations) - 1
+        tail = f" (+{extra} more)" if extra else ""
+        return f"{head}{tail}"

@@ -208,12 +208,13 @@ class NodeObs:
     ``ctx.span``) and bumps counters through :meth:`count`.
     """
 
-    __slots__ = ("recorder", "node", "_stack", "_crash_label")
+    __slots__ = ("recorder", "node", "_stack", "_crash_label", "_last_round")
 
     def __init__(self, recorder: "ObsRecorder", node: int):
         self.recorder = recorder
         self.node = node
         self._crash_label: Optional[str] = None
+        self._last_round: int = 0
         self._stack: List[_OpenSpan] = [
             _OpenSpan(node, ROOT_PATH, recorder._next_index())
         ]
@@ -227,10 +228,21 @@ class NodeObs:
     def count(self, name: str, value: float = 1, **labels: Any) -> None:
         self.recorder.registry.counter(name).inc(value, **labels)
 
+    def probe(self, point: str, state: Dict[str, Any]) -> None:
+        """Forward a protocol state snapshot to attached invariant monitors.
+
+        A no-op (one attribute load) when the recorder carries no monitor
+        set — observe-only runs pay nothing extra.
+        """
+        monitors = self.recorder.monitors
+        if monitors is not None:
+            monitors.on_probe(self.node, self._last_round, point, state)
+
     # -- engine-facing API ---------------------------------------------
 
     def charge_awake(self, round_number: int) -> None:
         self._crash_label = None  # a new step: any recorded unwind is stale
+        self._last_round = round_number
         top = self._stack[-1]
         top.awake += 1
         if top.first_round is None:
@@ -300,7 +312,11 @@ class NodeObs:
                     parent.extent_last = span.extent_last
                 else:
                     parent.extent_last = max(parent.extent_last, span.extent_last)
-        self.recorder.spans.add(span.record())
+        record = span.record()
+        self.recorder.spans.add(record)
+        monitors = self.recorder.monitors
+        if monitors is not None:
+            monitors.on_span_close(record)
 
 
 class ObsRecorder:
@@ -310,8 +326,16 @@ class ObsRecorder:
     does this) and read :attr:`spans` / :attr:`registry` afterwards.
     """
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None):
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        monitors: Optional[Any] = None,
+    ):
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Attached invariant :class:`repro.invariants.MonitorSet` (duck-
+        #: typed; ``None`` for observe-only runs).  Receives every probe
+        #: snapshot and closed span record.
+        self.monitors = monitors
         self.spans = SpanLog()
         self._index = 0
         self._handles: Dict[int, NodeObs] = {}

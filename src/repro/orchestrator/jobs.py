@@ -117,6 +117,7 @@ def expand_grid(
     id_range_factor: Optional[int] = None,
     options: Optional[Mapping[str, Any]] = None,
     faults: Optional[Sequence[Optional[str]]] = None,
+    monitors: Optional[str] = None,
 ) -> List[JobSpec]:
     """Expand a grid into one :class:`JobSpec` per cell.
 
@@ -126,11 +127,18 @@ def expand_grid(
     :func:`repro.sim.transport.parse_channel_spec` string; the perfect
     channel (``None``/``"perfect"``) stores no ``faults`` option, so
     fault-free specs hash identically to pre-transport grids and their
-    cached results stay valid.
+    cached results stay valid.  ``monitors`` attaches runtime invariant
+    monitors (a :func:`repro.invariants.resolve_monitor_spec` string) to
+    every cell; as with ``faults``, the detached default stores nothing,
+    so unmonitored specs keep their historical hashes.
     """
     canonical = [resolve_algorithm(name) for name in algorithms]
     resolved_families = [resolve_family(name) for name in families]
     fault_axis = [resolve_channel_spec(spec) for spec in (faults or [None])]
+    if monitors is not None:
+        from repro.invariants import resolve_monitor_spec
+
+        monitors = resolve_monitor_spec(monitors)
     specs: List[JobSpec] = []
     for family, n, seed in itertools.product(resolved_families, sizes, seeds):
         id_range = None if id_range_factor is None else id_range_factor * n
@@ -139,6 +147,8 @@ def expand_grid(
                 cell_options = dict(options or {})
                 if fault_spec is not None:
                     cell_options["faults"] = fault_spec
+                if monitors is not None:
+                    cell_options["monitors"] = monitors
                 specs.append(
                     JobSpec.create(
                         algorithm,
@@ -178,10 +188,32 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
     runner = algorithm_runner(spec.algorithm)
     options = dict(spec.options)
     faults = options.pop("faults", None)
+    monitors_spec = options.pop("monitors", None)
+    monitor_set = None
+    if monitors_spec is not None:
+        # Built fresh inside the worker — MonitorSet instances hold run
+        # state and are not meant to cross process boundaries.
+        from repro.invariants import build_monitor_set
+
+        monitor_set = build_monitor_set(monitors_spec)
+        if monitor_set is not None:
+            options["monitors"] = monitor_set
+
+    def monitor_fields() -> Dict[str, Any]:
+        if monitor_set is None:
+            return {}
+        report = monitor_set.finalize()
+        return {
+            "monitors": monitors_spec,
+            "monitor_checks": report.checks_run,
+            "violations": len(report),
+            "first_invariant": report.first_invariant,
+        }
+
     if faults is None:
         result = runner(graph, spec.seed, **options)
         metrics = result.metrics
-        return {
+        record = {
             "algorithm": spec.algorithm,
             "family": spec.family,
             "n": graph.n,
@@ -197,6 +229,8 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
             "bits": metrics.total_bits,
             "correct": result.is_correct_mst(graph),
         }
+        record.update(monitor_fields())
+        return record
 
     from repro.graphs import verify_or_diagnose
 
@@ -206,6 +240,7 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
         lambda: runner(
             graph, spec.seed, channel=channel_from_spec(faults), **options
         ),
+        monitors=monitor_set,
     )
     record: Dict[str, Any] = {
         "algorithm": spec.algorithm,
@@ -219,6 +254,11 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
         "error": diagnosis.error,
         "correct": diagnosis.outcome == "correct",
     }
+    if diagnosis.missing_nodes:
+        record["missing_nodes"] = list(diagnosis.missing_nodes)
+    if diagnosis.crashed_nodes:
+        record["crashed_nodes"] = list(diagnosis.crashed_nodes)
+    record.update(monitor_fields())
     if diagnosis.completed:
         result = diagnosis.result
         metrics = result.metrics

@@ -80,6 +80,10 @@ class SimulationResult:
     #: Observability recorder (only populated when ``observe=True``):
     #: span-attributed awake accounting plus a metrics registry.
     obs: Optional[Any] = None
+    #: Attached invariant :class:`repro.invariants.MonitorSet` (duck-typed;
+    #: only populated when ``monitors=...`` was passed).  Its ``report``
+    #: holds the run's violations.
+    monitors: Optional[Any] = None
 
     @property
     def max_awake(self) -> int:
@@ -93,6 +97,12 @@ class SimulationResult:
     def spans(self):
         """The run's :class:`repro.obs.SpanLog` (``None`` unless observed)."""
         return self.obs.spans if self.obs is not None else None
+
+    @property
+    def violations(self):
+        """Invariant violations recorded by attached monitors (``[]`` when
+        no monitors were attached)."""
+        return self.monitors.report.violations if self.monitors is not None else []
 
 
 @dataclass
@@ -165,6 +175,16 @@ class SleepingSimulator:
         Optional :class:`repro.obs.MetricsRegistry` to record into
         (e.g. one shared across a batch); a fresh one is created when
         omitted and ``observe`` is true.
+    monitors:
+        Attach runtime invariant monitors: a
+        :class:`repro.invariants.MonitorSet` (or a spec string such as
+        ``"all"`` / ``"star-merge,coloring-legal"``, built lazily via
+        :func:`repro.invariants.build_monitor_set`).  Monitors receive
+        protocol probe snapshots (``ctx.probe``) and closed span records
+        through the obs layer — attaching them implies observability —
+        and never alter the execution.  Detached (the default) the engine
+        is byte-identical to the pre-monitor code and keeps its fast
+        path.
     track_knowledge:
         Maintain causal knowledge sets (Theorem 3 experiments).
     max_rounds:
@@ -188,6 +208,7 @@ class SleepingSimulator:
         max_trace_events: Optional[int] = None,
         observe: bool = False,
         obs_registry: Optional[Any] = None,
+        monitors: Optional[Any] = None,
         track_knowledge: bool = False,
         max_rounds: Optional[int] = None,
         max_awake_events: int = 50_000_000,
@@ -221,13 +242,24 @@ class SleepingSimulator:
         self.knowledge = (
             KnowledgeTracker(self._node_ids) if track_knowledge else None
         )
+        if isinstance(monitors, str):
+            # Spec strings resolve through the invariants registry; lazy
+            # for the same layering reason as the obs import below.
+            from repro.invariants import build_monitor_set
+
+            monitors = build_monitor_set(monitors)
+        if monitors is not None and len(monitors) == 0:
+            monitors = None
+        self.monitors = monitors
         self.obs = None
-        if observe:
+        if observe or monitors is not None:
             # Imported lazily: unobserved simulations never pay for (or
-            # depend on) the observability subsystem.
+            # depend on) the observability subsystem.  Monitors piggyback
+            # on the obs hooks (probes, span closures), so attaching them
+            # implies an ObsRecorder.
             from repro.obs import ObsRecorder
 
-            self.obs = ObsRecorder(registry=obs_registry)
+            self.obs = ObsRecorder(registry=obs_registry, monitors=monitors)
         self._n = n
         self._max_id = max_id
 
@@ -267,6 +299,8 @@ class SleepingSimulator:
           channel-model outcomes (drops, delays, duplicates, crashes).
         """
         self.channel.reset(self._node_ids, Random(f"{self.seed}/transport"))
+        if self.monitors is not None:
+            self.monitors.attach(self.graph, self._node_ids, seed=self.seed)
         metrics = Metrics()
         results: Dict[int, Any] = {}
         runtimes: Dict[int, _NodeRuntime] = {}
@@ -299,6 +333,13 @@ class SleepingSimulator:
 
         if self.obs is not None:
             self.obs.finalize(metrics)
+        if self.monitors is not None:
+            self.monitors.finalize(
+                metrics=metrics,
+                spans=self.obs.spans,
+                results=results,
+                congest_budget=self.congest.budget,
+            )
 
         return SimulationResult(
             node_results=results,
@@ -306,6 +347,7 @@ class SleepingSimulator:
             trace=self.trace,
             knowledge=self.knowledge,
             obs=self.obs,
+            monitors=self.monitors,
         )
 
     def _run_fast(

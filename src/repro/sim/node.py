@@ -135,6 +135,21 @@ class NodeContext:
         if obs is not None:
             obs.count(name, value, **labels)
 
+    def probe(self, point: str, **state: Any) -> None:
+        """Emit a named state snapshot for attached invariant monitors.
+
+        Protocol code calls this at the paper's checkpoint moments (e.g.
+        ``ctx.probe("phase_end", phase=p, fragment=f, ...)``); a
+        :class:`repro.invariants.MonitorSet` attached via
+        ``SleepingSimulator(monitors=...)`` buffers the snapshots and
+        fires its global checkers once every node has reported.  Like
+        spans, probes never alter execution — with no monitors attached
+        this is a single ``None`` check.
+        """
+        obs = self.obs
+        if obs is not None:
+            obs.probe(point, state)
+
     def min_weight_port(self) -> int:
         """Return the port with the lightest incident edge."""
         return min(self.ports, key=lambda port: self.port_weights[port])

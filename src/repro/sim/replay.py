@@ -14,15 +14,20 @@ JSON lists and are restored on load.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from .engine import SimulationResult
 from .tracing import EventTrace
 
-#: Schema version written into every file header.
-FORMAT_VERSION = 1
+#: Schema version written into every file header.  Version 2 added the
+#: ``faults`` header block (fault-injection counters plus the executed
+#: crash plan); version-1 files still load, with empty fault data.
+FORMAT_VERSION = 2
+
+#: Header versions :func:`load_trace` accepts.
+SUPPORTED_FORMATS = (1, FORMAT_VERSION)
 
 
 def _encode_payload(value: Any) -> Any:
@@ -57,11 +62,19 @@ def save_trace(result: SimulationResult, path: Union[str, Path]) -> int:
         raise ValueError("simulation was run without trace=True")
     target = Path(path)
     events = result.trace.events
+    metrics = result.metrics
+    faults = dict(metrics.fault_summary())
+    # JSON objects key on strings; load_trace restores the int node IDs.
+    faults["crashed_nodes"] = {
+        str(node): crash_round
+        for node, crash_round in sorted(metrics.crashed_nodes.items())
+    }
     with target.open("w") as handle:
         header = {
             "format": FORMAT_VERSION,
             "events": len(events),
-            "metrics": result.metrics.summary(),
+            "metrics": metrics.summary(),
+            "faults": faults,
         }
         handle.write(json.dumps(header) + "\n")
         for event in events:
@@ -82,25 +95,44 @@ def save_trace(result: SimulationResult, path: Union[str, Path]) -> int:
 
 @dataclass
 class LoadedRun:
-    """A reloaded run: the trace plus the saved metric summary."""
+    """A reloaded run: the trace plus the saved metric summary.
+
+    ``fault_summary`` / ``crashed_nodes`` come from the version-2
+    ``faults`` header block; loading a version-1 file leaves them empty.
+    """
 
     trace: EventTrace
     metrics_summary: Dict[str, Any]
     format_version: int
+    #: Fault-injection counters (``messages_dropped`` etc.; all zero for
+    #: fault-free runs and version-1 files).
+    fault_summary: Dict[str, int] = field(default_factory=dict)
+    #: Executed crash plan, ``{node_id: crash_round}``.
+    crashed_nodes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def faults_observed(self) -> bool:
+        """True when the saved run recorded at least one injected fault."""
+        return any(self.fault_summary.values()) or bool(self.crashed_nodes)
 
 
 def load_trace(path: Union[str, Path]) -> LoadedRun:
-    """Reload a file written by :func:`save_trace`."""
+    """Reload a file written by :func:`save_trace`.
+
+    Accepts every version in :data:`SUPPORTED_FORMATS` — version-1 files
+    (written before fault counters were persisted) load with empty fault
+    data.
+    """
     source = Path(path)
     with source.open() as handle:
         lines = handle.read().splitlines()
     if not lines:
         raise ValueError(f"{source}: empty trace file")
     header = json.loads(lines[0])
-    if header.get("format") != FORMAT_VERSION:
+    if header.get("format") not in SUPPORTED_FORMATS:
         raise ValueError(
             f"{source}: unsupported format {header.get('format')!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected one of {SUPPORTED_FORMATS})"
         )
     trace = EventTrace()
     for line in lines[1:]:
@@ -111,8 +143,15 @@ def load_trace(path: Union[str, Path]) -> LoadedRun:
             f"{source}: header promises {header['events']} events, "
             f"found {len(trace)}"
         )
+    raw_faults = dict(header.get("faults") or {})
+    crashed_nodes = {
+        int(node): crash_round
+        for node, crash_round in (raw_faults.pop("crashed_nodes", None) or {}).items()
+    }
     return LoadedRun(
         trace=trace,
         metrics_summary=header["metrics"],
         format_version=header["format"],
+        fault_summary=raw_faults,
+        crashed_nodes=crashed_nodes,
     )

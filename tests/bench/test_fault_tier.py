@@ -37,4 +37,6 @@ class TestFaultTier:
             thunk()
 
     def test_benchmark_tiers_are_known(self):
-        assert {b.tier for b in BENCHMARKS} == {"micro", "e2e", "fault"}
+        assert {b.tier for b in BENCHMARKS} == {
+            "micro", "e2e", "fault", "monitors"
+        }

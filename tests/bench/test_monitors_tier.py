@@ -1,0 +1,35 @@
+"""The monitors benchmark tier: monitoring overhead is a tracked workload."""
+
+from __future__ import annotations
+
+from repro.bench.suites import get_benchmark, select_benchmarks
+
+MONITOR_NAMES = {
+    "mst_randomized_monitored_n64",
+    "mst_deterministic_monitored_n64",
+}
+
+
+class TestMonitorsTier:
+    def test_monitors_suite_selects_exactly_the_tier(self):
+        selected = select_benchmarks("monitors")
+        assert {b.name for b in selected} == MONITOR_NAMES
+        assert all(b.tier == "monitors" for b in selected)
+
+    def test_monitored_benchmarks_are_in_the_smoke_suite(self):
+        smoke = {b.name for b in select_benchmarks("smoke")}
+        assert MONITOR_NAMES <= smoke
+
+    def test_full_suite_includes_monitors_tier(self):
+        assert MONITOR_NAMES <= {b.name for b in select_benchmarks("full")}
+
+    def test_monitor_params_recorded(self):
+        for name in sorted(MONITOR_NAMES):
+            benchmark = get_benchmark(name)
+            assert benchmark.params["monitors"] == "all"
+            assert benchmark.params["n"] == 64
+
+    def test_monitored_thunks_execute(self):
+        for name in sorted(MONITOR_NAMES):
+            thunk = get_benchmark(name).make()
+            thunk()

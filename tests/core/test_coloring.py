@@ -45,6 +45,22 @@ class TestGreedyRule:
         with pytest.raises(RuntimeError, match="free colour"):
             highest_priority_free_color(PALETTE)
 
+    @given(
+        taken=st.lists(
+            st.sampled_from(PALETTE), max_size=4, unique=True
+        ),
+        noise=st.lists(st.integers(min_value=5, max_value=100), max_size=4),
+    )
+    def test_returns_lowest_free_palette_color(self, taken, noise):
+        """The greedy rule, as a property: the result is the *first*
+        palette colour not taken, regardless of off-palette noise."""
+        chosen = highest_priority_free_color(taken + noise)
+        assert chosen in PALETTE
+        assert chosen not in taken
+        taken_set = set(taken)
+        expected = next(color for color in PALETTE if color not in taken_set)
+        assert chosen == expected
+
 
 class TestColoringOnSupergraphs:
     @pytest.mark.parametrize(

@@ -42,6 +42,19 @@ class TestCVStep:
     def test_virtual_neighbor_for_sinks(self):
         assert cv_step(5, None) in (0, 1)
 
+    @given(
+        a=st.integers(min_value=0, max_value=10**9),
+        b=st.integers(min_value=0, max_value=10**9),
+        c=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_properness_preserved_along_chains(self, a, b, c):
+        """CV's defining property on a directed chain a -> b -> c: when
+        both edges are proper (a != b, b != c), the recoloured endpoints
+        of the first edge stay distinct."""
+        if a == b or b == c:
+            return
+        assert cv_step(a, b) != cv_step(b, c)
+
     def test_equal_colors_rejected(self):
         with pytest.raises(ValueError):
             cv_step(7, 7)

@@ -184,3 +184,54 @@ class TestVerifyOrDiagnose:
         )
         assert diagnosis.outcome in ("detected_wrong", "hung")
         assert diagnosis.error
+
+
+class TestOutputHoles:
+    def test_missing_nodes_carried_on_error(self):
+        from repro.graphs import MSTOutputError
+
+        graph = ring_graph(5, seed=1)
+        outputs = outputs_from_mst(graph)
+        victim = graph.node_ids[0]
+        outputs.pop(victim)
+        with pytest.raises(MSTOutputError) as excinfo:
+            check_local_mst_outputs(graph, outputs)
+        assert excinfo.value.missing == (victim,)
+
+    def test_diagnosis_surfaces_missing_nodes(self):
+        from repro.graphs import MSTOutputError
+
+        def hole():
+            raise MSTOutputError("nodes missing MST output: [3]", missing=(3,))
+
+        diagnosis = verify_or_diagnose(ring_graph(6, seed=1), hole)
+        assert diagnosis.outcome == "detected_wrong"
+        assert diagnosis.missing_nodes == (3,)
+
+    def test_diagnosis_default_fields(self):
+        diagnosis = MSTDiagnosis("correct")
+        assert diagnosis.missing_nodes == ()
+        assert diagnosis.crashed_nodes == ()
+        assert diagnosis.first_invariant is None
+        assert diagnosis.violations == 0
+
+
+class TestDiagnosisMonitors:
+    def test_monitors_finalized_on_crash_path(self):
+        """A run that dies mid-protocol still yields a monitor verdict."""
+        from repro.invariants import build_monitor_set
+        from repro.sim.errors import SimulationError
+
+        graph = ring_graph(4, seed=1)
+        monitors = build_monitor_set("all")
+        monitors.attach(graph, sorted(graph.node_ids), seed=0)
+
+        def boom():
+            raise SimulationError("node 2 crashed")
+
+        diagnosis = verify_or_diagnose(graph, boom, monitors=monitors)
+        assert diagnosis.outcome == "detected_wrong"
+        assert diagnosis.violations == 0
+        assert diagnosis.first_invariant is None
+        # finalize really ran (and is idempotent afterwards).
+        assert monitors.finalize() is monitors.report

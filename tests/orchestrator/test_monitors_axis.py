@@ -1,0 +1,102 @@
+"""The ``--monitors`` grid axis: hashing, worker records, batch CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.orchestrator import JobSpec, execute_job, expand_grid
+
+
+class TestMonitorAxisExpansion:
+    def test_monitors_enter_options(self):
+        specs = expand_grid(
+            ["randomized"], ["ring"], [8], [0], monitors="all"
+        )
+        assert [dict(spec.options).get("monitors") for spec in specs] == ["all"]
+
+    def test_spec_canonicalized_at_expansion(self):
+        specs = expand_grid(
+            ["randomized"], ["ring"], [8], [0],
+            monitors="star-merge,fldt-wellformed",
+        )
+        assert dict(specs[0].options)["monitors"] == (
+            "fldt-wellformed,star-merge"
+        )
+
+    def test_off_spec_keeps_pre_monitor_hashes(self):
+        # Cache keys of unmonitored grids must not change: "off" resolves
+        # to no monitors entry at all, matching pre-axis JobSpecs.
+        plain = expand_grid(["randomized"], ["ring"], [8], [0])
+        off = expand_grid(["randomized"], ["ring"], [8], [0], monitors="off")
+        assert [s.key for s in plain] == [s.key for s in off]
+
+    def test_monitored_cells_hash_differently(self):
+        plain = expand_grid(["randomized"], ["ring"], [8], [0])
+        watched = expand_grid(
+            ["randomized"], ["ring"], [8], [0], monitors="all"
+        )
+        assert plain[0].key != watched[0].key
+
+    def test_unknown_monitor_rejected_at_expansion(self):
+        with pytest.raises(ValueError, match="unknown monitor"):
+            expand_grid(
+                ["randomized"], ["ring"], [8], [0], monitors="warp-core"
+            )
+
+
+class TestExecuteMonitoredJob:
+    def test_clean_cell_reports_zero_violations(self):
+        record = execute_job(
+            JobSpec.create(
+                "randomized", "ring", 8, 0, options={"monitors": "all"}
+            )
+        )
+        assert record["correct"] is True
+        assert record["monitors"] == "all"
+        assert record["monitor_checks"] > 0
+        assert record["violations"] == 0
+        assert record["first_invariant"] is None
+
+    def test_unmonitored_record_shape_unchanged(self):
+        record = execute_job(JobSpec.create("randomized", "ring", 8, 0))
+        assert "monitors" not in record
+        assert "violations" not in record
+
+    def test_faulted_monitored_cell_names_invariant(self):
+        record = execute_job(
+            JobSpec.create(
+                "randomized", "gnp", 24, 3,
+                options={"faults": "drop:0.02", "monitors": "all"},
+            )
+        )
+        assert record["outcome"] == "detected_wrong"
+        assert record["first_invariant"] == "star-merge"
+        assert record["violations"] >= 1
+        assert list(record["crashed_nodes"]) == [4]
+
+    def test_monitored_jobs_deterministic(self):
+        spec = JobSpec.create(
+            "deterministic", "ring", 8, 0, options={"monitors": "all"}
+        )
+        assert execute_job(spec) == execute_job(spec)
+
+
+class TestBatchCLI:
+    def test_batch_monitors_flag(self, tmp_path, capsys):
+        rc = main([
+            "batch", "--algorithms", "randomized", "--families", "ring",
+            "--sizes", "8", "--seeds", "1", "--monitors", "all",
+            "--store", str(tmp_path / "runs.jsonl"), "--no-cache",
+            "--quiet", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        records = payload["records"]
+        assert len(records) == 1
+        metrics = records[0]["metrics"]
+        assert metrics["monitors"] == "all"
+        assert metrics["violations"] == 0
+        assert metrics["monitor_checks"] > 0

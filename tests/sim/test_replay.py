@@ -63,3 +63,67 @@ class TestRoundTrip:
         target.write_text("")
         with pytest.raises(ValueError, match="empty"):
             load_trace(target)
+
+
+class TestFaultHeaderV2:
+    @staticmethod
+    def chatty(rounds=50):
+        """A protocol that keeps transmitting so faults have targets."""
+
+        def protocol(ctx):
+            for r in range(1, rounds):
+                yield Awake(r, ctx.broadcast(("ping", r)))
+            return None
+
+        return protocol
+
+    def test_fault_counters_round_trip(self, tmp_path):
+        from repro.orchestrator import channel_from_spec
+
+        graph = ring_graph(8, seed=2)
+        result = simulate(
+            graph, self.chatty(), trace=True,
+            channel=channel_from_spec("drop:0.2"),
+        )
+        target = tmp_path / "faulted.jsonl"
+        save_trace(result, target)
+        loaded = load_trace(target)
+        assert loaded.format_version == 2
+        assert loaded.fault_summary == result.metrics.fault_summary()
+        assert loaded.fault_summary["messages_dropped"] > 0
+        assert loaded.faults_observed
+
+    def test_crashed_nodes_restore_int_keys(self, tmp_path):
+        from repro.sim import CrashSchedule
+
+        graph = ring_graph(8, seed=2)
+        result = simulate(
+            graph, self.chatty(), trace=True,
+            channel=CrashSchedule.random(1, 30),
+        )
+        target = tmp_path / "crashed.jsonl"
+        save_trace(result, target)
+        loaded = load_trace(target)
+        assert loaded.crashed_nodes == result.metrics.crashed_nodes
+        assert loaded.crashed_nodes
+        assert all(isinstance(node, int) for node in loaded.crashed_nodes)
+        assert loaded.faults_observed
+
+    def test_clean_run_records_zero_faults(self, tmp_path):
+        graph = ring_graph(6, seed=2)
+        result = run_randomized_mst(graph, seed=0, trace=True)
+        target = tmp_path / "clean.jsonl"
+        save_trace(result.simulation, target)
+        loaded = load_trace(target)
+        assert loaded.format_version == 2
+        assert not loaded.faults_observed
+        assert loaded.crashed_nodes == {}
+
+    def test_v1_file_loads_with_empty_fault_data(self, tmp_path):
+        target = tmp_path / "v1.jsonl"
+        target.write_text('{"format": 1, "events": 0, "metrics": {}}\n')
+        loaded = load_trace(target)
+        assert loaded.format_version == 1
+        assert loaded.fault_summary == {}
+        assert loaded.crashed_nodes == {}
+        assert not loaded.faults_observed
