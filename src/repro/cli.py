@@ -11,6 +11,16 @@ Subcommands
     worker-pool parallelism (``--workers``), a content-addressed result
     cache (re-running a grid only executes new cells), an append-only
     JSONL run store, and ``--resume`` to finish an interrupted grid.
+``serve``
+    Run the simulation service daemon: a stdlib HTTP job API
+    (``POST /jobs`` / ``GET /jobs/<hash>`` / ``/result`` / ``/healthz``
+    / ``/stats``) over a persistent worker pool that drains grid
+    submissions through the orchestrator.  Identical submissions are
+    coalesced onto one run; overlapping grids share cells via the
+    result cache.
+``submit``
+    Submit a grid (same axes as ``batch``) to a running daemon; with
+    ``--wait`` streams progress lines and prints the fetched result.
 ``trace``
     Run one algorithm with span observability enabled, export a Chrome
     trace-event JSON (open in Perfetto or chrome://tracing), and print
@@ -43,6 +53,9 @@ Examples::
     python -m repro.cli table1 --sizes 16 32 64
     python -m repro.cli batch --algorithms randomized deterministic \
         --families ring gnp --sizes 16 32 --seeds 3 --workers 4
+    python -m repro.cli serve --port 8732 --root /tmp/repro-service
+    python -m repro.cli submit --url http://127.0.0.1:8732 \
+        --families ring --sizes 16 --seeds 3 --wait
 """
 
 from __future__ import annotations
@@ -559,16 +572,14 @@ def _check_sweep(args: argparse.Namespace, spec: str) -> int:
     return 0 if failed == 0 else 1
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.obs import MetricsRegistry
-    from repro.orchestrator import (
-        ProgressReporter,
-        ResultCache,
-        expand_grid,
-        grid_key,
-        run_jobs,
-    )
+def _grid_payload(args: argparse.Namespace) -> dict:
+    """Grid payload shared by ``batch`` and ``submit`` (and ``--spec``).
 
+    The returned dict is the same JSON schema a ``--spec`` file and the
+    service's ``POST /jobs`` body use, so a grid is expressible
+    identically from flags, a file, or over HTTP.  Raises ``ValueError``
+    on unknown spec-file keys.
+    """
     grid = {
         "algorithms": args.algorithms,
         "families": args.families,
@@ -584,23 +595,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             loaded = json.load(handle)
         unknown = set(loaded) - set(grid)
         if unknown:
-            print(f"unknown spec keys: {sorted(unknown)}", file=sys.stderr)
-            return 2
+            raise ValueError(f"unknown spec keys: {sorted(unknown)}")
         grid.update(loaded)
+    return grid
 
-    seeds = grid["seeds"]
-    seed_list = list(range(seeds)) if isinstance(seeds, int) else [int(s) for s in seeds]
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry
+    from repro.orchestrator import (
+        ProgressReporter,
+        ResultCache,
+        grid_from_payload,
+        grid_key,
+        run_jobs,
+    )
+
     try:
-        specs = expand_grid(
-            grid["algorithms"],
-            grid["families"],
-            grid["sizes"],
-            seed_list,
-            id_range_factor=grid["id_range_factor"],
-            options=grid["options"] or None,
-            faults=grid["faults"] or None,
-            monitors=grid["monitors"] or None,
-        )
+        specs = grid_from_payload(_grid_payload(args))
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -651,6 +662,117 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 f"/n={spec['n']}/seed={spec['seed']}: {failure.error}"
             )
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.orchestrator import ResultCache
+    from repro.service import JobQueue, build_server, serve_forever
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(Path(args.root) / "cache")
+        cache = ResultCache(cache_dir)
+    queue = JobQueue(
+        args.root,
+        workers=args.workers,
+        job_workers=args.job_workers,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+    ).start()
+    server = build_server(
+        queue, host=args.host, port=args.port, quiet=args.quiet
+    )
+    host, port = server.server_address[:2]
+    # One parseable line so scripts (and CI) can discover an ephemeral port.
+    print(
+        f"serving on http://{host}:{port} "
+        f"(workers={queue.workers}, job_workers={queue.job_workers}, "
+        f"root={queue.root})",
+        flush=True,
+    )
+    serve_forever(server)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        grid = _grid_payload(args)
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        submission = client.submit(grid)
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    job = submission["job"]
+
+    if not args.wait:
+        if args.json:
+            print(json.dumps(submission, sort_keys=True))
+        else:
+            print(f"job       : {job}")
+            print(f"status    : {submission['status']}")
+            print(f"cells     : {submission['cells']}")
+            print(f"coalesced : {submission['coalesced']}")
+            print(f"poll with : repro-mst submit is async; GET {args.url}"
+                  f"/jobs/{job}")
+        return 0
+
+    last_seen = {"done": -1, "status": None}
+
+    def stream_progress(snapshot: dict) -> None:
+        if args.quiet:
+            return
+        progress = snapshot.get("progress") or {}
+        done = progress.get("done")
+        status = snapshot.get("status")
+        if done == last_seen["done"] and status == last_seen["status"]:
+            return
+        last_seen["done"] = done
+        last_seen["status"] = status
+        eta = progress.get("eta_s")
+        eta_text = "?" if eta is None else f"{eta:.0f}s"
+        print(
+            f"[{done}/{progress.get('total')}] status={status} "
+            f"ok={progress.get('ok')} failed={progress.get('failed')} "
+            f"cached={progress.get('cached')} eta {eta_text}",
+            file=sys.stderr,
+        )
+
+    try:
+        client.wait(
+            job,
+            timeout_s=args.timeout,
+            interval_s=args.interval,
+            on_progress=stream_progress,
+        )
+        result = client.fetch(job)
+    except (ServiceError, TimeoutError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    summary = result.get("summary") or {}
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+    else:
+        print(f"job       : {job}")
+        print(f"status    : {result['status']}")
+        if result.get("error"):
+            print(f"error     : {result['error']}")
+        print(f"total     : {summary.get('total', 0)}")
+        print(f"executed  : {summary.get('executed', 0)}")
+        print(f"cached    : {summary.get('cached', 0)}")
+        print(f"resumed   : {summary.get('resumed', 0)}")
+        print(f"failed    : {summary.get('failed', 0)}")
+    ok = result["status"] == "done" and summary.get("failed", 0) == 0
+    return 0 if ok else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -822,6 +944,34 @@ def _cmd_walkthrough(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Grid axes shared by ``batch`` and ``submit`` (one schema, two doors)."""
+    parser.add_argument(
+        "--algorithms", nargs="+", default=["randomized"],
+        help="canonical names or aliases (randomized, deterministic, ...)",
+    )
+    parser.add_argument("--families", nargs="+", default=["gnp"])
+    parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32])
+    parser.add_argument(
+        "--seeds", type=int, default=2, help="number of seeds (0..N-1) per cell"
+    )
+    parser.add_argument("--id-range-factor", type=int, default=None)
+    parser.add_argument(
+        "--faults", nargs="+", default=None, metavar="SPEC",
+        help="channel-spec grid axis (e.g. --faults perfect drop:0.01 "
+        "crash:2@50); each cell runs under each spec",
+    )
+    parser.add_argument(
+        "--monitors", default=None, metavar="SPEC",
+        help="attach invariant monitors to every cell ('all' or a "
+        "comma-separated subset); records gain violations/first_invariant",
+    )
+    parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="JSON grid spec file; its keys override the grid flags",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mst",
@@ -934,30 +1084,7 @@ def build_parser() -> argparse.ArgumentParser:
         "batch",
         help="run a job grid through the orchestrator (pool + cache + store)",
     )
-    batch_parser.add_argument(
-        "--algorithms", nargs="+", default=["randomized"],
-        help="canonical names or aliases (randomized, deterministic, ...)",
-    )
-    batch_parser.add_argument("--families", nargs="+", default=["gnp"])
-    batch_parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32])
-    batch_parser.add_argument(
-        "--seeds", type=int, default=2, help="number of seeds (0..N-1) per cell"
-    )
-    batch_parser.add_argument("--id-range-factor", type=int, default=None)
-    batch_parser.add_argument(
-        "--faults", nargs="+", default=None, metavar="SPEC",
-        help="channel-spec grid axis (e.g. --faults perfect drop:0.01 "
-        "crash:2@50); each cell runs under each spec",
-    )
-    batch_parser.add_argument(
-        "--monitors", default=None, metavar="SPEC",
-        help="attach invariant monitors to every cell ('all' or a "
-        "comma-separated subset); records gain violations/first_invariant",
-    )
-    batch_parser.add_argument(
-        "--spec", default=None, metavar="PATH",
-        help="JSON grid spec file; its keys override the grid flags",
-    )
+    _add_grid_arguments(batch_parser)
     batch_parser.add_argument("--workers", type=int, default=1)
     batch_parser.add_argument(
         "--store", default=None, metavar="PATH",
@@ -988,6 +1115,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
     batch_parser.set_defaults(func=_cmd_batch)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the simulation service daemon (job API + worker pool)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8732,
+        help="TCP port (0 picks an ephemeral port, printed on start-up)",
+    )
+    serve_parser.add_argument(
+        "--root", default=".repro-service",
+        help="service state directory: per-job JSONL stores under "
+        "<root>/jobs, result cache under <root>/cache",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="drainer threads (jobs running concurrently)",
+    )
+    serve_parser.add_argument(
+        "--job-workers", type=int, default=1,
+        help="process-pool width inside each job (run_jobs workers)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result cache directory (default: <root>/cache)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job seconds budget"
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=0, help="retries per failed job"
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit a grid to a running service daemon (see 'serve')",
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8732",
+        help="base URL of the service daemon",
+    )
+    _add_grid_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes, streaming progress lines to "
+        "stderr, then fetch and print the result",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="(--wait) give up after this many seconds",
+    )
+    submit_parser.add_argument(
+        "--interval", type=float, default=0.5,
+        help="(--wait) seconds between polls",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the submission (or, with --wait, the result) as JSON",
+    )
+    submit_parser.add_argument(
+        "--quiet", action="store_true",
+        help="(--wait) suppress progress lines on stderr",
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
 
     trace_parser = subparsers.add_parser(
         "trace",

@@ -21,10 +21,12 @@ already completed.
 from .cache import ResultCache
 from .jobs import (
     FAULT_MAX_AWAKE_EVENTS,
+    GRID_PAYLOAD_KEYS,
     JobSpec,
     canonical_json,
     execute_job,
     expand_grid,
+    grid_from_payload,
     grid_key,
 )
 from .pool import BatchReport, JobTimeout, execute_with_policy, run_jobs
@@ -73,6 +75,8 @@ __all__ = [
     "execute_with_policy",
     "expand_grid",
     "graph_factory",
+    "GRID_PAYLOAD_KEYS",
+    "grid_from_payload",
     "grid_key",
     "load_records",
     "resolve_algorithm",

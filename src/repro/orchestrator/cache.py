@@ -87,11 +87,18 @@ class ResultCache:
         self.writes += 1
         return True
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def stats(self) -> Dict[str, Any]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
             "corrupt": self.corrupt,
+            "hit_rate": round(self.hit_rate, 4),
             "version": self.version,
         }

@@ -162,6 +162,63 @@ def expand_grid(
     return specs
 
 
+#: Keys a JSON grid payload may carry.  ``batch --spec`` files and the
+#: service layer's ``POST /jobs`` bodies share this schema, so a grid is
+#: submittable identically from a file, the CLI, or over HTTP.
+GRID_PAYLOAD_KEYS = (
+    "algorithms",
+    "families",
+    "sizes",
+    "seeds",
+    "id_range_factor",
+    "options",
+    "faults",
+    "monitors",
+)
+
+
+def grid_from_payload(payload: Mapping[str, Any]) -> List[JobSpec]:
+    """Expand a JSON grid payload into specs (the ``batch --spec`` schema).
+
+    ``seeds`` may be an integer N (meaning seeds ``0..N-1``) or an
+    explicit list.  Unknown keys raise ``ValueError`` so a typo'd axis
+    never silently shrinks a grid; so do empty required axes and
+    malformed ``faults``/``monitors`` specs (via :func:`expand_grid`).
+    """
+    unknown = set(payload) - set(GRID_PAYLOAD_KEYS)
+    if unknown:
+        raise ValueError(f"unknown grid keys: {sorted(unknown)}")
+    algorithms = list(payload.get("algorithms") or [])
+    families = list(payload.get("families") or [])
+    sizes = [int(n) for n in payload.get("sizes") or []]
+    if not algorithms or not families or not sizes:
+        raise ValueError(
+            "grid needs non-empty algorithms, families, and sizes"
+        )
+    seeds = payload.get("seeds", 1)
+    if isinstance(seeds, bool):
+        raise ValueError(f"seeds must be an int or a list, got {seeds!r}")
+    if isinstance(seeds, int):
+        seed_list = list(range(seeds))
+    else:
+        seed_list = [int(seed) for seed in seeds]
+    if not seed_list:
+        raise ValueError("grid needs at least one seed")
+    id_range_factor = payload.get("id_range_factor")
+    return expand_grid(
+        algorithms,
+        families,
+        sizes,
+        seed_list,
+        id_range_factor=(
+            None if id_range_factor is None else int(id_range_factor)
+        ),
+        options=payload.get("options") or None,
+        faults=payload.get("faults") or None,
+        monitors=payload.get("monitors") or None,
+    )
+
+
 def grid_key(specs: Sequence[JobSpec]) -> str:
     """Content hash of a whole grid (used to name default store files)."""
     return hashlib.sha256(

@@ -154,6 +154,7 @@ class BatchReport:
         }
         if self.cache_stats is not None:
             payload["cache"] = self.cache_stats
+            payload["cache_hit_rate"] = self.cache_stats.get("hit_rate", 0.0)
         if self.progress is not None:
             payload["progress"] = self.progress
         if self.metrics is not None:

@@ -6,10 +6,16 @@ reporter keeps counters and wall-clock timings.  When constructed with a
 ``stream`` it emits one status line per update (rate-limited by
 ``min_interval_s``); without one it is a silent accumulator whose
 :meth:`summary` feeds the batch report.
+
+All mutation and reads go through one internal lock, so a reporter may
+be polled from another thread while the pool is updating it — this is
+what lets the service layer serve live job progress
+(:meth:`ProgressReporter.snapshot`) while ``run_jobs`` is mid-batch.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Dict, List, Optional, TextIO
 
@@ -36,22 +42,24 @@ class ProgressReporter:
         self.job_seconds: List[float] = []
         self._started = time.monotonic()
         self._last_emit = 0.0
+        self._lock = threading.Lock()
 
     def update(self, record: RunRecord) -> None:
         """Record one finished job and maybe emit a status line."""
-        self.done += 1
-        if record.status == STATUS_OK:
-            self.ok += 1
-        else:
-            self.failed += 1
-        source = record.telemetry.get("source")
-        if source == "cache":
-            self.cached += 1
-        elif source == "resume":
-            self.resumed += 1
-        elapsed = record.telemetry.get("elapsed_s")
-        if isinstance(elapsed, (int, float)):
-            self.job_seconds.append(float(elapsed))
+        with self._lock:
+            self.done += 1
+            if record.status == STATUS_OK:
+                self.ok += 1
+            else:
+                self.failed += 1
+            source = record.telemetry.get("source")
+            if source == "cache":
+                self.cached += 1
+            elif source == "resume":
+                self.resumed += 1
+            elapsed = record.telemetry.get("elapsed_s")
+            if isinstance(elapsed, (int, float)):
+                self.job_seconds.append(float(elapsed))
         self._maybe_emit()
 
     @property
@@ -107,22 +115,32 @@ class ProgressReporter:
         self._last_emit = now
         print(self.line(), file=self.stream)
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Thread-safe point-in-time view of the same dict as :meth:`summary`.
+
+        Safe to call from another thread while the pool is mid-batch —
+        this is the poll payload the service layer returns for a running
+        job, so callers never poke reporter attributes directly.
+        """
+        with self._lock:
+            timings = sorted(self.job_seconds)
+            eta = self.eta_s
+            return {
+                "eta_s": round(eta, 3) if eta is not None else None,
+                "total": self.total,
+                "done": self.done,
+                "ok": self.ok,
+                "failed": self.failed,
+                "cached": self.cached,
+                "resumed": self.resumed,
+                "elapsed_s": round(self.elapsed_s, 3),
+                "throughput_jobs_per_s": round(self.throughput, 3),
+                "mean_job_s": (
+                    round(sum(timings) / len(timings), 4) if timings else 0.0
+                ),
+                "max_job_s": round(timings[-1], 4) if timings else 0.0,
+            }
+
     def summary(self) -> Dict[str, Any]:
         """Flat telemetry dictionary for reports and ``--json`` output."""
-        timings = sorted(self.job_seconds)
-        eta = self.eta_s
-        return {
-            "eta_s": round(eta, 3) if eta is not None else None,
-            "total": self.total,
-            "done": self.done,
-            "ok": self.ok,
-            "failed": self.failed,
-            "cached": self.cached,
-            "resumed": self.resumed,
-            "elapsed_s": round(self.elapsed_s, 3),
-            "throughput_jobs_per_s": round(self.throughput, 3),
-            "mean_job_s": (
-                round(sum(timings) / len(timings), 4) if timings else 0.0
-            ),
-            "max_job_s": round(timings[-1], 4) if timings else 0.0,
-        }
+        return self.snapshot()

@@ -1,0 +1,168 @@
+"""Small stdlib HTTP client for the service API.
+
+:class:`ServiceClient` is what the ``submit`` CLI subcommand uses, and
+the reference consumer for anyone scripting against the service: submit
+a grid, poll its job hash, block until done, fetch the records.  Errors
+come back as :class:`ServiceError` carrying the HTTP status and the
+server's JSON payload — never a raw ``urllib`` traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+#: Jobs in one of these states have nothing left to wait for.
+FINISHED_STATES = ("done", "failed")
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response (or no response at all)."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        self.status = status
+        self.payload = payload
+        message = payload.get("error") or str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` daemon.
+
+    .. code-block:: python
+
+        client = ServiceClient("http://127.0.0.1:8732")
+        job = client.submit({"algorithms": ["randomized"],
+                             "families": ["ring"], "sizes": [16],
+                             "seeds": 3})
+        final = client.wait(job["job"])
+        records = client.fetch(job["job"])["records"]
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        data = None
+        if payload is not None:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.status, self._decode(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, self._decode(error.read())
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                0, {"error": f"service unreachable: {error.reason}"}
+            ) from error
+
+    @staticmethod
+    def _decode(body: bytes) -> Dict[str, Any]:
+        try:
+            decoded = json.loads(body or b"{}")
+        except ValueError:
+            return {"error": body.decode("utf-8", "replace")}
+        if isinstance(decoded, dict):
+            return decoded
+        return {"value": decoded}
+
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        status, body = self._request(method, path, payload)
+        if status >= 400:
+            raise ServiceError(status, body)
+        return body
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, grid: Mapping[str, Any]) -> Dict[str, Any]:
+        """POST a grid; returns the job snapshot (with ``coalesced``)."""
+        return self._checked("POST", "/jobs", grid)
+
+    def poll(self, job: str) -> Dict[str, Any]:
+        """GET one job's status/progress snapshot."""
+        return self._checked("GET", f"/jobs/{job}")
+
+    def fetch(self, job: str) -> Dict[str, Any]:
+        """GET a finished job's summary and records (409 while running)."""
+        return self._checked("GET", f"/jobs/{job}/result")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked("GET", "/stats")
+
+    def wait(
+        self,
+        job: str,
+        timeout_s: Optional[float] = None,
+        interval_s: float = 0.2,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; returns the final snapshot.
+
+        ``on_progress`` receives every intermediate snapshot (the CLI
+        uses it to stream progress lines).  Raises ``TimeoutError`` if
+        the deadline passes first.
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            snapshot = self.poll(job)
+            if on_progress is not None:
+                on_progress(snapshot)
+            if snapshot.get("status") in FINISHED_STATES:
+                return snapshot
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job} still {snapshot.get('status')} "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(interval_s)
+
+    def wait_until_up(
+        self, timeout_s: float = 10.0, interval_s: float = 0.1
+    ) -> Dict[str, Any]:
+        """Block until ``/healthz`` answers ok (daemon start-up handshake)."""
+        deadline = time.monotonic() + timeout_s
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except ServiceError as error:
+                last_error = error
+                time.sleep(interval_s)
+        raise ServiceError(
+            0,
+            {
+                "error": (
+                    f"service at {self.base_url} not up after {timeout_s}s: "
+                    f"{last_error}"
+                )
+            },
+        )

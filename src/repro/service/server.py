@@ -1,0 +1,190 @@
+"""Stdlib HTTP front door for the job queue (no new runtime deps).
+
+A thin router over :class:`repro.service.queue.JobQueue` — every
+endpoint parses the path, calls one queue method, and serialises the
+answer as JSON.  All policy (dedupe, coalescing, retries, persistence)
+lives in the queue; the server adds nothing but transport.
+
+Endpoints
+---------
+``POST /jobs``
+    Submit a grid payload (the ``batch --spec`` schema).  Returns the
+    job-state snapshot plus ``coalesced``; ``202`` for a newly enqueued
+    job, ``200`` when the submission coalesced onto an existing one.
+``GET /jobs/<hash>``
+    Poll a job: lifecycle status, live progress snapshot, obs registry
+    dump.  ``404`` for an unknown hash.
+``GET /jobs/<hash>/result``
+    Fetch the finished job's summary and run records.  ``409`` while the
+    job is still queued/running.
+``GET /healthz``
+    Liveness: worker threads alive, queue depth.
+``GET /stats``
+    Queue depth, per-state job counts, dedupe counters, cache hit rate,
+    per-job progress, service metrics dump.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from .queue import JobQueue
+
+#: Submission bodies larger than this are rejected outright (a grid
+#: spec is a few hundred bytes; anything megabyte-sized is a mistake).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`JobQueue`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        queue: JobQueue,
+        quiet: bool = True,
+    ):
+        super().__init__(address, ServiceHandler)
+        self.queue = queue
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests to the queue; every response is one JSON object."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # Typed accessor: BaseHTTPRequestHandler exposes the server untyped.
+    @property
+    def queue(self) -> JobQueue:
+        return self.server.queue  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, __code: int, __message: str, **extra: Any) -> None:
+        self._reply(__code, {"error": __message, **extra})
+
+    # -- GET -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/healthz":
+            payload = self.queue.healthz()
+            self._reply(200 if payload["ok"] else 503, payload)
+            return
+        if path == "/stats":
+            self._reply(200, self.queue.stats())
+            return
+        job_id, want_result = self._parse_job_path(path)
+        if job_id is None:
+            self._error(404, f"unknown endpoint {path!r}")
+            return
+        snapshot = self.queue.status(job_id)
+        if snapshot is None:
+            self._error(404, f"unknown job {job_id!r}")
+            return
+        if not want_result:
+            self._reply(200, snapshot)
+            return
+        result = self.queue.result(job_id)
+        if result is None:
+            self._error(
+                409,
+                f"job {job_id!r} is not finished",
+                status=snapshot["status"],
+                progress=snapshot["progress"],
+            )
+            return
+        self._reply(200, result)
+
+    @staticmethod
+    def _parse_job_path(path: str) -> Tuple[Optional[str], bool]:
+        """``/jobs/<hash>`` or ``/jobs/<hash>/result`` → (hash, result?)."""
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 2 and parts[0] == "jobs":
+            return parts[1], False
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            return parts[1], True
+        return None, False
+
+    # -- POST ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"unknown endpoint {path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._error(400, "bad Content-Length header")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, f"body must be 1..{MAX_BODY_BYTES} bytes")
+            return
+        body = self.rfile.read(length)
+        try:
+            grid = json.loads(body)
+        except ValueError as error:
+            self._error(400, f"body is not valid JSON: {error}")
+            return
+        if not isinstance(grid, dict):
+            self._error(400, "grid payload must be a JSON object")
+            return
+        try:
+            job, coalesced = self.queue.submit(grid)
+        except ValueError as error:
+            self._error(400, str(error))
+            return
+        payload = job.snapshot()
+        payload["coalesced"] = coalesced
+        self._reply(200 if coalesced else 202, payload)
+
+
+def build_server(
+    queue: JobQueue,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceServer:
+    """Bind a server (``port=0`` picks an ephemeral port) — not serving yet.
+
+    The caller owns the serve loop, which keeps this usable both from
+    the CLI daemon (``serve_forever`` on the main thread) and from tests
+    (``serve_forever`` on a background thread, ``shutdown()`` to stop).
+    """
+    return ServiceServer((host, port), queue, quiet=quiet)
+
+
+def serve_forever(server: ServiceServer) -> None:
+    """Run the accept loop until ``KeyboardInterrupt``; then drain."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        server.queue.shutdown()

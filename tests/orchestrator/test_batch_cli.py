@@ -132,3 +132,31 @@ class TestRunJSON:
     def test_run_text_output_unchanged(self, capsys):
         assert main(["run", "--graph", "ring", "--n", "8"]) == 0
         assert "correct MST      : True" in capsys.readouterr().out
+
+
+class TestSummaryDedupeCounts:
+    def test_json_summary_reports_cache_hit_rate(self, tmp_path, capsys):
+        assert _batch(tmp_path, "--json") == 0
+        first = json.loads(capsys.readouterr().out)["summary"]
+        assert first["cached"] == 0 and first["resumed"] == 0
+        assert first["cache_hit_rate"] == 0.0
+        assert first["cache"]["hit_rate"] == 0.0
+
+        assert _batch(tmp_path, "--json", store="again.jsonl") == 0
+        second = json.loads(capsys.readouterr().out)["summary"]
+        assert second["cached"] == second["total"] == 8
+        assert second["resumed"] == 0
+        assert second["cache_hit_rate"] == 1.0
+        assert second["cache"]["hit_rate"] == 1.0
+
+    def test_resumed_counts_in_json_summary(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        assert _batch(tmp_path, "--no-cache") == 0
+        capsys.readouterr()
+        assert (
+            _batch(tmp_path, "--no-cache", "--json", "--resume", str(store))
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)["summary"]
+        assert payload["resumed"] == 8
+        assert payload["executed"] == 0

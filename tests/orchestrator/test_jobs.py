@@ -12,6 +12,7 @@ from repro.orchestrator import (
     canonical_json,
     execute_job,
     expand_grid,
+    grid_from_payload,
     grid_key,
     resolve_algorithm,
 )
@@ -110,3 +111,56 @@ class TestExecuteJob:
     def test_crashing_diagnostic_raises(self):
         with pytest.raises(RuntimeError, match="Crashing-MST always fails"):
             execute_job(JobSpec.create("crashing", "ring", 8, 0))
+
+
+class TestGridFromPayload:
+    """The JSON grid schema shared by batch --spec and POST /jobs."""
+
+    def test_expands_like_expand_grid(self):
+        payload = {
+            "algorithms": ["randomized"],
+            "families": ["ring", "gnp"],
+            "sizes": [8, 16],
+            "seeds": 2,
+        }
+        specs = grid_from_payload(payload)
+        expected = expand_grid(["randomized"], ["ring", "gnp"], [8, 16], [0, 1])
+        assert [spec.key for spec in specs] == [spec.key for spec in expected]
+
+    def test_seed_list_and_int_are_equivalent(self):
+        base = {"algorithms": ["randomized"], "families": ["ring"], "sizes": [8]}
+        by_count = grid_from_payload({**base, "seeds": 2})
+        by_list = grid_from_payload({**base, "seeds": [0, 1]})
+        assert [s.key for s in by_count] == [s.key for s in by_list]
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid keys"):
+            grid_from_payload(
+                {"algorithms": ["randomized"], "families": ["ring"],
+                 "sizes": [8], "sizzes": [8]}
+            )
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            grid_from_payload({"algorithms": [], "families": [], "sizes": []})
+        with pytest.raises(ValueError, match="seed"):
+            grid_from_payload(
+                {"algorithms": ["randomized"], "families": ["ring"],
+                 "sizes": [8], "seeds": 0}
+            )
+
+    def test_fault_and_monitor_axes_forwarded(self):
+        payload = {
+            "algorithms": ["randomized"],
+            "families": ["ring"],
+            "sizes": [8],
+            "seeds": 1,
+            "faults": ["perfect", "drop:0.05"],
+            "monitors": "all",
+        }
+        specs = grid_from_payload(payload)
+        assert len(specs) == 2
+        options = [dict(spec.options) for spec in specs]
+        assert "faults" not in options[0]  # perfect channel stays hash-stable
+        assert options[1]["faults"] == "drop:0.05"
+        assert all("monitors" in opts for opts in options)

@@ -111,3 +111,62 @@ class TestPoolRegistryWiring:
         report = run_jobs(specs)
         assert report.metrics is None
         assert "metrics" not in report.summary()
+
+
+class TestSnapshot:
+    def test_snapshot_matches_summary(self):
+        reporter = ProgressReporter(total=4)
+        reporter.update(_record())
+        reporter.update(_record(source="cache"))
+        snapshot = reporter.snapshot()
+        summary = reporter.summary()
+        # Clock-derived fields move between calls; the counters must not.
+        assert set(snapshot) == set(summary)
+        for key in ("total", "done", "ok", "failed", "cached", "resumed",
+                    "mean_job_s", "max_job_s"):
+            assert snapshot[key] == summary[key]
+        assert snapshot["done"] == 2
+        assert snapshot["cached"] == 1
+
+    def test_snapshot_mid_run_shows_partial_progress(self):
+        reporter = ProgressReporter(total=10)
+        for _ in range(3):
+            reporter.update(_record())
+        snapshot = reporter.snapshot()
+        assert snapshot["done"] == 3
+        assert snapshot["total"] == 10
+        assert snapshot["eta_s"] is not None
+
+    def test_snapshot_is_thread_safe_under_concurrent_updates(self):
+        import threading
+
+        reporter = ProgressReporter(total=800)
+        snapshots = []
+        stop = threading.Event()
+
+        def poll():
+            while not stop.is_set():
+                snapshots.append(reporter.snapshot())
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        updaters = [
+            threading.Thread(
+                target=lambda: [reporter.update(_record()) for _ in range(200)]
+            )
+            for _ in range(4)
+        ]
+        for thread in updaters:
+            thread.start()
+        for thread in updaters:
+            thread.join()
+        stop.set()
+        poller.join()
+
+        final = reporter.snapshot()
+        assert final["done"] == final["ok"] == 800
+        assert len(reporter.job_seconds) == 800
+        # Every interleaved snapshot was internally consistent.
+        for snapshot in snapshots:
+            assert snapshot["done"] == snapshot["ok"] + snapshot["failed"]
+            assert 0 <= snapshot["done"] <= 800

@@ -75,3 +75,31 @@ class TestRunStore:
         first = RunRecord.ok(spec, {"seed": 0}, telemetry={"elapsed_s": 0.5})
         second = RunRecord.ok(spec, {"seed": 0}, telemetry={"elapsed_s": 9.9})
         assert first.fingerprint() == second.fingerprint()
+
+    def test_torn_trailing_line_logs_warning(self, tmp_path, caplog):
+        """A daemon that died mid-append must resume with a warning, not
+        a crash — the skipped line is named in the log."""
+        import logging
+
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.append(_ok(0))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "key": "abc", "spe')  # no newline
+        with caplog.at_level(logging.WARNING, "repro.orchestrator.store"):
+            loaded = store.load()
+        assert len(loaded) == 1
+        assert store.skipped_lines == 1
+        assert any(
+            "line 2" in message and "torn write" in message
+            for message in caplog.messages
+        )
+
+    def test_clean_load_logs_nothing(self, tmp_path, caplog):
+        import logging
+
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.extend([_ok(0), _ok(1)])
+        with caplog.at_level(logging.WARNING, "repro.orchestrator.store"):
+            store.load()
+        assert not caplog.messages

@@ -1,0 +1,116 @@
+"""CLI coverage for ``serve`` and ``submit`` (incl. a real daemon process)."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.service import JobQueue, ServiceClient, build_server
+
+RING_ARGS = ["--families", "ring", "--sizes", "8", "--seeds", "2"]
+
+
+@pytest.fixture
+def service(tmp_path):
+    queue = JobQueue(tmp_path / "service").start()
+    server = build_server(queue, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        queue.shutdown()
+        thread.join(timeout=5)
+
+
+class TestSubmitCLI:
+    def test_submit_wait_json(self, service, capsys):
+        code = main(
+            ["submit", "--url", service.url, *RING_ARGS,
+             "--wait", "--json", "--quiet"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "done"
+        assert payload["summary"]["failed"] == 0
+        assert len(payload["records"]) == 2
+
+    def test_submit_async_then_resubmit_coalesces(self, service, capsys):
+        assert main(["submit", "--url", service.url, *RING_ARGS, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["coalesced"] is False
+        ServiceClient(service.url).wait(first["job"], timeout_s=120)
+        assert main(["submit", "--url", service.url, *RING_ARGS, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["coalesced"] is True
+        assert second["job"] == first["job"]
+
+    def test_submit_streams_progress_lines(self, service, capsys):
+        assert main(["submit", "--url", service.url, *RING_ARGS, "--wait"]) == 0
+        captured = capsys.readouterr()
+        assert "status    : done" in captured.out
+        # Progress lines stream on stderr while waiting.
+        assert re.search(r"\[\d/2\] status=", captured.err)
+
+    def test_submit_bad_grid_exits_2(self, service, capsys):
+        code = main(
+            ["submit", "--url", service.url, "--families", "ring",
+             "--sizes", "8", "--seeds", "0"]
+        )
+        assert code == 2
+        assert "seed" in capsys.readouterr().err
+
+    def test_submit_unreachable_exits_2(self, capsys):
+        code = main(["submit", "--url", "http://127.0.0.1:9", *RING_ARGS])
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().err
+
+
+class TestServeDaemon:
+    def test_serve_daemon_round_trip(self, tmp_path):
+        """Start the real daemon process, talk to it, shut it down."""
+        env = dict(os.environ)
+        src = os.path.join(os.getcwd(), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--root", str(tmp_path / "svc"), "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://[\d.]+:\d+", banner)
+            assert match, f"no URL in serve banner: {banner!r}"
+            client = ServiceClient(match.group(0))
+            client.wait_until_up(timeout_s=30)
+
+            grid = {
+                "algorithms": ["randomized"],
+                "families": ["ring"],
+                "sizes": [8],
+                "seeds": 2,
+            }
+            first = client.submit(grid)
+            final = client.wait(first["job"], timeout_s=120)
+            assert final["status"] == "done"
+            second = client.submit(grid)
+            assert second["coalesced"] is True
+            records = client.fetch(first["job"])["records"]
+            assert len(records) == 2
+        finally:
+            process.terminate()
+            process.wait(timeout=15)

@@ -1,0 +1,158 @@
+"""End-to-end HTTP API: submit → poll → fetch over a real ephemeral port."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.orchestrator import ResultCache
+from repro.service import JobQueue, ServiceClient, ServiceError, build_server
+
+RING_GRID = {
+    "algorithms": ["randomized"],
+    "families": ["ring"],
+    "sizes": [8],
+    "seeds": 2,
+}
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server on an ephemeral port backed by a started queue."""
+    queue = JobQueue(
+        tmp_path / "service", cache=ResultCache(tmp_path / "cache")
+    ).start()
+    server = build_server(queue, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        queue.shutdown()
+        thread.join(timeout=5)
+
+
+@pytest.fixture
+def idle_service(tmp_path):
+    """A server whose queue has no workers: jobs stay queued forever."""
+    queue = JobQueue(tmp_path / "idle")  # never started
+    server = build_server(queue, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestEndToEnd:
+    def test_submit_poll_wait_fetch(self, service):
+        client = ServiceClient(service.url)
+        assert client.wait_until_up()["ok"] is True
+
+        submission = client.submit(RING_GRID)
+        assert submission["coalesced"] is False
+        assert submission["cells"] == 2
+        job = submission["job"]
+
+        snapshots = []
+        final = client.wait(job, timeout_s=120, on_progress=snapshots.append)
+        assert final["status"] == "done"
+        assert final["progress"]["done"] == 2
+        assert snapshots  # on_progress saw at least one snapshot
+
+        result = client.fetch(job)
+        assert result["summary"]["failed"] == 0
+        assert len(result["records"]) == 2
+        for record in result["records"]:
+            assert record["status"] == "ok"
+            assert record["metrics"]["correct"] is True
+
+    def test_duplicate_submission_coalesces_over_http(self, service):
+        client = ServiceClient(service.url)
+        first = client.submit(RING_GRID)
+        client.wait(first["job"], timeout_s=120)
+        second = client.submit(RING_GRID)
+        assert second["coalesced"] is True
+        assert second["job"] == first["job"]
+        stats = client.stats()
+        assert stats["jobs"]["total"] == 1
+        assert stats["submissions"] == {"total": 2, "coalesced": 1}
+
+    def test_stats_and_healthz(self, service):
+        client = ServiceClient(service.url)
+        health = client.healthz()
+        assert health["ok"] is True
+        assert health["workers_alive"] == 1
+        stats = client.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["workers"]["alive"] == 1
+        assert stats["cache"]["hit_rate"] == 0.0
+
+
+class TestErrors:
+    def test_unknown_job_404(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.poll("deadbeef")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client.fetch("deadbeef")
+        assert excinfo.value.status == 404
+
+    def test_unknown_endpoint_404(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client._checked("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_result_before_done_409(self, idle_service):
+        client = ServiceClient(idle_service.url)
+        job = client.submit(RING_GRID)["job"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.fetch(job)
+        assert excinfo.value.status == 409
+        assert excinfo.value.payload["status"] == "queued"
+        # ...but polling the queued job works fine.
+        assert client.poll(job)["status"] == "queued"
+
+    def test_bad_grid_400(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"algorithms": ["randomized"], "bogus": [1]})
+        assert excinfo.value.status == 400
+        assert "bogus" in str(excinfo.value)
+
+    def test_malformed_json_400(self, service):
+        host, port = service.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/jobs", body=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert "JSON" in payload["error"]
+
+    def test_non_object_grid_400(self, service):
+        client = ServiceClient(service.url)
+        status, payload = client._request("POST", "/jobs", ["not", "a", "dict"])
+        assert status == 400
+        assert "object" in payload["error"]
+
+    def test_unreachable_service(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout_s=1.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 0
