@@ -609,6 +609,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         grid_key,
         run_jobs,
     )
+    from repro.telemetry import trace_context
 
     try:
         specs = grid_from_payload(_grid_payload(args))
@@ -624,17 +625,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         min_interval_s=1.0,
     )
     registry = MetricsRegistry()
-    report = run_jobs(
-        specs,
-        workers=args.workers,
-        cache=cache,
-        store=store_path,
-        resume=args.resume,
-        timeout=args.timeout,
-        retries=args.retries,
-        progress=progress,
-        registry=registry,
-    )
+    # One trace ID per batch invocation: every record's telemetry block,
+    # worker log line, and span export from this run carries it.
+    with trace_context() as trace_id:
+        report = run_jobs(
+            specs,
+            workers=args.workers,
+            cache=cache,
+            store=store_path,
+            resume=args.resume,
+            timeout=args.timeout,
+            retries=args.retries,
+            progress=progress,
+            registry=registry,
+            trace_id=trace_id,
+        )
 
     if args.json:
         print(
@@ -665,10 +670,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
     from pathlib import Path
 
     from repro.orchestrator import ResultCache
     from repro.service import JobQueue, build_server, serve_forever
+    from repro.telemetry import configure_logging
+
+    if args.log_level is not None:
+        level = getattr(logging, args.log_level.upper())
+    else:
+        # --quiet keeps the old behaviour (no per-request chatter) by
+        # raising the threshold above the INFO access records.
+        level = logging.WARNING if args.quiet else logging.INFO
+    configure_logging(
+        json_logs=args.log_json, log_file=args.log_file, level=level
+    )
 
     cache = None
     if not args.no_cache:
@@ -773,6 +790,18 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"failed    : {summary.get('failed', 0)}")
     ok = result["status"] == "done" and summary.get("failed", 0) == 0
     return 0 if ok else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.dashboard import run_top
+
+    return run_top(
+        args.url,
+        interval_s=args.interval,
+        once=args.once,
+        json_output=args.json,
+        iterations=args.iterations,
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1154,6 +1183,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
     )
+    serve_parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON log lines (one object per line)",
+    )
+    serve_parser.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="write log lines here instead of stderr",
+    )
+    serve_parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="log threshold (default: info, or warning with --quiet)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     submit_parser = subparsers.add_parser(
@@ -1187,6 +1229,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="(--wait) suppress progress lines on stderr",
     )
     submit_parser.set_defaults(func=_cmd_submit)
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="live dashboard over a running service daemon "
+        "(/stats + /metrics)",
+    )
+    top_parser.add_argument(
+        "--url", default="http://127.0.0.1:8732",
+        help="base URL of the service daemon",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    top_parser.add_argument(
+        "--json", action="store_true",
+        help="with --once: print the raw sample dict as JSON (scripting)",
+    )
+    top_parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top_parser.set_defaults(func=_cmd_top)
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -1323,9 +1392,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Subcommands that execute simulations directly: each invocation gets
+#: its own trace ID so exports and worker logs correlate (the service
+#: path mints per-submission IDs instead; see repro.telemetry).
+_TRACED_COMMANDS = ("run", "trace", "check")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "command", None) in _TRACED_COMMANDS:
+        from repro.telemetry import trace_context
+
+        with trace_context():
+            return args.func(args)
     return args.func(args)
 
 

@@ -24,6 +24,22 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 
 from .spans import SpanLog
 
+
+def _ambient_trace_id() -> Optional[str]:
+    """The service-layer trace ID, when one is active.
+
+    Imported lazily: :mod:`repro.telemetry` sits above the service stack
+    and a module-level import from here would be circular.  Exports run
+    outside any service context return ``None`` and stay byte-identical
+    to pre-telemetry output.
+    """
+    try:
+        from repro.telemetry.logs import current_trace_id
+    except ImportError:  # pragma: no cover - partial install
+        return None
+    return current_trace_id()
+
+
 #: Trace Event Format phase codes we emit.
 PH_COMPLETE = "X"
 PH_INSTANT = "i"
@@ -143,10 +159,14 @@ def chrome_trace(
                 "args": {"name": f"node {node}"},
             }
         )
+    meta = dict(metadata or {}, tsUnit="rounds")
+    trace_id = _ambient_trace_id()
+    if trace_id is not None and "trace_id" not in meta:
+        meta["trace_id"] = trace_id
     return {
         "traceEvents": head + body,
         "displayTimeUnit": "ms",
-        "metadata": dict(metadata or {}, tsUnit="rounds"),
+        "metadata": meta,
     }
 
 
@@ -227,8 +247,19 @@ def write_ndjson(
 
 
 def span_log_lines(spans: SpanLog) -> List[Dict[str, Any]]:
-    """Span records as NDJSON-ready dictionaries (node/open order)."""
-    return spans.to_dicts()
+    """Span records as NDJSON-ready dictionaries (node/open order).
+
+    When a service-layer trace ID is active (export running inside a
+    daemon job), each line is stamped with it so span NDJSON joins
+    against access logs and flight events; standalone exports are
+    unchanged.
+    """
+    lines = spans.to_dicts()
+    trace_id = _ambient_trace_id()
+    if trace_id is not None:
+        for line in lines:
+            line.setdefault("trace_id", trace_id)
+    return lines
 
 
 def event_log_lines(trace: Iterable[Any]) -> List[Dict[str, Any]]:

@@ -20,7 +20,7 @@ Design constraints:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 LabelSet = Tuple[Tuple[str, Any], ...]
 
@@ -81,20 +81,43 @@ class Gauge:
         return self._values.items()
 
 
-class _HistogramBucket:
-    __slots__ = ("count", "sum", "min", "max")
+#: Default histogram bucket upper bounds (seconds-flavoured, like the
+#: Prometheus client defaults).  Cumulative counts per bound are kept in
+#: addition to the streaming summary so the Prometheus text renderer
+#: (:mod:`repro.telemetry.promtext`) can emit real ``_bucket`` series;
+#: :meth:`Histogram.summary` and :meth:`MetricsRegistry.dump` output are
+#: unchanged, so existing pinned dumps stay byte-identical.
+DEFAULT_BUCKET_BOUNDS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
-    def __init__(self) -> None:
+
+class _HistogramBucket:
+    __slots__ = ("count", "sum", "min", "max", "bounds", "bucket_counts")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKET_BOUNDS):
         self.count = 0
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.bounds = bounds
+        self.bucket_counts = [0] * len(bounds)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        # Cumulative ``le`` semantics: charge every bound >= value, so
+        # bucket_counts[i] is directly the Prometheus cumulative count.
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ``+Inf`` excluded."""
+        return list(zip(self.bounds, self.bucket_counts))
 
     def summary(self) -> Dict[str, float]:
         mean = self.sum / self.count if self.count else 0.0
@@ -127,6 +150,11 @@ class Histogram:
     def summary(self, **labels: Any) -> Dict[str, float]:
         bucket = self._buckets.get(_labelset(labels))
         return bucket.summary() if bucket else _HistogramBucket().summary()
+
+    def buckets(self, **labels: Any) -> List[Tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs for one labelset (may be empty)."""
+        bucket = self._buckets.get(_labelset(labels))
+        return bucket.buckets() if bucket else []
 
     def items(self) -> Iterable[Tuple[LabelSet, _HistogramBucket]]:
         return self._buckets.items()
@@ -164,6 +192,18 @@ class MetricsRegistry:
             instrument = Histogram(name)
             self._histograms[name] = instrument
         return instrument
+
+    def counters(self) -> Dict[str, Counter]:
+        """Name → counter snapshot (a shallow copy, safe to iterate)."""
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """Name → gauge snapshot (a shallow copy, safe to iterate)."""
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Name → histogram snapshot (a shallow copy, safe to iterate)."""
+        return dict(self._histograms)
 
     def dump(self) -> Dict[str, Any]:
         """Flat, sorted ``{"name{labels}": value}`` snapshot of everything."""
@@ -230,6 +270,15 @@ class NullRegistry(MetricsRegistry):
 
     def histogram(self, name: str) -> Any:
         return _NULL_INSTRUMENT
+
+    def counters(self) -> Dict[str, Counter]:
+        return {}
+
+    def gauges(self) -> Dict[str, Gauge]:
+        return {}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {}
 
     def dump(self) -> Dict[str, Any]:
         return {}

@@ -23,9 +23,10 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import MetricsRegistry, NULL_REGISTRY
+from repro.telemetry.logs import current_trace_id, set_trace_id
 
 from .cache import ResultCache
 from .jobs import JobSpec, execute_job
@@ -110,6 +111,17 @@ def _pool_worker(
     return execute_with_policy(spec, timeout=timeout, retries=retries).to_dict()
 
 
+def _worker_init(trace_id: Optional[str]) -> None:
+    """Pool initializer: seed the submission's trace ID into the worker.
+
+    Runs once per worker process, so every log line a worker emits (and
+    anything that reads ``current_trace_id()`` there) correlates back to
+    the submission that spawned the batch.
+    """
+    if trace_id is not None:
+        set_trace_id(trace_id)
+
+
 @dataclass
 class BatchReport:
     """Outcome of one :func:`run_jobs` call."""
@@ -130,6 +142,10 @@ class BatchReport:
     #: Flat :meth:`repro.obs.MetricsRegistry.dump` snapshot (when a registry
     #: was passed to :func:`run_jobs`).
     metrics: Optional[Dict[str, Any]] = None
+    #: Torn/malformed lines the resume store skipped while loading — a
+    #: nonzero value means a prior writer died mid-append (surfaced in
+    #: ``/healthz`` by the service daemon).
+    store_skipped_lines: int = 0
 
     @property
     def total(self) -> int:
@@ -159,6 +175,8 @@ class BatchReport:
             payload["progress"] = self.progress
         if self.metrics is not None:
             payload["metrics"] = self.metrics
+        if self.store_skipped_lines:
+            payload["store_skipped_lines"] = self.store_skipped_lines
         return payload
 
 
@@ -172,6 +190,8 @@ def run_jobs(
     retries: int = 0,
     progress: Optional[ProgressReporter] = None,
     registry: Optional[MetricsRegistry] = None,
+    trace_id: Optional[str] = None,
+    on_event: Optional[Callable[[str, Dict[str, Any]], None]] = None,
 ) -> BatchReport:
     """Run a grid of jobs; returns records in submission order.
 
@@ -185,8 +205,22 @@ def run_jobs(
     telemetry — ``orchestrator.jobs`` counters labelled by status and
     source, and an ``orchestrator.job_seconds`` histogram over executed
     jobs — and its flat dump lands in :attr:`BatchReport.metrics`.
+
+    ``trace_id`` (default: the ambient :func:`current_trace_id`) is
+    stamped on every record's volatile ``telemetry`` block and seeded
+    into pool worker processes, correlating this batch's work with the
+    submission that caused it.  ``on_event`` receives lifecycle events
+    (``cell_dispatched`` / ``cell_finished`` / ``cell_retried`` /
+    ``cell_crashed`` with a payload dict) — the service layer's flight
+    recorder rides on it.  Neither affects the deterministic record
+    content (``RunRecord.fingerprint``).
     """
     started = time.monotonic()
+    active_trace = trace_id if trace_id is not None else current_trace_id()
+
+    def _emit(event: str, payload: Dict[str, Any]) -> None:
+        if on_event is not None:
+            on_event(event, payload)
     run_store = store if isinstance(store, RunStore) else (
         RunStore(store) if store is not None else None
     )
@@ -207,22 +241,50 @@ def run_jobs(
     pending: List[Tuple[int, JobSpec]] = []
 
     completed = resume_store.latest_by_key() if resume_store is not None else {}
+    if resume_store is not None:
+        report.store_skipped_lines = resume_store.skipped_lines
+        if resume_store.skipped_lines:
+            metrics.gauge("orchestrator.store_skipped_lines").set(
+                resume_store.skipped_lines
+            )
 
     def _finish(index: int, record: RunRecord, persist: bool) -> None:
         results[index] = record
+        if active_trace is not None:
+            record.telemetry["trace_id"] = active_trace
         if record.status != STATUS_OK:
             report.failed += 1
         if persist and run_store is not None:
             run_store.append(record)
+        source = record.telemetry.get("source", "unknown")
         metrics.counter("orchestrator.jobs").inc(
-            status=record.status,
-            source=record.telemetry.get("source", "unknown"),
+            status=record.status, source=source
         )
-        if record.telemetry.get("source") == "executed":
+        if source == "executed":
             elapsed = record.telemetry.get("elapsed_s")
             if isinstance(elapsed, (int, float)):
                 metrics.histogram("orchestrator.job_seconds").observe(
                     float(elapsed), status=record.status
+                )
+        event_payload = {
+            "key": record.key,
+            "status": record.status,
+            "source": source,
+        }
+        elapsed = record.telemetry.get("elapsed_s")
+        if isinstance(elapsed, (int, float)):
+            event_payload["elapsed_s"] = float(elapsed)
+        _emit("cell_finished", event_payload)
+        attempts = record.telemetry.get("attempts")
+        if isinstance(attempts, int) and attempts > 1:
+            _emit(
+                "cell_retried", {"key": record.key, "attempts": attempts}
+            )
+        if record.status != STATUS_OK and record.error:
+            if record.error.startswith("worker crashed"):
+                _emit(
+                    "cell_crashed",
+                    {"key": record.key, "error": record.error},
                 )
         progress.update(record)
 
@@ -254,15 +316,25 @@ def run_jobs(
 
     if pending and workers <= 1:
         for index, spec in pending:
+            _emit("cell_dispatched", {"key": spec.key, "label": spec.label()})
             _absorb(index, spec, execute_with_policy(spec, timeout, retries))
     elif pending:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = {
-                executor.submit(
-                    _pool_worker, (spec.to_dict(), timeout, retries)
-                ): (index, spec)
-                for index, spec in pending
-            }
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(active_trace,),
+        ) as executor:
+            futures = {}
+            for index, spec in pending:
+                _emit(
+                    "cell_dispatched",
+                    {"key": spec.key, "label": spec.label()},
+                )
+                futures[
+                    executor.submit(
+                        _pool_worker, (spec.to_dict(), timeout, retries)
+                    )
+                ] = (index, spec)
             outstanding = set(futures)
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)

@@ -17,10 +17,15 @@ Three pieces, composed thin-to-thick:
 :mod:`repro.service.server`
     :class:`ServiceServer` — a stdlib ``ThreadingHTTPServer`` router:
     ``POST /jobs``, ``GET /jobs/<hash>``, ``GET /jobs/<hash>/result``,
-    ``GET /healthz``, ``GET /stats``.
+    ``GET /jobs/<hash>/events``, ``GET /healthz``, ``GET /stats``,
+    ``GET /metrics`` (Prometheus text format).  Every request carries a
+    trace ID (``X-Trace-Id`` honoured and echoed) and emits one
+    structured access-log record (see :mod:`repro.telemetry`).
 :mod:`repro.service.client`
     :class:`ServiceClient` — ``submit`` / ``poll`` / ``wait`` /
-    ``fetch``, used by the ``submit`` CLI subcommand.
+    ``fetch`` / ``events`` / ``metrics_text``, used by the ``submit``
+    and ``top`` CLI subcommands.  ``wait`` retries transient connection
+    failures with capped exponential backoff.
 
 .. code-block:: python
 

@@ -42,9 +42,26 @@ class ServiceClient:
         records = client.fetch(job["job"])["records"]
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        trace_id: Optional[str] = None,
+        retries: int = 5,
+        backoff_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        #: Sent as ``X-Trace-Id`` on every request when set, so a whole
+        #: client session correlates in the daemon's access log.
+        self.trace_id = trace_id
+        #: Transient-connection retry policy used by :meth:`wait` — a
+        #: daemon hiccup (restart, listen-queue overflow) mid-poll
+        #: shouldn't abandon a job that is still running fine.
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
 
     # -- transport -----------------------------------------------------
 
@@ -57,11 +74,14 @@ class ServiceClient:
         data = None
         if payload is not None:
             data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self.trace_id:
+            headers["X-Trace-Id"] = self.trace_id
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(
@@ -70,6 +90,23 @@ class ServiceClient:
                 return response.status, self._decode(response.read())
         except urllib.error.HTTPError as error:
             return error.code, self._decode(error.read())
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                0, {"error": f"service unreachable: {error.reason}"}
+            ) from error
+
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON endpoint (``/metrics``) as raw text."""
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read().decode("utf-8", "replace")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(error.code, self._decode(error.read()))
         except urllib.error.URLError as error:
             raise ServiceError(
                 0, {"error": f"service unreachable: {error.reason}"}
@@ -110,11 +147,19 @@ class ServiceClient:
         """GET a finished job's summary and records (409 while running)."""
         return self._checked("GET", f"/jobs/{job}/result")
 
+    def events(self, job: str) -> Dict[str, Any]:
+        """GET the job's flight-recorder lifecycle events."""
+        return self._checked("GET", f"/jobs/{job}/events")
+
     def healthz(self) -> Dict[str, Any]:
         return self._checked("GET", "/healthz")
 
     def stats(self) -> Dict[str, Any]:
         return self._checked("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """GET ``/metrics`` — the raw Prometheus text page."""
+        return self._request_text("/metrics")
 
     def wait(
         self,
@@ -128,12 +173,37 @@ class ServiceClient:
         ``on_progress`` receives every intermediate snapshot (the CLI
         uses it to stream progress lines).  Raises ``TimeoutError`` if
         the deadline passes first.
+
+        Transient connection failures (``ServiceError`` with status 0 —
+        the daemon restarting, a dropped socket) are retried with capped
+        exponential backoff (``backoff_s`` doubling up to
+        ``backoff_cap_s``) for up to ``retries`` consecutive failures;
+        HTTP error responses (status >= 400) still raise immediately.
         """
         deadline = (
             None if timeout_s is None else time.monotonic() + timeout_s
         )
+        failures = 0
         while True:
-            snapshot = self.poll(job)
+            try:
+                snapshot = self.poll(job)
+            except ServiceError as error:
+                if error.status != 0 or failures >= self.retries:
+                    raise
+                failures += 1
+                delay = min(
+                    self.backoff_cap_s,
+                    self.backoff_s * (2 ** (failures - 1)),
+                )
+                if deadline is not None and (
+                    time.monotonic() + delay >= deadline
+                ):
+                    raise TimeoutError(
+                        f"job {job} unreachable after {timeout_s}s: {error}"
+                    ) from error
+                time.sleep(delay)
+                continue
+            failures = 0
             if on_progress is not None:
                 on_progress(snapshot)
             if snapshot.get("status") in FINISHED_STATES:

@@ -26,6 +26,7 @@ one front door; a future multi-machine shard router is another.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
@@ -43,6 +44,17 @@ from repro.orchestrator import (
     grid_key,
     run_jobs,
 )
+from repro.telemetry import (
+    DEFAULT_MAX_EVENTS,
+    FlightRecorder,
+    current_trace_id,
+    flight_path_for,
+    load_flight_events,
+    new_trace_id,
+    trace_context,
+)
+
+logger = logging.getLogger("repro.service.queue")
 
 #: Job lifecycle states.  ``done`` means the grid ran to completion —
 #: individual cell failures live in the batch summary, not the job
@@ -89,12 +101,24 @@ class Job:
     finished_at: Optional[float] = None
     error: Optional[str] = None
     report: Optional[BatchReport] = None
+    #: Trace ID minted for the submission that created this job; every
+    #: flight event, access log line, and worker record shares it.
+    trace_id: Optional[str] = None
+    #: Bounded NDJSON lifecycle log next to the job's run store.
+    recorder: Optional[FlightRecorder] = field(
+        default=None, repr=False, compare=False
+    )
     progress: ProgressReporter = field(init=False)
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     done_event: threading.Event = field(default_factory=threading.Event)
 
     def __post_init__(self) -> None:
         self.progress = ProgressReporter(total=len(self.specs))
+
+    def record_event(self, event: str, force: bool = False, **fields: Any) -> None:
+        """Best-effort flight-recorder append (no-op without a recorder)."""
+        if self.recorder is not None:
+            self.recorder.record(event, force=force, **fields)
 
     @property
     def finished(self) -> bool:
@@ -110,6 +134,7 @@ class Job:
         payload: Dict[str, Any] = {
             "job": self.job_id,
             "status": self.status,
+            "trace_id": self.trace_id,
             "cells": len(self.specs),
             "submissions": self.submissions,
             "submitted_at": round(self.submitted_at, 3),
@@ -172,6 +197,7 @@ class JobQueue:
         timeout: Optional[float] = None,
         retries: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        flight_max_events: int = DEFAULT_MAX_EVENTS,
     ):
         self.root = Path(root)
         self.workers = max(1, int(workers))
@@ -180,12 +206,15 @@ class JobQueue:
         self.timeout = timeout
         self.retries = retries
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.flight_max_events = flight_max_events
         self._jobs: Dict[str, Job] = {}
         self._fifo: Deque[str] = deque()
         self._cond = threading.Condition()
         self._threads: List[threading.Thread] = []
         self._stopping = False
         self._started_at = time.monotonic()
+        #: Torn store lines seen across every resumed job (healthz gauge).
+        self._store_skipped_lines = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -219,7 +248,9 @@ class JobQueue:
 
     # -- submission and inspection -------------------------------------
 
-    def submit(self, grid: Mapping[str, Any]) -> Tuple[Job, bool]:
+    def submit(
+        self, grid: Mapping[str, Any], trace_id: Optional[str] = None
+    ) -> Tuple[Job, bool]:
         """Enqueue a grid payload; returns ``(job, coalesced)``.
 
         Never blocks on execution.  Raises ``ValueError`` on a malformed
@@ -230,7 +261,13 @@ class JobQueue:
         finished grid returns the completed job without re-running.  A
         job that previously *failed* (infrastructure error, not cell
         failures) is re-enqueued instead.
+
+        ``trace_id`` names the submission (default: the ambient context
+        ID, else a freshly minted one).  The job keeps the ID of the
+        submission that *created* it; coalesced submissions are recorded
+        in the flight log with their own ``submission_trace_id``.
         """
+        submission_trace = trace_id or current_trace_id() or new_trace_id()
         specs = grid_from_payload(grid)
         job_id = grid_key(specs)
         with self._cond:
@@ -248,23 +285,62 @@ class JobQueue:
                     self.registry.counter("service.submissions").inc(
                         kind="retry"
                     )
+                    job.record_event(
+                        "requeued",
+                        submission_trace_id=submission_trace,
+                        submissions=job.submissions,
+                    )
                 else:
                     self.registry.counter("service.submissions").inc(
                         kind="coalesced"
                     )
+                    job.record_event(
+                        "coalesced",
+                        submission_trace_id=submission_trace,
+                        submissions=job.submissions,
+                        status=job.status,
+                    )
                 self._set_depth_gauge()
+                logger.info(
+                    "submission coalesced onto job %s (%d submissions)",
+                    job_id[:12],
+                    job.submissions,
+                    extra={
+                        "job": job_id,
+                        "trace_id": submission_trace,
+                        "coalesced": True,
+                    },
+                )
                 return job, True
             job = Job(
                 job_id=job_id,
                 specs=specs,
                 grid={key: value for key, value in grid.items()},
                 store_path=self.root / "jobs" / f"{job_id}.jsonl",
+                trace_id=submission_trace,
             )
+            job.recorder = FlightRecorder(
+                flight_path_for(job.store_path),
+                trace_id=submission_trace,
+                max_events=self.flight_max_events,
+            )
+            job.record_event("submitted", job=job_id, cells=len(job.specs))
             self._jobs[job_id] = job
             self._fifo.append(job_id)
             self._cond.notify()
             self.registry.counter("service.submissions").inc(kind="new")
             self._set_depth_gauge()
+            logger.info(
+                "job %s submitted (%d cells)",
+                job_id[:12],
+                len(job.specs),
+                extra={
+                    "job": job_id,
+                    "trace_id": submission_trace,
+                    "cells": len(job.specs),
+                    "coalesced": False,
+                },
+            )
             return job, False
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -282,6 +358,30 @@ class JobQueue:
         if job is None or not job.finished:
             return None
         return job.result()
+
+    def events(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The job's flight-recorder payload, or ``None`` for unknown jobs.
+
+        Served at ``GET /jobs/<hash>/events``: the recorded lifecycle
+        chain (submitted → … → finalized), the job's trace ID, and how
+        many events the bound dropped.
+        """
+        job = self.get(job_id)
+        if job is None:
+            return None
+        path = (
+            job.recorder.path
+            if job.recorder is not None
+            else flight_path_for(job.store_path)
+        )
+        return {
+            "job": job.job_id,
+            "trace_id": job.trace_id,
+            "status": job.status,
+            "events": load_flight_events(path),
+            "dropped": job.recorder.dropped if job.recorder else 0,
+            "path": str(path),
+        }
 
     def wait(self, job_id: str, timeout_s: Optional[float] = None) -> bool:
         """Block until the job finishes; ``True`` iff it did in time."""
@@ -325,12 +425,18 @@ class JobQueue:
             },
             "cache": self.cache.stats() if self.cache is not None else None,
             "per_job": per_job,
+            "store_skipped_lines": self._store_skipped_lines,
             "metrics": _registry_dump(self.registry),
         }
         return payload
 
     def healthz(self) -> Dict[str, Any]:
-        """Small liveness payload: is the pool actually able to work?"""
+        """Small liveness payload: is the pool actually able to work?
+
+        ``store_skipped_lines`` counts torn JSONL lines skipped while
+        resuming job stores — nonzero means some store was corrupted by
+        a crashed writer, visible here without reading any logs.
+        """
         alive = sum(1 for thread in self._threads if thread.is_alive())
         with self._cond:
             depth = len(self._fifo)
@@ -339,6 +445,7 @@ class JobQueue:
             "workers_alive": alive,
             "queue_depth": depth,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "store_skipped_lines": self._store_skipped_lines,
         }
 
     # -- drainer -------------------------------------------------------
@@ -356,37 +463,112 @@ class JobQueue:
             job.status = JOB_RUNNING
             job.started_at = time.time()
             self._set_depth_gauge()
-            return job
+        queue_wait = max(0.0, job.started_at - job.submitted_at)
+        self.registry.histogram("service.queue_wait_seconds").observe(
+            queue_wait
+        )
+        job.record_event("dequeued", queue_wait_s=round(queue_wait, 4))
+        return job
+
+    def _heartbeat(self) -> None:
+        """Stamp this drainer thread's liveness gauge (wall-clock time)."""
+        self.registry.gauge("service.worker_heartbeat").set(
+            round(time.time(), 3), worker=threading.current_thread().name
+        )
+
+    def _finalize(self, job: Job, report: Optional[BatchReport]) -> None:
+        """Post-run bookkeeping: metrics, flight record, structured log."""
+        assert job.finished_at is not None
+        elapsed = (
+            job.finished_at - job.started_at
+            if job.started_at is not None
+            else 0.0
+        )
+        self.registry.counter("service.jobs").inc(status=job.status)
+        if job.started_at is not None:
+            self.registry.histogram("service.job_seconds").observe(
+                elapsed, status=job.status
+            )
+        final_fields: Dict[str, Any] = {
+            "status": job.status,
+            "elapsed_s": round(elapsed, 4),
+        }
+        if report is not None:
+            for source, count in (
+                ("executed", report.executed),
+                ("cache", report.cached),
+                ("resume", report.resumed),
+            ):
+                if count:
+                    self.registry.counter("service.cells").inc(
+                        count, source=source
+                    )
+            if report.failed:
+                self.registry.counter("service.cells_failed").inc(
+                    report.failed
+                )
+            if report.store_skipped_lines:
+                self._store_skipped_lines += report.store_skipped_lines
+            self.registry.gauge("service.store_skipped_lines").set(
+                self._store_skipped_lines
+            )
+            final_fields.update(
+                executed=report.executed,
+                cached=report.cached,
+                resumed=report.resumed,
+                failed=report.failed,
+            )
+        if self.cache is not None:
+            self.registry.gauge("service.cache_hit_rate").set(
+                self.cache.stats()["hit_rate"]
+            )
+        if job.error is not None:
+            final_fields["error"] = job.error
+        if job.recorder is not None:
+            final_fields["events_dropped"] = job.recorder.dropped
+        job.record_event("finalized", force=True, **final_fields)
+        logger.info(
+            "job %s %s in %.2fs",
+            job.job_id[:12],
+            job.status,
+            elapsed,
+            extra={"job": job.job_id, "status": job.status, **final_fields},
+        )
 
     def _drain(self) -> None:
+        self._heartbeat()
         while True:
             job = self._next_job()
             if job is None:
                 return
-            try:
-                report = run_jobs(
-                    job.specs,
-                    workers=self.job_workers,
-                    cache=self.cache,
-                    store=job.store_path,
-                    # Resuming from its own store is what lets a daemon
-                    # that died mid-append finish its grid on restart.
-                    resume=job.store_path,
-                    timeout=self.timeout,
-                    retries=self.retries,
-                    progress=job.progress,
-                    registry=job.registry,
-                )
-            except Exception as exc:  # infrastructure error, not a cell
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.status = JOB_FAILED
-            else:
-                job.report = report
-                job.status = JOB_DONE
-            job.finished_at = time.time()
-            self.registry.counter("service.jobs").inc(status=job.status)
-            if job.started_at is not None:
-                self.registry.histogram("service.job_seconds").observe(
-                    job.finished_at - job.started_at, status=job.status
-                )
+            # The whole batch runs under the job's trace ID, so queue
+            # logs, run_jobs stamping, and worker-process logs all
+            # correlate with the submission that created the job.
+            with trace_context(job.trace_id):
+                try:
+                    report = run_jobs(
+                        job.specs,
+                        workers=self.job_workers,
+                        cache=self.cache,
+                        store=job.store_path,
+                        # Resuming from its own store is what lets a daemon
+                        # that died mid-append finish its grid on restart.
+                        resume=job.store_path,
+                        timeout=self.timeout,
+                        retries=self.retries,
+                        progress=job.progress,
+                        registry=job.registry,
+                        trace_id=job.trace_id,
+                        on_event=job.record_event,
+                    )
+                except Exception as exc:  # infrastructure error, not a cell
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.status = JOB_FAILED
+                    report = None
+                else:
+                    job.report = report
+                    job.status = JOB_DONE
+                job.finished_at = time.time()
+                self._finalize(job, report)
+            self._heartbeat()
             job.done_event.set()

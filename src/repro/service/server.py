@@ -3,7 +3,12 @@
 A thin router over :class:`repro.service.queue.JobQueue` — every
 endpoint parses the path, calls one queue method, and serialises the
 answer as JSON.  All policy (dedupe, coalescing, retries, persistence)
-lives in the queue; the server adds nothing but transport.
+lives in the queue; the server adds nothing but transport plus
+telemetry: every request is stamped with a trace ID (honouring an
+``X-Trace-Id`` request header, minting one otherwise, echoing it back
+in the response), produces exactly one structured access-log record,
+and increments RED metrics (request counter + latency histogram per
+method/endpoint/status) on the queue's registry.
 
 Endpoints
 ---------
@@ -17,26 +22,82 @@ Endpoints
 ``GET /jobs/<hash>/result``
     Fetch the finished job's summary and run records.  ``409`` while the
     job is still queued/running.
+``GET /jobs/<hash>/events``
+    The job's flight-recorder payload: the lifecycle event chain
+    (submitted → … → finalized), its trace ID, and the drop count.
 ``GET /healthz``
-    Liveness: worker threads alive, queue depth.
+    Liveness: worker threads alive, queue depth, torn-store-line count.
 ``GET /stats``
     Queue depth, per-state job counts, dedupe counters, cache hit rate,
     per-job progress, service metrics dump.
+``GET /metrics``
+    The service registry in Prometheus text exposition format
+    (version 0.0.4), deterministically ordered.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlsplit
+
+from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    log_access,
+    new_trace_id,
+    render_prometheus,
+    reset_trace_id,
+    set_trace_id,
+)
+from repro.telemetry.logs import access_logger
 
 from .queue import JobQueue
 
 #: Submission bodies larger than this are rejected outright (a grid
 #: spec is a few hundred bytes; anything megabyte-sized is a mistake).
 MAX_BODY_BYTES = 1 << 20
+
+#: HELP strings for the service metric families served at ``/metrics``.
+METRIC_HELP = {
+    "service.http_requests": "HTTP requests served, by method/endpoint/status.",
+    "service.http_request_seconds": "HTTP request handling latency.",
+    "service.queue_wait_seconds": "Time jobs spent queued before a drainer picked them up.",
+    "service.job_seconds": "Wall-clock job duration, by final status.",
+    "service.jobs": "Jobs finished, by final status.",
+    "service.submissions": "Grid submissions, by dedupe outcome (new/coalesced/retry).",
+    "service.cells": "Cells resolved across all jobs, by source (executed/cache/resume).",
+    "service.cells_failed": "Cells that exhausted retries across all jobs.",
+    "service.queue_depth": "Jobs currently queued (not yet running).",
+    "service.cache_hit_rate": "Shared result-cache hit rate since daemon start.",
+    "service.store_skipped_lines": "Torn JSONL lines skipped while resuming job stores.",
+    "service.worker_heartbeat": "Unix time of each drainer thread's last liveness stamp.",
+}
+
+
+def normalize_endpoint(path: str) -> str:
+    """Collapse a request path to a low-cardinality metric label.
+
+    Job hashes are replaced with ``{id}`` so the label set stays bounded
+    however many jobs the daemon has seen; unknown paths collapse to
+    ``other`` so probes cannot mint unbounded label values.
+    """
+    parts = [part for part in path.split("/") if part]
+    if not parts:
+        return "/"
+    if parts[0] == "jobs":
+        if len(parts) == 1:
+            return "/jobs"
+        if len(parts) == 2:
+            return "/jobs/{id}"
+        if len(parts) == 3 and parts[2] in ("result", "events"):
+            return "/jobs/{id}/" + parts[2]
+        return "other"
+    if len(parts) == 1 and parts[0] in ("healthz", "stats", "metrics"):
+        return "/" + parts[0]
+    return "other"
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -53,6 +114,9 @@ class ServiceServer(ThreadingHTTPServer):
     ):
         super().__init__(address, ServiceHandler)
         self.queue = queue
+        #: Retained for compatibility: access records always go to the
+        #: ``repro.service.access`` logger; ``quiet`` only controls
+        #: whether the stdlib fallback messages also reach stderr.
         self.quiet = quiet
 
     @property
@@ -72,24 +136,117 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def queue(self) -> JobQueue:
         return self.server.queue  # type: ignore[attr-defined]
 
+    # -- telemetry -------------------------------------------------------
+
+    def _begin(self) -> None:
+        """Stamp the request with a start time and a trace ID.
+
+        Honours an ``X-Trace-Id`` request header (so a client can carry
+        its own correlation token through the daemon and into worker
+        logs); mints a fresh ID otherwise.  The ID is installed as the
+        ambient context trace for everything this handler thread does —
+        including ``queue.submit``, which adopts it for the job.
+        """
+        self._started_at = time.monotonic()
+        self._trace_id = (
+            self.headers.get("X-Trace-Id") or new_trace_id()
+        ).strip()[:64]
+        self._trace_token = set_trace_id(self._trace_id)
+
+    def _end(self) -> None:
+        token = getattr(self, "_trace_token", None)
+        if token is not None:
+            reset_trace_id(token)
+            self._trace_token = None
+
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        """Emit exactly one structured access record per response.
+
+        ``send_response`` calls this once per reply (including replies
+        the stdlib generates itself, e.g. ``501`` for an unknown
+        method), which makes it the single choke point for access logs
+        and RED metrics — the default implementation's ``log_message``
+        stderr write is replaced wholesale.
+        """
+        status = int(code) if str(code).isdigit() else 0
+        started = getattr(self, "_started_at", None)
+        duration_ms = (
+            round((time.monotonic() - started) * 1000.0, 3)
+            if started is not None
+            else None
+        )
+        raw_path = urlsplit(getattr(self, "path", "") or "").path
+        endpoint = normalize_endpoint(raw_path)
+        method = getattr(self, "command", None) or "-"
+        registry = self.queue.registry
+        registry.counter("service.http_requests").inc(
+            method=method, endpoint=endpoint, status=str(status)
+        )
+        if duration_ms is not None:
+            registry.histogram("service.http_request_seconds").observe(
+                duration_ms / 1000.0, method=method, endpoint=endpoint
+            )
+        log_access(
+            method,
+            raw_path,
+            status,
+            duration_ms if duration_ms is not None else -1.0,
+            trace_id=getattr(self, "_trace_id", None),
+            endpoint=endpoint,
+        )
+
+    def log_error(self, format: str, *args: Any) -> None:
+        access_logger().error(format % args if args else format)
+
     def log_message(self, format: str, *args: Any) -> None:
+        # Anything the stdlib would print to stderr (we already emit the
+        # access record in log_request) goes to the logger instead.
+        access_logger().info(format % args if args else format)
         if not getattr(self.server, "quiet", True):
-            super().log_message(format, *args)
+            sys.stderr.write((format % args if args else format) + "\n")
+
+    # -- responses -------------------------------------------------------
 
     def _reply(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._reply_bytes(status, body, "application/json")
+
+    def _reply_bytes(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
     def _error(self, __code: int, __message: str, **extra: Any) -> None:
         self._reply(__code, {"error": __message, **extra})
 
+    def _render_metrics(self) -> str:
+        """Prometheus page; retried because drainers write concurrently."""
+        for _ in range(3):
+            try:
+                return render_prometheus(
+                    self.queue.registry, help_texts=METRIC_HELP
+                )
+            except RuntimeError:
+                continue
+        return ""
+
     # -- GET -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._begin()
+        try:
+            self._route_get()
+        finally:
+            self._end()
+
+    def _route_get(self) -> None:
         path = urlsplit(self.path).path.rstrip("/")
         if path == "/healthz":
             payload = self.queue.healthz()
@@ -98,15 +255,29 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if path == "/stats":
             self._reply(200, self.queue.stats())
             return
-        job_id, want_result = self._parse_job_path(path)
+        if path == "/metrics":
+            self._reply_bytes(
+                200,
+                self._render_metrics().encode("utf-8"),
+                PROMETHEUS_CONTENT_TYPE,
+            )
+            return
+        job_id, subresource = self._parse_job_path(path)
         if job_id is None:
             self._error(404, f"unknown endpoint {path!r}")
+            return
+        if subresource == "events":
+            events = self.queue.events(job_id)
+            if events is None:
+                self._error(404, f"unknown job {job_id!r}")
+                return
+            self._reply(200, events)
             return
         snapshot = self.queue.status(job_id)
         if snapshot is None:
             self._error(404, f"unknown job {job_id!r}")
             return
-        if not want_result:
+        if subresource is None:
             self._reply(200, snapshot)
             return
         result = self.queue.result(job_id)
@@ -121,18 +292,29 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self._reply(200, result)
 
     @staticmethod
-    def _parse_job_path(path: str) -> Tuple[Optional[str], bool]:
-        """``/jobs/<hash>`` or ``/jobs/<hash>/result`` → (hash, result?)."""
+    def _parse_job_path(path: str) -> Tuple[Optional[str], Optional[str]]:
+        """``/jobs/<hash>[/result|/events]`` → ``(hash, subresource)``."""
         parts = [part for part in path.split("/") if part]
         if len(parts) == 2 and parts[0] == "jobs":
-            return parts[1], False
-        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
-            return parts[1], True
-        return None, False
+            return parts[1], None
+        if (
+            len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] in ("result", "events")
+        ):
+            return parts[1], parts[2]
+        return None, None
 
     # -- POST ----------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        self._begin()
+        try:
+            self._route_post()
+        finally:
+            self._end()
+
+    def _route_post(self) -> None:
         path = urlsplit(self.path).path.rstrip("/")
         if path != "/jobs":
             self._error(404, f"unknown endpoint {path!r}")
@@ -155,7 +337,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._error(400, "grid payload must be a JSON object")
             return
         try:
-            job, coalesced = self.queue.submit(grid)
+            job, coalesced = self.queue.submit(
+                grid, trace_id=getattr(self, "_trace_id", None)
+            )
         except ValueError as error:
             self._error(400, str(error))
             return

@@ -1,0 +1,83 @@
+"""``repro.telemetry`` — fleet observability for the service layer.
+
+Where :mod:`repro.obs` instruments a *single simulation run* (spans,
+per-phase awake accounting), this package instruments the *service
+path* a submission travels — submit → queue → pool → engine — so a
+daemon serving many users is operable rather than a black box:
+
+:mod:`repro.telemetry.logs`
+    Trace IDs (a context-var token minted per submission and propagated
+    across threads and worker processes) plus JSON/text log formatters
+    and :func:`configure_logging` (``repro serve --log-json``).
+:mod:`repro.telemetry.promtext`
+    Prometheus text-format exposition over the existing
+    :class:`repro.obs.MetricsRegistry` — deterministic rendering, a
+    parser, and a schema validator.  Served at ``GET /metrics``.
+:mod:`repro.telemetry.flight`
+    The per-job flight recorder: a bounded NDJSON lifecycle event log
+    stored next to each job's run store and exposed at
+    ``GET /jobs/<hash>/events``.
+:mod:`repro.telemetry.dashboard`
+    The ``repro top`` live terminal dashboard over ``/stats`` +
+    ``/metrics`` (imported lazily by the CLI — not re-exported here to
+    keep this package import-light).
+
+Telemetry is strictly additive: with everything enabled, run records
+stay byte-identical to a telemetry-off run
+(``RunRecord.fingerprint()``) — trace IDs live only in the volatile
+``telemetry`` block, log lines, and flight events.
+"""
+
+from .flight import (
+    DEFAULT_MAX_EVENTS,
+    FLIGHT_EVENTS,
+    FlightRecorder,
+    flight_path_for,
+    load_flight_events,
+)
+from .logs import (
+    ACCESS_LOGGER_NAME,
+    JsonLogFormatter,
+    TextLogFormatter,
+    access_logger,
+    configure_logging,
+    current_trace_id,
+    log_access,
+    new_trace_id,
+    reset_trace_id,
+    set_trace_id,
+    trace_context,
+)
+from .promtext import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
+    metric_name,
+    parse_prometheus,
+    render_prometheus,
+    validate_promtext,
+)
+
+__all__ = [
+    "ACCESS_LOGGER_NAME",
+    "DEFAULT_MAX_EVENTS",
+    "FLIGHT_EVENTS",
+    "FlightRecorder",
+    "JsonLogFormatter",
+    "PROMETHEUS_CONTENT_TYPE",
+    "TextLogFormatter",
+    "access_logger",
+    "configure_logging",
+    "current_trace_id",
+    "escape_label_value",
+    "flight_path_for",
+    "load_flight_events",
+    "log_access",
+    "metric_name",
+    "new_trace_id",
+    "parse_prometheus",
+    "render_prometheus",
+    "reset_trace_id",
+    "set_trace_id",
+    "trace_context",
+    "validate_promtext",
+]

@@ -1,0 +1,287 @@
+"""Prometheus text-format exposition over a :class:`MetricsRegistry`.
+
+:func:`render_prometheus` turns the same instruments behind
+``MetricsRegistry.dump()`` into the text exposition format version
+0.0.4 that Prometheus (and every compatible scraper) understands:
+
+* counters become ``<name>_total`` sample lines,
+* gauges keep their name,
+* histograms emit the full ``_bucket{le=...}`` / ``_sum`` / ``_count``
+  family from the cumulative bucket counts the registry keeps
+  (:data:`repro.obs.registry.DEFAULT_BUCKET_BOUNDS`).
+
+Output is **deterministic**: metric families sort by rendered name and
+labelsets sort by label tuples, so two identically-populated registries
+render byte-identical pages — pinned by tests, and the property that
+makes ``GET /metrics`` diffable in CI.
+
+:func:`parse_prometheus` and :func:`validate_promtext` are the read
+side, used by the ``repro top`` dashboard and the schema sanity tests
+(no duplicate ``HELP``/``TYPE``, monotone cumulative buckets,
+``le="+Inf"`` equal to ``_count``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.registry import Histogram, LabelSet, MetricsRegistry
+
+#: The content type a conforming scrape endpoint must declare.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_FIX = re.compile(r"[^a-zA-Z0-9_]")
+
+#: ``name{labels} value`` sample line (labels part optional).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def metric_name(name: str) -> str:
+    """Sanitise a registry name (``service.queue_depth``) for Prometheus."""
+    fixed = _NAME_FIX.sub("_", name)
+    if not fixed or fixed[0].isdigit():
+        fixed = f"_{fixed}"
+    return fixed
+
+
+def _label_name(name: str) -> str:
+    fixed = _LABEL_FIX.sub("_", str(name))
+    if not fixed or fixed[0].isdigit():
+        fixed = f"_{fixed}"
+    return fixed
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: LabelSet, extra: Optional[List[Tuple[str, Any]]] = None) -> str:
+    pairs = [(_label_name(key), escape_label_value(value)) for key, value in labels]
+    if extra:
+        pairs.extend((key, escape_label_value(value)) for key, value in extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return f"{{{body}}}"
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def _family(
+    lines: List[str], name: str, kind: str, help_text: Optional[str]
+) -> None:
+    lines.append(f"# HELP {name} {help_text or name}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    help_texts: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a registry as a Prometheus text exposition page.
+
+    Deterministic: families sorted by rendered name, samples sorted by
+    labelset.  ``help_texts`` maps *registry* names (dotted) to HELP
+    strings; unknown names fall back to the metric name itself.
+    """
+    helps = dict(help_texts or {})
+    lines: List[str] = []
+
+    # One family per rendered name; merge families across instrument
+    # kinds is impossible (names are unique per kind in the registry),
+    # but counters and gauges could sanitise to the same rendered name —
+    # suffixing counters with _total keeps them disjoint in practice.
+    families: List[Tuple[str, str, str, List[str]]] = []
+
+    for name, counter in registry.counters().items():
+        rendered = f"{metric_name(name)}_total"
+        samples = [
+            f"{rendered}{_render_labels(labels)} {_format_value(value)}"
+            for labels, value in sorted(counter.items())
+        ]
+        families.append((rendered, "counter", helps.get(name, ""), samples))
+
+    for name, gauge in registry.gauges().items():
+        rendered = metric_name(name)
+        samples = [
+            f"{rendered}{_render_labels(labels)} {_format_value(value)}"
+            for labels, value in sorted(gauge.items())
+        ]
+        families.append((rendered, "gauge", helps.get(name, ""), samples))
+
+    for name, histogram in registry.histograms().items():
+        rendered = metric_name(name)
+        samples: List[str] = []
+        for labels, bucket in sorted(histogram.items()):
+            for bound, count in bucket.buckets():
+                samples.append(
+                    f"{rendered}_bucket"
+                    f"{_render_labels(labels, [('le', _format_bound(bound))])}"
+                    f" {count}"
+                )
+            samples.append(
+                f"{rendered}_bucket{_render_labels(labels, [('le', '+Inf')])}"
+                f" {bucket.count}"
+            )
+            samples.append(
+                f"{rendered}_sum{_render_labels(labels)}"
+                f" {_format_value(bucket.sum)}"
+            )
+            samples.append(
+                f"{rendered}_count{_render_labels(labels)} {bucket.count}"
+            )
+        families.append((rendered, "histogram", helps.get(name, ""), samples))
+
+    for rendered, kind, help_text, samples in sorted(families):
+        if not samples:
+            continue
+        _family(lines, rendered, kind, help_text or None)
+        lines.extend(samples)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse a text exposition page into ``{"name{labels}": value}``.
+
+    The inverse of :func:`render_prometheus` as far as the dashboard
+    needs: comments are skipped, labels are kept as the raw rendered
+    string (sorted by the renderer, so keys are stable).
+    """
+    samples: Dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        name = match.group("name")
+        labels = match.group("labels")
+        key = f"{name}{{{labels}}}" if labels else name
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        samples[key] = value
+    return samples
+
+
+def _bucket_le(key: str) -> Optional[float]:
+    match = re.search(r'le="([^"]*)"', key)
+    if match is None:
+        return None
+    text = match.group(1)
+    return math.inf if text == "+Inf" else float(text)
+
+
+def validate_promtext(text: str) -> int:
+    """Schema sanity check over a text exposition page; returns sample count.
+
+    Raises ``ValueError`` on: duplicate ``HELP``/``TYPE`` for one family,
+    a sample line that does not parse, unknown metric names without a
+    TYPE, non-monotone cumulative histogram buckets, or an ``le="+Inf"``
+    bucket that disagrees with the family's ``_count``.
+    """
+    typed: Dict[str, str] = {}
+    helped: Dict[str, bool] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if name in typed:
+                raise ValueError(f"duplicate TYPE for {name}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"unknown TYPE {kind!r} for {name}")
+            typed[name] = kind
+        elif line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name = rest.split(" ", 1)[0]
+            if helped.get(name):
+                raise ValueError(f"duplicate HELP for {name}")
+            helped[name] = True
+
+    samples = parse_prometheus(text)
+
+    def base_name(key: str) -> str:
+        return key.split("{", 1)[0]
+
+    for key in samples:
+        name = base_name(key)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                break
+        if family not in typed:
+            raise ValueError(f"sample {key!r} has no TYPE declaration")
+        if not _NAME_OK.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+
+    # Histogram coherence: per labelset (minus le), cumulative counts are
+    # non-decreasing in le, and the +Inf bucket equals _count.
+    for family, kind in typed.items():
+        if kind != "histogram":
+            continue
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for key, value in samples.items():
+            if base_name(key) != f"{family}_bucket":
+                continue
+            le = _bucket_le(key)
+            if le is None:
+                raise ValueError(f"bucket sample {key!r} has no le label")
+            stripped = re.sub(r'(,?)le="[^"]*"(,?)', _strip_le_sub, key)
+            series.setdefault(stripped, []).append((le, value))
+        for stripped, points in series.items():
+            points.sort()
+            counts = [count for _, count in points]
+            if any(b < a for a, b in zip(counts, counts[1:])):
+                raise ValueError(
+                    f"non-monotone histogram buckets for {stripped}"
+                )
+            if not points or not math.isinf(points[-1][0]):
+                raise ValueError(f"missing +Inf bucket for {stripped}")
+            count_key = stripped.replace(
+                f"{family}_bucket", f"{family}_count", 1
+            ).replace("{}", "")
+            if count_key not in samples:
+                raise ValueError(f"missing _count for {stripped}")
+            if samples[count_key] != points[-1][1]:
+                raise ValueError(
+                    f"+Inf bucket != _count for {stripped} "
+                    f"({points[-1][1]} != {samples[count_key]})"
+                )
+    return len(samples)
+
+
+def _strip_le_sub(match: "re.Match[str]") -> str:
+    """Drop the ``le`` pair, keeping exactly one comma when it was interior."""
+    return "," if match.group(1) and match.group(2) else ""

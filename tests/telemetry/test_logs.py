@@ -1,0 +1,169 @@
+"""Trace IDs, context propagation, and the structured log formatters."""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+
+from repro.telemetry import (
+    JsonLogFormatter,
+    TextLogFormatter,
+    configure_logging,
+    current_trace_id,
+    log_access,
+    new_trace_id,
+    reset_trace_id,
+    set_trace_id,
+    trace_context,
+)
+
+
+def make_record(message="hello", name="repro.test", level=logging.INFO, **extra):
+    record = logging.LogRecord(name, level, __file__, 1, message, (), None)
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestTraceContext:
+    def test_new_trace_id_is_16_hex_chars(self):
+        token = new_trace_id()
+        assert len(token) == 16
+        int(token, 16)  # hex
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+    def test_no_ambient_trace_by_default(self):
+        assert current_trace_id() is None
+
+    def test_trace_context_installs_and_restores(self):
+        assert current_trace_id() is None
+        with trace_context("abc123") as active:
+            assert active == "abc123"
+            assert current_trace_id() == "abc123"
+        assert current_trace_id() is None
+
+    def test_trace_context_mints_when_not_given(self):
+        with trace_context() as active:
+            assert active == current_trace_id()
+            assert len(active) == 16
+
+    def test_contexts_nest(self):
+        with trace_context("outer"):
+            with trace_context("inner"):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "outer"
+
+    def test_set_reset_roundtrip(self):
+        token = set_trace_id("manual")
+        assert current_trace_id() == "manual"
+        reset_trace_id(token)
+        assert current_trace_id() is None
+
+    def test_threads_do_not_inherit_by_default(self):
+        seen = []
+        with trace_context("parent"):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_trace_id())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestJsonLogFormatter:
+    def test_core_fields(self):
+        payload = json.loads(JsonLogFormatter().format(make_record()))
+        assert payload["message"] == "hello"
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test"
+        assert isinstance(payload["ts"], float)
+
+    def test_trace_id_from_context(self):
+        with trace_context("ctxtrace"):
+            payload = json.loads(JsonLogFormatter().format(make_record()))
+        assert payload["trace_id"] == "ctxtrace"
+
+    def test_explicit_trace_id_beats_context(self):
+        with trace_context("ctxtrace"):
+            record = make_record(trace_id="explicit")
+            payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["trace_id"] == "explicit"
+
+    def test_no_trace_key_without_a_trace(self):
+        payload = json.loads(JsonLogFormatter().format(make_record()))
+        assert "trace_id" not in payload
+
+    def test_extra_fields_are_emitted(self):
+        record = make_record(job="abcd", cells=7)
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["job"] == "abcd"
+        assert payload["cells"] == 7
+
+    def test_output_is_one_json_line(self):
+        line = JsonLogFormatter().format(make_record(job="x"))
+        assert "\n" not in line
+        assert json.loads(line)
+
+
+class TestTextLogFormatter:
+    def test_appends_trace_marker_when_active(self):
+        with trace_context("texttrace"):
+            line = TextLogFormatter().format(make_record())
+        assert line.endswith("[trace:texttrace]")
+
+    def test_plain_without_trace(self):
+        line = TextLogFormatter().format(make_record())
+        assert "[trace:" not in line
+        assert "hello" in line
+
+
+class TestConfigureLogging:
+    def test_reconfigure_does_not_stack_handlers(self):
+        logger = logging.getLogger("repro-test-configure")
+        configure_logging(json_logs=True, logger=logger)
+        configure_logging(json_logs=True, logger=logger)
+        managed = [
+            handler
+            for handler in logger.handlers
+            if getattr(handler, "_repro_telemetry_handler", False)
+        ]
+        assert len(managed) == 1
+        for handler in managed:
+            logger.removeHandler(handler)
+
+    def test_log_file_receives_json_lines(self, tmp_path):
+        target = tmp_path / "daemon.log"
+        logger = logging.getLogger("repro-test-filelog")
+        configure_logging(json_logs=True, log_file=str(target), logger=logger)
+        with trace_context("filetrace"):
+            logger.info("to file", extra={"job": "j1"})
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+            handler.close()
+        lines = [
+            json.loads(line)
+            for line in target.read_text().splitlines()
+        ]
+        assert lines and lines[0]["message"] == "to file"
+        assert lines[0]["trace_id"] == "filetrace"
+        assert lines[0]["job"] == "j1"
+
+
+class TestLogAccess:
+    def test_one_record_with_status_and_duration(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.service.access"):
+            log_access("GET", "/stats", 200, 1.25, trace_id="acc1")
+        records = [
+            record
+            for record in caplog.records
+            if record.name == "repro.service.access"
+        ]
+        assert len(records) == 1
+        record = records[0]
+        assert record.status == 200
+        assert record.duration_ms == 1.25
+        assert record.trace_id == "acc1"
+        assert record.method == "GET"

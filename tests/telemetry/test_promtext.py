@@ -1,0 +1,213 @@
+"""Prometheus text rendering: determinism, escaping, schema sanity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import DEFAULT_BUCKET_BOUNDS
+from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
+    metric_name,
+    parse_prometheus,
+    render_prometheus,
+    validate_promtext,
+)
+
+
+def populated_registry(order="forward"):
+    """A registry with every instrument kind; label insertion order varies."""
+    registry = MetricsRegistry()
+    labelsets = [
+        {"method": "GET", "endpoint": "/stats"},
+        {"method": "POST", "endpoint": "/jobs"},
+    ]
+    if order == "reverse":
+        labelsets = list(reversed(labelsets))
+    for labels in labelsets:
+        registry.counter("service.http_requests").inc(3, status="200", **labels)
+        registry.histogram("service.http_request_seconds").observe(
+            0.004, **labels
+        )
+        registry.histogram("service.http_request_seconds").observe(
+            0.3, **labels
+        )
+    registry.gauge("service.queue_depth").set(2)
+    registry.counter("service.submissions").inc(kind="new")
+    return registry
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("service.queue_depth") == "service_queue_depth"
+
+    def test_leading_digit_is_prefixed(self):
+        assert metric_name("1bad")[0] == "_"
+
+    def test_valid_names_pass_through(self):
+        assert metric_name("already_ok:colons") == "already_ok:colons"
+
+
+class TestEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escaped_values_render_and_parse(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1, path='we"ird\nvalue')
+        text = render_prometheus(registry)
+        samples = parse_prometheus(text)
+        assert len(samples) == 1
+        key = next(iter(samples))
+        assert '\\"' in key and "\\n" in key
+        validate_promtext(text)
+
+
+class TestRenderDeterminism:
+    def test_identical_registries_render_byte_identical(self):
+        first = render_prometheus(populated_registry("forward"))
+        second = render_prometheus(populated_registry("reverse"))
+        assert first == second
+
+    def test_histogram_label_insertion_order_is_normalised(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        # Same labels, opposite keyword order at every call site.
+        a.histogram("h").observe(0.01, method="GET", endpoint="/stats")
+        b.histogram("h").observe(0.01, endpoint="/stats", method="GET")
+        assert render_prometheus(a) == render_prometheus(b)
+        assert a.histogram("h").buckets(
+            method="GET", endpoint="/stats"
+        ) == b.histogram("h").buckets(endpoint="/stats", method="GET")
+
+    def test_families_sorted_by_rendered_name(self):
+        text = render_prometheus(populated_registry())
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE ")
+        ]
+        names = [line.split()[2] for line in type_lines]
+        assert names == sorted(names)
+
+    def test_empty_registry_renders_empty_page(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestRenderedSchema:
+    def test_counter_gets_total_suffix(self):
+        text = render_prometheus(populated_registry())
+        assert "service_http_requests_total{" in text
+        assert "service_submissions_total{" in text
+
+    def test_validates_and_counts_samples(self):
+        text = render_prometheus(populated_registry())
+        count = validate_promtext(text)
+        assert count == len(parse_prometheus(text))
+        assert count > 0
+
+    def test_histogram_buckets_are_cumulative_and_match_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in (0.0005, 0.004, 0.004, 0.2, 100.0):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        samples = parse_prometheus(text)
+        buckets = sorted(
+            (
+                math.inf
+                if 'le="+Inf"' in key
+                else float(key.split('le="')[1].rstrip('"}')),
+                value,
+            )
+            for key, value in samples.items()
+            if key.startswith("lat_bucket")
+        )
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)  # cumulative => non-decreasing
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == samples["lat_count"] == 5
+        # 100.0 exceeds every finite bound: only +Inf holds all five.
+        assert buckets[-2][1] == 4
+        assert samples["lat_sum"] == pytest.approx(100.2085)
+        assert len(buckets) == len(DEFAULT_BUCKET_BOUNDS) + 1
+
+    def test_registry_summary_output_unchanged_by_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(0.5, kind="x")
+        summary = registry.histogram("h").summary(kind="x")
+        assert set(summary) == {"count", "sum", "min", "max", "mean"}
+        dump = registry.dump()
+        assert "h{kind=x}.count" in dump
+        assert not any("bucket" in key for key in dump)
+
+
+class TestValidator:
+    def test_duplicate_type_rejected(self):
+        page = (
+            "# TYPE m counter\n# TYPE m counter\nm_total 1\n"
+        )
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            validate_promtext(page)
+
+    def test_duplicate_help_rejected(self):
+        page = (
+            "# HELP m m\n# HELP m m\n# TYPE m counter\nm_total 1\n"
+        )
+        with pytest.raises(ValueError, match="duplicate HELP"):
+            validate_promtext(page)
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            validate_promtext("orphan 1\n")
+
+    def test_non_monotone_buckets_rejected(self):
+        page = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="non-monotone"):
+            validate_promtext(page)
+
+    def test_missing_inf_bucket_rejected(self):
+        page = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match=r"missing \+Inf"):
+            validate_promtext(page)
+
+    def test_inf_count_mismatch_rejected(self):
+        page = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            validate_promtext(page)
+
+    def test_unparseable_line_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            validate_promtext("!!! not a sample\n")
+
+
+class TestParser:
+    def test_parses_values_and_inf(self):
+        samples = parse_prometheus(
+            "# HELP x x\n# TYPE x gauge\nx 1.5\ny{le=\"+Inf\"} +Inf\n"
+        )
+        assert samples["x"] == 1.5
+        assert math.isinf(samples['y{le="+Inf"}'])
+
+    def test_content_type_is_prometheus_004(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
