@@ -16,6 +16,48 @@ import sys
 from typing import Any, Dict, Optional
 
 
+def _numpy_fingerprint() -> Dict[str, Any]:
+    """numpy version plus the BLAS backend and its thread cap.
+
+    The array engine's scale-tier numbers depend on which BLAS numpy was
+    built against and how many threads it may spawn — two installs with
+    the same numpy version can differ several-fold on reduction-heavy
+    workloads.  ``None`` values mean numpy is absent (the coroutine
+    engine and every non-scale benchmark still run without it).
+    """
+    info: Dict[str, Any] = {
+        "numpy": None,
+        "numpy_blas": None,
+        "numpy_threads": None,
+    }
+    try:
+        import numpy
+    except ImportError:
+        return info
+    info["numpy"] = numpy.__version__
+    try:
+        config = numpy.show_config(mode="dicts")
+        blas = (config.get("Build Dependencies") or {}).get("blas") or {}
+        name = blas.get("name")
+        version = blas.get("version")
+        if name:
+            info["numpy_blas"] = f"{name} {version}" if version else str(name)
+    except (TypeError, AttributeError):
+        # numpy < 1.25 has no dict mode; leave the backend unidentified
+        # rather than parse the printed config.
+        pass
+    for variable in (
+        "OMP_NUM_THREADS",
+        "OPENBLAS_NUM_THREADS",
+        "MKL_NUM_THREADS",
+    ):
+        value = os.environ.get(variable)
+        if value:
+            info["numpy_threads"] = f"{variable}={value}"
+            break
+    return info
+
+
 def _git_revision() -> Optional[str]:
     """Best-effort short git revision of the working tree (None outside git)."""
     try:
@@ -42,6 +84,7 @@ def environment_fingerprint() -> Dict[str, Any]:
         "cpu_count": os.cpu_count(),
         "pythonhashseed": os.environ.get("PYTHONHASHSEED"),
         "git_revision": _git_revision(),
+        **_numpy_fingerprint(),
     }
 
 

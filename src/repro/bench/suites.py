@@ -25,8 +25,21 @@ Tiers
     (:mod:`repro.invariants`): probe buffering, group checking, and span
     forwarding on top of the general loop.  Compared against the ``e2e``
     twins, the ratio *is* the monitoring overhead.
+``scale``
+    Large-``n`` MST runs pitting the vectorized array backend
+    (``engine="array"``, :mod:`repro.core.array_ops`) against the
+    coroutine engine on the same graph.  The
+    ``coroutine_scale_n4096`` / ``array_scale_n4096`` pair measures the
+    backend speedup (the acceptance gate asserts >= 20x on the committed
+    baseline); ``array_scale_n16384`` documents that the array backend
+    reaches n = 16384 in CI-smoke time.  The grid family keeps the
+    coroutine twin affordable (phases grow with diameter, not edge count,
+    so ``gnp`` at this ``n`` would take minutes per sample).
 
 The ``smoke`` flag marks the subset cheap enough for CI on every push.
+The ``scale`` tier is deliberately *not* smoke: CI runs it in a separate
+``scale-smoke`` job via explicit ``--names`` so the per-push job stays
+fast.
 """
 
 from __future__ import annotations
@@ -44,7 +57,7 @@ class Benchmark:
     """One registered benchmark: metadata plus a thunk factory."""
 
     name: str
-    tier: str  # "micro" | "e2e" | "fault" | "monitors"
+    tier: str  # "micro" | "e2e" | "fault" | "monitors" | "scale"
     smoke: bool
     params: Mapping[str, Any]
     make: Callable[[], Callable[[], Any]] = field(repr=False)
@@ -233,6 +246,25 @@ def _make_mst_deterministic(n: int) -> Callable[[], Any]:
     return run
 
 
+# ----------------------------------------------------------------------
+# Scale tier: array vs coroutine backend at large n
+# ----------------------------------------------------------------------
+
+def _make_mst_scale(n: int, engine: str) -> Callable[[], Any]:
+    from repro.core import run_randomized_mst
+    from repro.orchestrator import GRAPH_FAMILIES
+
+    # Both engines run the *same* graph and seed, so the pair of medians
+    # is a clean backend ratio: identical rounds, identical messages,
+    # identical metrics (the equivalence suite asserts byte equality).
+    graph = GRAPH_FAMILIES["grid"](n, 0, None)
+
+    def run() -> None:
+        run_randomized_mst(graph, seed=0, engine=engine)
+
+    return run
+
+
 #: The registry, in execution order (cheap first).
 BENCHMARKS: Tuple[Benchmark, ...] = (
     Benchmark(
@@ -298,6 +330,27 @@ BENCHMARKS: Tuple[Benchmark, ...] = (
         params={"family": "gnp", "n": 64, "seed": 0, "monitors": "all"},
         make=lambda: _make_mst_monitored("deterministic", 64),
     ),
+    Benchmark(
+        name="mst_randomized_array_scale_n4096",
+        tier="scale",
+        smoke=False,
+        params={"family": "grid", "n": 4096, "seed": 0, "engine": "array"},
+        make=lambda: _make_mst_scale(4096, "array"),
+    ),
+    Benchmark(
+        name="mst_randomized_array_scale_n16384",
+        tier="scale",
+        smoke=False,
+        params={"family": "grid", "n": 16384, "seed": 0, "engine": "array"},
+        make=lambda: _make_mst_scale(16384, "array"),
+    ),
+    Benchmark(
+        name="mst_randomized_coroutine_scale_n4096",
+        tier="scale",
+        smoke=False,
+        params={"family": "grid", "n": 4096, "seed": 0, "engine": "coroutine"},
+        make=lambda: _make_mst_scale(4096, "coroutine"),
+    ),
 )
 
 #: The end-to-end benchmark at the largest smoke ``n`` — the headline
@@ -320,7 +373,7 @@ def select_benchmarks(
 
     ``names`` wins when non-empty; otherwise ``suite`` is one of
     ``smoke`` (CI subset), ``micro``, ``e2e``, ``fault``, ``monitors``,
-    or ``full``.
+    ``scale``, or ``full``.
     """
     if names:
         return [get_benchmark(name) for name in names]
@@ -328,9 +381,9 @@ def select_benchmarks(
         return list(BENCHMARKS)
     if suite == "smoke":
         return [b for b in BENCHMARKS if b.smoke]
-    if suite in ("micro", "e2e", "fault", "monitors"):
+    if suite in ("micro", "e2e", "fault", "monitors", "scale"):
         return [b for b in BENCHMARKS if b.tier == suite]
     raise ValueError(
         f"unknown suite {suite!r}; use smoke, micro, e2e, fault, monitors, "
-        "or full"
+        "scale, or full"
     )

@@ -78,6 +78,15 @@ def _run_algorithm(args: argparse.Namespace, **sim_kwargs):
 
 
 def _dispatch_algorithm(args: argparse.Namespace, graph, **sim_kwargs):
+    engine = getattr(args, "engine", None)
+    if engine is not None and engine != "coroutine":
+        if args.algorithm not in ("randomized", "deterministic"):
+            from repro.sim.errors import UnsupportedFeatureError
+
+            raise UnsupportedFeatureError(
+                args.algorithm, "only Randomized-MST is vectorized"
+            )
+        sim_kwargs["engine"] = engine
     if args.algorithm == "randomized":
         result = run_randomized_mst(
             graph,
@@ -163,6 +172,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(str(error), file=sys.stderr)
         return 2
 
+    if getattr(args, "engine", None) == "array" and (
+        faults is not None or monitor_set is not None
+    ):
+        # Fail before running anything: a fault/monitor cell on the array
+        # engine would otherwise be misdiagnosed as a protocol crash.
+        from repro.sim.errors import UnsupportedFeatureError
+
+        feature = "fault specs" if faults is not None else "invariant monitors"
+        print(str(UnsupportedFeatureError(feature)), file=sys.stderr)
+        return 2
+
     outcome = None
     diagnosis = None
     if faults is not None and args.algorithm in (
@@ -199,7 +219,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 1
         result = diagnosis.result
     else:
-        graph, result = _run_algorithm(args, **sim_kwargs)
+        from repro.sim.errors import UnsupportedFeatureError
+
+        try:
+            graph, result = _run_algorithm(args, **sim_kwargs)
+        except UnsupportedFeatureError as error:
+            print(str(error), file=sys.stderr)
+            return 2
 
     trace_events = None
     if args.save_trace:
@@ -589,6 +615,7 @@ def _grid_payload(args: argparse.Namespace) -> dict:
         "options": {},
         "faults": args.faults,
         "monitors": args.monitors,
+        "engine": getattr(args, "engine", None),
     }
     if args.spec:
         with open(args.spec, "r", encoding="utf-8") as handle:
@@ -996,6 +1023,12 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
         "comma-separated subset); records gain violations/first_invariant",
     )
     parser.add_argument(
+        "--engine", choices=("coroutine", "array"), default=None,
+        help="simulation backend for every cell; the default coroutine "
+        "engine stores nothing in the spec, so default grids keep their "
+        "historical hashes (array = vectorized numpy backend)",
+    )
+    parser.add_argument(
         "--spec", default=None, metavar="PATH",
         help="JSON grid spec file; its keys override the grid flags",
     )
@@ -1023,6 +1056,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--coloring", choices=("fast-awake", "log-star"), default="fast-awake"
+    )
+    run_parser.add_argument(
+        "--engine", choices=("coroutine", "array"), default=None,
+        help="simulation backend: coroutine (default) or the vectorized "
+        "numpy array engine (randomized MST, perfect channel only)",
     )
     run_parser.add_argument(
         "--save-trace",
@@ -1298,9 +1336,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the benchmark suite; write/gate BENCH_*.json results",
     )
     bench_parser.add_argument(
-        "--suite", choices=("smoke", "micro", "e2e", "fault", "monitors", "full"),
+        "--suite",
+        choices=("smoke", "micro", "e2e", "fault", "monitors", "scale", "full"),
         default="smoke",
-        help="which benchmark tier to run (default: the CI smoke subset)",
+        help="which benchmark tier to run (default: the CI smoke subset; "
+        "scale = array-vs-coroutine speedup tier at n>=4096)",
     )
     bench_parser.add_argument(
         "--names", nargs="+", default=None, metavar="NAME",

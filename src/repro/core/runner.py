@@ -31,6 +31,8 @@ from repro.graphs import (
     require_sleeping_model_inputs,
 )
 from repro.sim import Metrics, SimulationResult, SleepingSimulator
+from repro.sim.array_engine import resolve_engine
+from repro.sim.errors import UnsupportedFeatureError
 
 from .mst_randomized import MSTNodeOutput, randomized_mst_protocol
 
@@ -90,20 +92,13 @@ class MSTRunResult:
         return self.mst_weights == mst_weight_set(graph)
 
 
-def _run(
+def _package(
     graph: WeightedGraph,
     algorithm: str,
-    protocol_factory: Any,
+    simulation: SimulationResult,
     *,
-    seed: int,
     verify: bool,
-    **sim_kwargs: Any,
 ) -> MSTRunResult:
-    require_sleeping_model_inputs(graph)
-    simulator = SleepingSimulator(
-        graph, protocol_factory, seed=seed, **sim_kwargs
-    )
-    simulation = simulator.run()
     outputs: Dict[int, MSTNodeOutput] = dict(simulation.node_results)
     mst_weights = check_local_mst_outputs(
         graph, {node: out.mst_weights for node, out in outputs.items()}
@@ -124,12 +119,29 @@ def _run(
     return result
 
 
+def _run(
+    graph: WeightedGraph,
+    algorithm: str,
+    protocol_factory: Any,
+    *,
+    seed: int,
+    verify: bool,
+    **sim_kwargs: Any,
+) -> MSTRunResult:
+    require_sleeping_model_inputs(graph)
+    simulator = SleepingSimulator(
+        graph, protocol_factory, seed=seed, **sim_kwargs
+    )
+    return _package(graph, algorithm, simulator.run(), verify=verify)
+
+
 def run_randomized_mst(
     graph: WeightedGraph,
     seed: int = 0,
     termination: str = "adaptive",
     max_phases: Optional[int] = None,
     verify: bool = False,
+    engine: Optional[str] = None,
     **sim_kwargs: Any,
 ) -> MSTRunResult:
     """Run ``Randomized-MST`` (Section 2.2 / Theorem 1) on ``graph``.
@@ -148,11 +160,32 @@ def run_randomized_mst(
         When true, assert the output equals the reference MST (the
         algorithm is Monte Carlo under ``"fixed"`` termination, so a
         negligible failure probability exists there).
+    engine:
+        Simulation backend: ``"coroutine"`` (default) runs one protocol
+        generator per node under :class:`repro.sim.SleepingSimulator`;
+        ``"array"`` runs the vectorized numpy backend
+        (:mod:`repro.core.array_ops`), byte-identical in results and
+        metrics on the supported perfect-channel configuration and ~20x+
+        faster at n >= 4096 (see docs/performance.md).  Unsupported
+        feature combinations raise
+        :class:`repro.sim.errors.UnsupportedFeatureError`.
     sim_kwargs:
         Forwarded to :class:`repro.sim.SleepingSimulator` (e.g. ``trace=True``,
         ``observe=True`` for span-based awake accounting,
         ``strict_congest=False``).
     """
+    if resolve_engine(engine) == "array":
+        from .array_ops import run_randomized_mst_array
+
+        require_sleeping_model_inputs(graph)
+        simulation = run_randomized_mst_array(
+            graph,
+            seed=seed,
+            termination=termination,
+            max_phases=max_phases,
+            **sim_kwargs,
+        )
+        return _package(graph, "Randomized-MST", simulation, verify=verify)
 
     def factory(ctx):
         return randomized_mst_protocol(
@@ -176,6 +209,7 @@ def run_deterministic_mst(
     max_phases: Optional[int] = None,
     verify: bool = False,
     coloring: str = "fast-awake",
+    engine: Optional[str] = None,
     **sim_kwargs: Any,
 ) -> MSTRunResult:
     """Run ``Deterministic-MST`` (Section 2.3 / Theorem 2) on ``graph``.
@@ -184,8 +218,14 @@ def run_deterministic_mst(
     deterministic); it is accepted for interface symmetry.  ``coloring``
     selects the fragment-colouring subroutine: ``"fast-awake"`` is the
     paper's ``Fast-Awake-Coloring`` (``O(1)`` awake, ``O(nN)`` rounds per
-    phase).
+    phase).  Only the ``"coroutine"`` engine implements this algorithm;
+    ``engine="array"`` raises
+    :class:`repro.sim.errors.UnsupportedFeatureError`.
     """
+    if resolve_engine(engine) == "array":
+        raise UnsupportedFeatureError(
+            "Deterministic-MST", "only Randomized-MST is vectorized"
+        )
     from .mst_deterministic import deterministic_mst_protocol
 
     def factory(ctx):

@@ -20,6 +20,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.sim.array_engine import resolve_engine
+
 from .registry import (
     algorithm_runner,
     channel_from_spec,
@@ -118,6 +120,7 @@ def expand_grid(
     options: Optional[Mapping[str, Any]] = None,
     faults: Optional[Sequence[Optional[str]]] = None,
     monitors: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> List[JobSpec]:
     """Expand a grid into one :class:`JobSpec` per cell.
 
@@ -130,11 +133,16 @@ def expand_grid(
     cached results stay valid.  ``monitors`` attaches runtime invariant
     monitors (a :func:`repro.invariants.resolve_monitor_spec` string) to
     every cell; as with ``faults``, the detached default stores nothing,
-    so unmonitored specs keep their historical hashes.
+    so unmonitored specs keep their historical hashes.  ``engine``
+    selects the simulation backend for every cell (see
+    :func:`repro.core.run_randomized_mst`); the default coroutine engine
+    stores nothing — only ``engine="array"`` enters the options — so
+    default grids keep their historical hashes and warm caches.
     """
     canonical = [resolve_algorithm(name) for name in algorithms]
     resolved_families = [resolve_family(name) for name in families]
     fault_axis = [resolve_channel_spec(spec) for spec in (faults or [None])]
+    engine = resolve_engine(engine)
     if monitors is not None:
         from repro.invariants import resolve_monitor_spec
 
@@ -149,6 +157,8 @@ def expand_grid(
                     cell_options["faults"] = fault_spec
                 if monitors is not None:
                     cell_options["monitors"] = monitors
+                if engine != "coroutine":
+                    cell_options["engine"] = engine
                 specs.append(
                     JobSpec.create(
                         algorithm,
@@ -174,6 +184,7 @@ GRID_PAYLOAD_KEYS = (
     "options",
     "faults",
     "monitors",
+    "engine",
 )
 
 
@@ -216,6 +227,7 @@ def grid_from_payload(payload: Mapping[str, Any]) -> List[JobSpec]:
         options=payload.get("options") or None,
         faults=payload.get("faults") or None,
         monitors=payload.get("monitors") or None,
+        engine=payload.get("engine") or None,
     )
 
 
@@ -246,6 +258,13 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
     options = dict(spec.options)
     faults = options.pop("faults", None)
     monitors_spec = options.pop("monitors", None)
+    if options.get("engine") == "array" and (faults or monitors_spec):
+        # Fail before running anything: a fault/monitor cell on the array
+        # engine would otherwise be misdiagnosed as a protocol crash.
+        from repro.sim.errors import UnsupportedFeatureError
+
+        feature = "fault specs" if faults else "invariant monitors"
+        raise UnsupportedFeatureError(feature)
     monitor_set = None
     if monitors_spec is not None:
         # Built fresh inside the worker — MonitorSet instances hold run

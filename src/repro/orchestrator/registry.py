@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.baselines import run_pipelined_ghs, run_traditional_ghs
 from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.sim.array_engine import resolve_engine
 from repro.sim.transport import (
     CHANNEL_SPEC_EXAMPLES,
     parse_channel_spec,
@@ -73,11 +74,29 @@ def _run_logstar(graph: WeightedGraph, seed: int, **options: Any):
     return run_deterministic_mst(graph, seed=seed, **options)
 
 
+def _reject_array_engine(algorithm: str, options: Dict[str, Any]) -> None:
+    """Comparator runners have no vectorized implementation.
+
+    The MST runners validate ``engine=`` themselves; here we strip the
+    default value and fail loudly on ``"array"`` instead of letting an
+    unknown keyword reach the traditional runners.
+    """
+    engine = options.pop("engine", None)
+    if resolve_engine(engine) == "array":
+        from repro.sim.errors import UnsupportedFeatureError
+
+        raise UnsupportedFeatureError(
+            algorithm, "only Randomized-MST is vectorized"
+        )
+
+
 def _run_traditional(graph: WeightedGraph, seed: int, **options: Any):
+    _reject_array_engine("Traditional-GHS", options)
     return run_traditional_ghs(graph, seed=seed, **options)
 
 
 def _run_pipelined(graph: WeightedGraph, seed: int, **options: Any):
+    _reject_array_engine("Pipelined-GHS", options)
     return run_pipelined_ghs(graph, seed=seed, **options)
 
 

@@ -10,11 +10,16 @@ Public surface:
 * :class:`~repro.sim.tracing.EventTrace`, :class:`~repro.sim.tracing.KnowledgeTracker`
   — optional observers.
 * :mod:`repro.sim.congest` — CONGEST message-size policy.
+* :mod:`repro.sim.array_engine` — substrate of the vectorized numpy
+  backend (``engine="array"``): CSR graph view, block-level metric
+  accounting, and the engine selector :func:`~repro.sim.array_engine.
+  resolve_engine`.
 * :mod:`repro.sim.transport` — pluggable channel models and seeded fault
   injection (:class:`~repro.sim.transport.PerfectChannel`,
   :class:`~repro.sim.transport.DropChannel`, ...).
 """
 
+from .array_engine import ENGINES, resolve_engine
 from .congest import CongestPolicy, congest_budget_bits, payload_bits
 from .engine import SimulationResult, SleepingSimulator, simulate
 from .errors import (
@@ -23,6 +28,7 @@ from .errors import (
     ProtocolViolation,
     SimulationError,
     SimulationLimitExceeded,
+    UnsupportedFeatureError,
 )
 from .metrics import Metrics, NodeMetrics
 from .node import Awake, Inbox, NodeContext, Protocol, ProtocolFactory
@@ -51,6 +57,7 @@ __all__ = [
     "DelayChannel",
     "DropChannel",
     "DuplicateChannel",
+    "ENGINES",
     "EventTrace",
     "Inbox",
     "KnowledgeTracker",
@@ -69,9 +76,11 @@ __all__ = [
     "SimulationResult",
     "SleepingSimulator",
     "TraceEvent",
+    "UnsupportedFeatureError",
     "congest_budget_bits",
     "payload_bits",
     "load_trace",
+    "resolve_engine",
     "parse_channel_spec",
     "save_trace",
     "simulate",

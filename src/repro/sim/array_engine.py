@@ -1,0 +1,444 @@
+"""Vectorized array backend for the sleeping-model simulator.
+
+The coroutine engine (:mod:`repro.sim.engine`) advances one generator per
+node and pays Python-interpreter cost per awake event and per message.
+This module provides the *substrate* for a second backend that represents
+one Transmission-Schedule **block** (2n + 2 rounds, see
+:mod:`repro.core.schedule`) as a handful of numpy operations over all
+nodes at once:
+
+* the graph becomes a CSR edge structure (:class:`ArrayGraph`) so message
+  exchange is a gather/scatter over a precomputed directed-edge array;
+* fragment labels, levels, and parent pointers live in int arrays;
+* awake rounds, message counts, and CONGEST bit totals accumulate as
+  vector reductions into :class:`BlockAccountant` and are folded into the
+  exact same :class:`~repro.sim.metrics.Metrics` shape at the end.
+
+The algorithm-level kernels (MOE selection, convergecast minima, merge
+re-rooting) live in :mod:`repro.core.array_ops`, which drives the
+accountant block by block; this module knows about blocks, rounds, bits,
+and budgets, but not about MSTs.
+
+The backend is deliberately *narrow*: it supports exactly the
+perfect-channel, observer-free configuration (the engine fast path) and
+raises :class:`~repro.sim.errors.UnsupportedFeatureError` for anything
+else — see :func:`validate_array_sim_kwargs`.  Within that matrix it is
+held **byte-identical** to the coroutine engine: same per-node
+:class:`~repro.sim.metrics.NodeMetrics`, same summary, same
+``RunRecord`` fingerprints (``tests/sim/test_array_engine.py`` and the
+hypothesis suite in ``tests/core/test_array_equivalence.py`` are the
+oracle).
+
+numpy is an optional dependency of this module alone: importing it does
+not require numpy; *using* it does (:func:`require_numpy`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from .congest import DEFAULT_CONGEST_FACTOR, congest_budget_bits
+from .errors import (
+    CongestViolation,
+    SimulationLimitExceeded,
+    UnsupportedFeatureError,
+)
+from .metrics import Metrics, NodeMetrics
+
+try:  # pragma: no cover - exercised implicitly by every array-engine test
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    np = None
+
+#: Simulation backends selectable through ``run_*_mst(..., engine=...)``.
+ENGINES = ("coroutine", "array")
+
+#: Scalar bit cost of ``None``/``bool`` payload fields (1 + tag overhead).
+NONE_BITS = 3
+
+#: Tuple framing overhead, matching :data:`repro.sim.congest.FIELD_OVERHEAD_BITS`.
+TUPLE_OVERHEAD = 2
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalise an ``engine=`` knob value; ``None`` means the default."""
+    if engine is None:
+        return "coroutine"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+def require_numpy() -> Any:
+    """Return the numpy module or raise a clear unsupported-feature error."""
+    if np is None:  # pragma: no cover - the CI image always has numpy
+        raise UnsupportedFeatureError(
+            "running without numpy", "the array engine is vectorized"
+        )
+    return np
+
+
+#: ``SleepingSimulator`` keyword arguments the array engine rejects, with
+#: the human-readable feature name used in the error message.  Everything
+#: here routes the coroutine engine off its fast path, which is exactly
+#: the configuration class the array engine does not reproduce.
+_UNSUPPORTED_KWARGS = {
+    "trace": "event tracing",
+    "max_trace_events": "event tracing",
+    "observe": "observability spans",
+    "obs_registry": "observability spans",
+    "monitors": "invariant monitors",
+    "track_knowledge": "knowledge tracking",
+}
+
+
+def validate_array_sim_kwargs(sim_kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Check ``sim_kwargs`` against the array engine's feature matrix.
+
+    Returns the supported subset as a flat dict with defaults applied:
+    ``congest_universe``, ``strict_congest``, ``congest_factor``,
+    ``max_rounds``, ``max_awake_events``.  Raises
+    :class:`UnsupportedFeatureError` for observers, monitors, knowledge
+    tracking, or any non-perfect channel — the features that would make
+    the vectorized execution silently diverge from the coroutine engine.
+    """
+    kwargs = dict(sim_kwargs)
+    for key, feature in _UNSUPPORTED_KWARGS.items():
+        value = kwargs.pop(key, None)
+        if value:
+            raise UnsupportedFeatureError(feature)
+    channel = kwargs.pop("channel", None)
+    if channel is not None and not getattr(channel, "is_perfect", False):
+        raise UnsupportedFeatureError(
+            "fault-injecting channels",
+            f"got {type(channel).__name__}",
+        )
+    supported = {
+        "congest_universe": kwargs.pop("congest_universe", None),
+        "strict_congest": kwargs.pop("strict_congest", True),
+        "congest_factor": kwargs.pop("congest_factor", None),
+        "max_rounds": kwargs.pop("max_rounds", None),
+        "max_awake_events": kwargs.pop("max_awake_events", 50_000_000),
+    }
+    if kwargs:
+        unknown = ", ".join(sorted(kwargs))
+        raise UnsupportedFeatureError(f"simulator options ({unknown})")
+    return supported
+
+
+class ArrayGraph:
+    """CSR view of a weighted graph for vectorized message exchange.
+
+    Nodes are re-indexed ``0..n-1`` in sorted-node-ID order (matching the
+    coroutine engine's setup order, so per-node metrics come out in the
+    same insertion order).  Directed edges are laid out per source node in
+    ascending port order, so ``edge e``'s port at its source is
+    ``e - indptr[src[e]]`` only when ports are contiguous — the explicit
+    ``port`` array avoids relying on that.
+    """
+
+    def __init__(self, graph: Any) -> None:
+        require_numpy()
+        ids = sorted(graph.node_ids)
+        if not ids:
+            raise ValueError("graph has no nodes")
+        self.ids = np.asarray(ids, dtype=np.int64)
+        self.n = len(ids)
+        self.max_id = int(self.ids[-1])
+        index_of = {node_id: idx for idx, node_id in enumerate(ids)}
+
+        ports_by_node = [dict(graph.ports_of(node_id)) for node_id in ids]
+        degrees = [len(ports) for ports in ports_by_node]
+        m2 = sum(degrees)  # number of *directed* edges
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        src = np.empty(m2, dtype=np.int64)
+        dst = np.empty(m2, dtype=np.int64)
+        weight = np.empty(m2, dtype=np.int64)
+        port = np.empty(m2, dtype=np.int64)
+        dst_port = np.empty(m2, dtype=np.int64)
+        edge = 0
+        max_weight = 1
+        for idx, ports in enumerate(ports_by_node):
+            for p in sorted(ports):
+                nbr, nbr_port, w = ports[p]
+                src[edge] = idx
+                dst[edge] = index_of[nbr]
+                weight[edge] = int(w)
+                port[edge] = p
+                dst_port[edge] = nbr_port
+                max_weight = max(max_weight, abs(int(w)))
+                edge += 1
+        self.indptr = indptr
+        self.src = src
+        self.dst = dst
+        self.weight = weight
+        self.port = port
+        self.deg = np.diff(indptr)
+        self.max_weight = max_weight
+
+        # rev[e] = index of the reverse directed edge (dst -> src on the
+        # destination's port dst_port[e]).
+        port_pos: List[Dict[int, int]] = []
+        for idx, ports in enumerate(ports_by_node):
+            port_pos.append(
+                {p: int(indptr[idx]) + k for k, p in enumerate(sorted(ports))}
+            )
+        rev = np.empty(m2, dtype=np.int64)
+        for e in range(m2):
+            rev[e] = port_pos[int(dst[e])][int(dst_port[e])]
+        self.rev = rev
+
+    @property
+    def m_directed(self) -> int:
+        return int(self.src.shape[0])
+
+
+def int_field_bits(values: Any) -> Any:
+    """Vectorized :func:`repro.sim.congest._int_field_bits`.
+
+    ``bit_length(v) + 3`` for ``v != 0`` and ``4`` for ``v == 0``, exactly
+    matching the scalar sizer the coroutine engine applies per message.
+    The bit length comes from the ``frexp`` exponent, exact for all
+    magnitudes below 2**53 (node IDs and weights are far below).
+    """
+    v = np.abs(np.asarray(values, dtype=np.int64))
+    _, exponent = np.frexp(v.astype(np.float64))
+    return np.where(v != 0, exponent.astype(np.int64) + 3, 4)
+
+
+def scalar_payload_bits(values: Any, nothing: Any) -> Any:
+    """Bits of a scalar payload that is ``None`` at ``nothing`` positions."""
+    return np.where(nothing, NONE_BITS, int_field_bits(values))
+
+
+class BlockAccountant:
+    """Per-node metric arrays plus the CONGEST budget, one run's worth.
+
+    The algorithm kernels call the ``charge_*`` helpers once per block;
+    every helper takes *arrays over all nodes* (or all directed edges) and
+    updates awake counts, last-awake rounds, message counters, and bit
+    totals with vector reductions.  :meth:`finalize` folds the arrays into
+    the coroutine engine's :class:`~repro.sim.metrics.Metrics` shape.
+    """
+
+    def __init__(
+        self,
+        graph: ArrayGraph,
+        *,
+        congest_universe: Optional[int] = None,
+        strict_congest: bool = True,
+        congest_factor: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        max_awake_events: int = 50_000_000,
+    ) -> None:
+        require_numpy()
+        self.graph = graph
+        n = graph.n
+        self.awake = np.zeros(n, dtype=np.int64)
+        self.msgs_sent = np.zeros(n, dtype=np.int64)
+        self.msgs_received = np.zeros(n, dtype=np.int64)
+        self.bits_sent = np.zeros(n, dtype=np.int64)
+        self.bits_received = np.zeros(n, dtype=np.int64)
+        self.last_awake = np.zeros(n, dtype=np.int64)
+        self.max_message_bits = 0
+        self.congest_violations = 0
+        universe = congest_universe or max(
+            graph.n, graph.max_id, graph.max_weight
+        )
+        factor = (
+            DEFAULT_CONGEST_FACTOR if congest_factor is None else congest_factor
+        )
+        self.budget = congest_budget_bits(universe, factor)
+        self.strict_congest = strict_congest
+        self.max_rounds = max_rounds
+        self.max_awake_events = max_awake_events
+
+    # ------------------------------------------------------------------
+    # Awake accounting
+    # ------------------------------------------------------------------
+
+    def charge_awake(self, mask: Any, round_numbers: Any) -> None:
+        """Mark ``mask`` nodes awake at the given per-node round numbers.
+
+        ``round_numbers`` may be a scalar (same round for every node, as
+        in Side-Send-Receive) or an array.  Rounds are charged in block
+        order, so the last charge per node is its latest awake round.
+        """
+        if mask is None:
+            self.awake += 1
+            self.last_awake[:] = round_numbers
+            return
+        self.awake[mask] += 1
+        if np.isscalar(round_numbers):
+            self.last_awake[mask] = round_numbers
+        else:
+            self.last_awake[mask] = round_numbers[mask]
+
+    # ------------------------------------------------------------------
+    # Message accounting (all delivered: every receiver below is awake in
+    # the sending round by the Transmission-Schedule invariants, so the
+    # sleeping-loss branch of the coroutine engine can never fire here).
+    # ------------------------------------------------------------------
+
+    def _note_bits(
+        self, payload_bits: Any, senders: Any, sender_mask: Any = None
+    ) -> None:
+        """Fold a block's per-message payload sizes into max/violations.
+
+        ``payload_bits`` and ``senders`` (node indices) are aligned,
+        one entry per message; ``sender_mask`` optionally selects a
+        subset of both.
+        """
+        if sender_mask is not None:
+            if not np.any(sender_mask):
+                return
+            payload_bits = payload_bits[sender_mask]
+            senders = senders[sender_mask]
+        if payload_bits.size == 0:
+            return
+        block_max = int(payload_bits.max())
+        if block_max > self.max_message_bits:
+            self.max_message_bits = block_max
+        if block_max > self.budget:
+            over = payload_bits > self.budget
+            if self.strict_congest:
+                first = int(np.nonzero(over)[0][0])
+                raise CongestViolation(
+                    int(self.graph.ids[senders[first]]),
+                    -1,
+                    int(payload_bits[first]),
+                    self.budget,
+                )
+            self.congest_violations += int(np.count_nonzero(over))
+
+    def charge_side_exchange(self, payload_bits_per_node: Any) -> None:
+        """All nodes send one message per port; all are delivered.
+
+        ``payload_bits_per_node[v]`` is the size of the (uniform) payload
+        node ``v`` puts on every port this block.
+        """
+        g = self.graph
+        self.msgs_sent += g.deg
+        self.msgs_received += g.deg
+        self.bits_sent += g.deg * payload_bits_per_node
+        self.bits_received += np.bincount(
+            g.dst, weights=payload_bits_per_node[g.src], minlength=g.n
+        ).astype(np.int64)
+        # One message per directed edge; a payload sent on deg ports is
+        # deg messages for violation counting.
+        self._note_bits(payload_bits_per_node[g.src], g.src)
+
+    def charge_up_messages(
+        self, sender_mask: Any, parent: Any, payload_bits_per_node: Any
+    ) -> None:
+        """Each ``sender_mask`` node sends one message to its parent."""
+        if not np.any(sender_mask):
+            return
+        self.msgs_sent[sender_mask] += 1
+        self.bits_sent[sender_mask] += payload_bits_per_node[sender_mask]
+        parents = parent[sender_mask]
+        np.add.at(self.msgs_received, parents, 1)
+        np.add.at(
+            self.bits_received, parents, payload_bits_per_node[sender_mask]
+        )
+        self._note_bits(
+            payload_bits_per_node,
+            np.arange(self.graph.n, dtype=np.int64),
+            sender_mask,
+        )
+
+    def charge_down_messages(
+        self,
+        sender_mask: Any,
+        child_count: Any,
+        receiver_mask: Any,
+        payload_bits_per_node: Any,
+        receiver_bits: Any = None,
+    ) -> None:
+        """Senders fan one payload out to all their children.
+
+        ``payload_bits_per_node`` is indexed by sender for the bits sent.
+        Each receiver hears its own parent's payload; in a fragment
+        broadcast that equals its own fragment's payload, so the same
+        array serves both sides — pass ``receiver_bits`` (indexed by
+        receiver) when the payload varies per sender (the merge down
+        pass).
+        """
+        if np.any(sender_mask):
+            fanout = child_count[sender_mask]
+            self.msgs_sent[sender_mask] += fanout
+            self.bits_sent[sender_mask] += (
+                fanout * payload_bits_per_node[sender_mask]
+            )
+            block_max = int(payload_bits_per_node[sender_mask].max())
+            if block_max > self.max_message_bits:
+                self.max_message_bits = block_max
+            if block_max > self.budget:
+                over_mask = sender_mask & (payload_bits_per_node > self.budget)
+                if self.strict_congest:
+                    first = int(np.nonzero(over_mask)[0][0])
+                    raise CongestViolation(
+                        int(self.graph.ids[first]),
+                        -1,
+                        int(payload_bits_per_node[first]),
+                        self.budget,
+                    )
+                self.congest_violations += int(child_count[over_mask].sum())
+        if np.any(receiver_mask):
+            if receiver_bits is None:
+                receiver_bits = payload_bits_per_node
+            self.msgs_received[receiver_mask] += 1
+            self.bits_received[receiver_mask] += receiver_bits[receiver_mask]
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def check_limits(self) -> None:
+        """Enforce the round/awake-event safety caps (coarsely, per phase)."""
+        if self.max_rounds is not None:
+            last = int(self.last_awake.max()) if self.graph.n else 0
+            if last > self.max_rounds:
+                raise SimulationLimitExceeded(
+                    f"round {last} exceeds max_rounds={self.max_rounds}"
+                )
+        total = int(self.awake.sum())
+        if total > self.max_awake_events:
+            raise SimulationLimitExceeded(
+                f"{total} awake events exceed the limit of "
+                f"{self.max_awake_events}"
+            )
+
+    def finalize(self) -> Metrics:
+        """Fold the arrays into the coroutine engine's ``Metrics`` shape."""
+        metrics = Metrics()
+        g = self.graph
+        awake = self.awake.tolist()
+        msgs_sent = self.msgs_sent.tolist()
+        msgs_received = self.msgs_received.tolist()
+        bits_sent = self.bits_sent.tolist()
+        bits_received = self.bits_received.tolist()
+        last_awake = self.last_awake.tolist()
+        for idx, node_id in enumerate(g.ids.tolist()):
+            metrics.per_node[node_id] = NodeMetrics(
+                awake_rounds=awake[idx],
+                messages_sent=msgs_sent[idx],
+                messages_received=msgs_received[idx],
+                messages_lost_as_receiver=0,
+                bits_sent=bits_sent[idx],
+                bits_received=bits_received[idx],
+                terminated_round=last_awake[idx],
+            )
+        metrics.rounds = max(last_awake) if last_awake else 0
+        metrics.total_awake_rounds = int(self.awake.sum())
+        metrics.max_awake_running = max(awake) if awake else 0
+        metrics.messages_delivered = int(self.msgs_received.sum())
+        metrics.messages_lost = 0
+        metrics.total_bits = int(self.bits_sent.sum())
+        metrics.max_message_bits = self.max_message_bits
+        metrics.congest_violations = self.congest_violations
+        return metrics

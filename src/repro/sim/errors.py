@@ -52,6 +52,25 @@ class SimulationLimitExceeded(SimulationError):
     """
 
 
+class UnsupportedFeatureError(SimulationError):
+    """A simulation backend was asked for a feature it does not implement.
+
+    Raised by the vectorized array engine (:mod:`repro.sim.array_engine`)
+    when a run requests observers, fault channels, monitors, or an
+    algorithm outside its supported matrix — failing loudly instead of
+    silently diverging from the coroutine engine's semantics.  The fix is
+    either to drop the feature or to run with ``engine="coroutine"``.
+    """
+
+    def __init__(self, feature: str, detail: str = "") -> None:
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"the array engine does not support {feature}{suffix}; "
+            'use engine="coroutine" for this configuration'
+        )
+        self.feature = feature
+
+
 class NodeCrashed(SimulationError):
     """A node protocol raised an exception; wraps the original error.
 

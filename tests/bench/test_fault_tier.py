@@ -38,5 +38,5 @@ class TestFaultTier:
 
     def test_benchmark_tiers_are_known(self):
         assert {b.tier for b in BENCHMARKS} == {
-            "micro", "e2e", "fault", "monitors"
+            "micro", "e2e", "fault", "monitors", "scale"
         }

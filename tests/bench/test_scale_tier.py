@@ -1,0 +1,105 @@
+"""The ``scale`` bench tier and its committed acceptance gate.
+
+The committed ``BENCH_engine.json`` must carry the array-vs-coroutine
+pair at n = 4096 with a >= 20x median speedup (the PR's acceptance
+criterion), plus the n = 16384 array run proving CI-smoke reach.  The
+tier itself must stay out of the per-push smoke subset.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import select_benchmarks
+from repro.bench.env import environment_fingerprint
+from repro.bench.suites import BENCHMARKS, get_benchmark
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "BENCH_engine.json"
+
+SCALE_NAMES = (
+    "mst_randomized_array_scale_n4096",
+    "mst_randomized_array_scale_n16384",
+    "mst_randomized_coroutine_scale_n4096",
+)
+
+
+class TestScaleSuite:
+    def test_scale_suite_selection(self):
+        assert [b.name for b in select_benchmarks("scale")] == list(SCALE_NAMES)
+
+    def test_scale_tier_not_in_smoke(self):
+        smoke = {b.name for b in select_benchmarks("smoke")}
+        assert smoke.isdisjoint(SCALE_NAMES)
+        assert all(not get_benchmark(name).smoke for name in SCALE_NAMES)
+
+    def test_full_suite_includes_scale(self):
+        full = {b.name for b in select_benchmarks("full")}
+        assert set(SCALE_NAMES) <= full
+        assert len(full) == len(BENCHMARKS)
+
+    def test_scale_params_pin_engine_and_graph(self):
+        for name in SCALE_NAMES:
+            params = dict(get_benchmark(name).params)
+            assert params["family"] == "grid"
+            assert params["seed"] == 0
+            assert params["engine"] in ("coroutine", "array")
+
+    def test_scale_thunk_runs_at_tiny_n(self):
+        # The factory itself, shrunk to a cheap n: exercises the exact
+        # code path the tier times without paying the 4096-node cost.
+        pytest.importorskip("numpy")
+        from repro.bench.suites import _make_mst_scale
+
+        _make_mst_scale(16, "array")()
+        _make_mst_scale(16, "coroutine")()
+
+
+class TestCommittedBaseline:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        assert BASELINE.exists(), "BENCH_engine.json must be committed"
+        return json.loads(BASELINE.read_text())
+
+    def test_baseline_carries_scale_tier(self, payload):
+        names = {entry["name"] for entry in payload["benchmarks"]}
+        assert set(SCALE_NAMES) <= names
+
+    def test_speedup_gate_20x_at_n4096(self, payload):
+        medians = {
+            entry["name"]: entry["median_s"] for entry in payload["benchmarks"]
+        }
+        coroutine = medians["mst_randomized_coroutine_scale_n4096"]
+        array = medians["mst_randomized_array_scale_n4096"]
+        assert array > 0
+        speedup = coroutine / array
+        assert speedup >= 20, (
+            f"array backend speedup {speedup:.1f}x at n=4096 fell below the "
+            "20x acceptance gate; re-run `repro-mst bench --suite scale` on "
+            "quiet hardware before re-committing BENCH_engine.json"
+        )
+
+    def test_n16384_within_ci_smoke_time(self, payload):
+        medians = {
+            entry["name"]: entry["median_s"] for entry in payload["benchmarks"]
+        }
+        # "Completes in CI smoke time": a single sample at n=16384 stays
+        # well under a minute even with generous shared-runner slack.
+        assert medians["mst_randomized_array_scale_n16384"] < 30
+
+    def test_env_fingerprint_records_numpy(self, payload):
+        for key in ("numpy", "numpy_blas", "numpy_threads"):
+            assert key in payload["env"], key
+
+
+class TestEnvironmentFingerprint:
+    def test_numpy_keys_present(self):
+        env = environment_fingerprint()
+        assert set(("numpy", "numpy_blas", "numpy_threads")) <= set(env)
+
+    def test_numpy_version_matches_import(self):
+        numpy = pytest.importorskip("numpy")
+        assert environment_fingerprint()["numpy"] == numpy.__version__

@@ -1,0 +1,63 @@
+"""Property testing: coroutine engine ≡ array engine on random cells.
+
+Hypothesis draws (family, n, seed, termination) cells at n <= 64 on the
+perfect channel — the array backend's full supported envelope — and both
+backends must agree on every observable: the MST edge set, the whole
+``Metrics.summary()``, and each node's awake count.  This is the same
+differential-testing posture as :mod:`tests.sim.test_reference_engine`
+(sparse vs dense engine), one level up the stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.core import run_randomized_mst
+from repro.graphs import mst_weight_set
+from repro.orchestrator import GRAPH_FAMILIES
+
+FAMILIES = ("path", "ring", "star", "complete", "grid", "gnp", "geometric")
+
+cells = st.tuples(
+    st.sampled_from(FAMILIES),
+    st.integers(min_value=3, max_value=64),
+    st.integers(min_value=0, max_value=10**6),
+    st.sampled_from(("adaptive", "fixed")),
+)
+
+
+@given(cell=cells)
+@settings(max_examples=30, deadline=None)
+def test_backends_agree_on_random_cells(cell):
+    family, n, seed, termination = cell
+    graph = GRAPH_FAMILIES[family](n, seed, None)
+    coroutine = run_randomized_mst(graph, seed=seed, termination=termination)
+    array = run_randomized_mst(
+        graph, seed=seed, termination=termination, engine="array"
+    )
+
+    assert array.mst_weights == coroutine.mst_weights
+    assert array.mst_weights == mst_weight_set(graph)
+    assert array.metrics.summary() == coroutine.metrics.summary()
+    for node in graph.node_ids:
+        assert (
+            array.metrics.per_node[node].awake_rounds
+            == coroutine.metrics.per_node[node].awake_rounds
+        ), f"awake count diverged at node {node}"
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=15, deadline=None)
+def test_coin_sequences_agree_across_seeds(seed):
+    """Merge structure is coin-driven: any RNG drift shows up as a phase
+    count or per-node awake difference long before outputs differ."""
+    graph = GRAPH_FAMILIES["gnp"](32, seed % 17, None)
+    coroutine = run_randomized_mst(graph, seed=seed)
+    array = run_randomized_mst(graph, seed=seed, engine="array")
+    assert array.phases == coroutine.phases
+    assert array.metrics.max_awake == coroutine.metrics.max_awake
+    assert array.metrics.total_bits == coroutine.metrics.total_bits

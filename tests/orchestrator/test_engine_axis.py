@@ -1,0 +1,171 @@
+"""The ``--engine`` grid axis: hash stability, worker parity, batch CLI.
+
+The knob must be invisible when off — ``engine=None`` and
+``engine="coroutine"`` grids keep their pre-axis JobSpec hashes, so
+caches and stores survive the new axis — and array cells must produce
+records whose deterministic portion matches the coroutine cell exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.cli import main
+from repro.orchestrator import JobSpec, execute_job, expand_grid
+from repro.orchestrator.jobs import grid_from_payload
+from repro.sim.errors import UnsupportedFeatureError
+
+
+class TestEngineAxisExpansion:
+    def test_default_engine_keeps_pre_axis_hashes(self):
+        plain = expand_grid(["randomized"], ["ring"], [8], [0])
+        off = expand_grid(["randomized"], ["ring"], [8], [0], engine=None)
+        explicit = expand_grid(
+            ["randomized"], ["ring"], [8], [0], engine="coroutine"
+        )
+        assert [s.key for s in plain] == [s.key for s in off]
+        assert [s.key for s in plain] == [s.key for s in explicit]
+        assert all(dict(s.options) == {} for s in plain + off + explicit)
+
+    def test_array_engine_enters_options(self):
+        specs = expand_grid(
+            ["randomized"], ["ring"], [8], [0], engine="array"
+        )
+        assert [dict(s.options).get("engine") for s in specs] == ["array"]
+
+    def test_array_cells_hash_differently(self):
+        plain = expand_grid(["randomized"], ["ring"], [8], [0])
+        array = expand_grid(["randomized"], ["ring"], [8], [0], engine="array")
+        assert plain[0].key != array[0].key
+
+    def test_unknown_engine_rejected_at_expansion(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            expand_grid(["randomized"], ["ring"], [8], [0], engine="simd")
+
+    def test_payload_roundtrip(self):
+        payload = {
+            "algorithms": ["randomized"],
+            "families": ["grid"],
+            "sizes": [16],
+            "seeds": 1,
+            "engine": "array",
+        }
+        specs = grid_from_payload(payload)
+        assert [dict(s.options).get("engine") for s in specs] == ["array"]
+
+    def test_payload_without_engine_unchanged(self):
+        payload = {
+            "algorithms": ["randomized"],
+            "families": ["grid"],
+            "sizes": [16],
+            "seeds": 1,
+        }
+        plain = expand_grid(["randomized"], ["grid"], [16], [0])
+        assert [s.key for s in grid_from_payload(payload)] == [
+            s.key for s in plain
+        ]
+
+
+class TestExecuteArrayJob:
+    def test_array_record_matches_coroutine_record(self):
+        # The flat metrics record — the store/cache/sweep currency — must
+        # be indistinguishable between backends on the same cell.
+        coroutine = execute_job(JobSpec.create("randomized", "grid", 16, 0))
+        array = execute_job(
+            JobSpec.create(
+                "randomized", "grid", 16, 0, options={"engine": "array"}
+            )
+        )
+        assert array == coroutine
+
+    def test_array_jobs_deterministic(self):
+        spec = JobSpec.create(
+            "randomized", "gnp", 24, 1, options={"engine": "array"}
+        )
+        assert execute_job(spec) == execute_job(spec)
+
+    def test_array_plus_faults_rejected_before_running(self):
+        spec = JobSpec.create(
+            "randomized", "ring", 8, 0,
+            options={"engine": "array", "faults": "drop:0.1"},
+        )
+        with pytest.raises(UnsupportedFeatureError, match="fault specs"):
+            execute_job(spec)
+
+    def test_array_plus_monitors_rejected_before_running(self):
+        spec = JobSpec.create(
+            "randomized", "ring", 8, 0,
+            options={"engine": "array", "monitors": "all"},
+        )
+        with pytest.raises(UnsupportedFeatureError, match="invariant monitors"):
+            execute_job(spec)
+
+    def test_array_comparator_cell_fails_loudly(self):
+        spec = JobSpec.create(
+            "traditional", "ring", 8, 0, options={"engine": "array"}
+        )
+        with pytest.raises(UnsupportedFeatureError, match="Traditional-GHS"):
+            execute_job(spec)
+
+
+class TestRunCLI:
+    def test_run_array_plus_faults_exits_2(self, capsys):
+        # Must fail fast as an unsupported configuration, not get
+        # classified by verify_or_diagnose as a protocol failure.
+        rc = main([
+            "run", "--graph", "ring", "--n", "16",
+            "--engine", "array", "--faults", "drop:0.1",
+        ])
+        assert rc == 2
+        assert "fault specs" in capsys.readouterr().err
+
+    def test_run_array_plus_monitors_exits_2(self, capsys):
+        rc = main([
+            "run", "--graph", "ring", "--n", "16",
+            "--engine", "array", "--monitors", "all",
+        ])
+        assert rc == 2
+        assert "invariant monitors" in capsys.readouterr().err
+
+    def test_run_array_json_matches_coroutine(self, capsys):
+        base = ["run", "--graph", "grid", "--n", "64", "--seed", "0", "--json"]
+        assert main(base) == 0
+        coroutine = json.loads(capsys.readouterr().out)
+        assert main(base + ["--engine", "array"]) == 0
+        array = json.loads(capsys.readouterr().out)
+        assert array == coroutine
+
+
+class TestBatchCLI:
+    def test_batch_engine_array(self, tmp_path, capsys):
+        rc = main([
+            "batch", "--algorithms", "randomized", "--families", "grid",
+            "--sizes", "16", "--seeds", "1", "--engine", "array",
+            "--store", str(tmp_path / "runs.jsonl"), "--no-cache",
+            "--quiet", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["failed"] == 0
+        records = payload["records"]
+        assert len(records) == 1
+        assert records[0]["spec"]["options"] == {"engine": "array"}
+        assert records[0]["metrics"]["correct"] is True
+
+    def test_batch_engines_share_measurements(self, tmp_path, capsys):
+        base = [
+            "batch", "--algorithms", "randomized", "--families", "grid",
+            "--sizes", "16", "--seeds", "1",
+            "--no-cache", "--quiet", "--json",
+        ]
+        assert main(base + ["--store", str(tmp_path / "a.jsonl")]) == 0
+        coroutine = json.loads(capsys.readouterr().out)["records"]
+        assert main(
+            base + ["--engine", "array", "--store", str(tmp_path / "b.jsonl")]
+        ) == 0
+        array = json.loads(capsys.readouterr().out)["records"]
+        assert array[0]["metrics"] == coroutine[0]["metrics"]

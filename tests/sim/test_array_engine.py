@@ -1,0 +1,203 @@
+"""The vectorized array backend: golden equivalence + feature gating.
+
+``engine="array"`` must be *byte-identical* to the coroutine engine on
+every supported configuration — same MST edge sets, same
+``Metrics.summary()``, same per-node ``NodeMetrics.as_dict()``, same
+record fingerprints through the orchestrator — and must refuse loudly
+(``UnsupportedFeatureError``) on everything it does not implement
+(traces, observers, monitors, non-perfect channels, the deterministic
+algorithm).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core import run_deterministic_mst, run_randomized_mst
+from repro.orchestrator import GRAPH_FAMILIES, JobSpec, execute_job
+from repro.orchestrator.store import RunRecord
+from repro.sim import ENGINES, resolve_engine
+from repro.sim.errors import CongestViolation, UnsupportedFeatureError
+from repro.sim.transport import DropChannel
+
+
+def run_both(graph, **kwargs):
+    coroutine = run_randomized_mst(graph, **kwargs)
+    array = run_randomized_mst(graph, engine="array", **kwargs)
+    return coroutine, array
+
+
+def assert_identical(coroutine, array):
+    assert coroutine.mst_weights == array.mst_weights
+    assert coroutine.node_outputs == array.node_outputs
+    assert coroutine.phases == array.phases
+    # Byte-level equality of the metrics summary (the JSON the CLI emits).
+    assert json.dumps(coroutine.metrics.summary(), sort_keys=True) == json.dumps(
+        array.metrics.summary(), sort_keys=True
+    )
+    # Per-node metrics, including dict insertion order (sorted node IDs).
+    per_coroutine = {
+        node: m.as_dict() for node, m in coroutine.metrics.per_node.items()
+    }
+    per_array = {node: m.as_dict() for node, m in array.metrics.per_node.items()}
+    assert per_coroutine == per_array
+    assert list(per_coroutine) == list(per_array)
+
+
+class TestEngineResolution:
+    def test_default_is_coroutine(self):
+        assert resolve_engine(None) == "coroutine"
+        assert resolve_engine("coroutine") == "coroutine"
+
+    def test_array_resolves(self):
+        assert resolve_engine("array") == "array"
+
+    def test_engines_constant(self):
+        assert ENGINES == ("coroutine", "array")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("gpu")
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("family", ["path", "ring", "star", "grid", "gnp"])
+    @pytest.mark.parametrize("n", [2, 5, 16, 33])
+    def test_families_identical(self, family, n):
+        if family == "ring" and n < 3:
+            pytest.skip("a ring needs n >= 3")
+        graph = GRAPH_FAMILIES[family](n, 0, None)
+        assert_identical(*run_both(graph, seed=0))
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_seeds_identical(self, seed):
+        # Coin parity: only current roots draw, once per phase, from
+        # Random(f"{seed}/{node_id}") — any drift desynchronizes merges.
+        graph = GRAPH_FAMILIES["gnp"](24, seed, None)
+        assert_identical(*run_both(graph, seed=seed))
+
+    def test_fixed_termination_identical(self):
+        graph = GRAPH_FAMILIES["grid"](16, 0, None)
+        assert_identical(*run_both(graph, seed=0, termination="fixed"))
+
+    def test_sparse_id_space_identical(self):
+        # Non-contiguous IDs stress the CSR index and congest universe.
+        graph = GRAPH_FAMILIES["gnp"](16, 2, 8 * 16)
+        assert_identical(*run_both(graph, seed=2))
+
+    @pytest.mark.parametrize("max_phases", [0, 1, 2])
+    def test_phase_budget_identical(self, max_phases):
+        graph = GRAPH_FAMILIES["gnp"](16, 0, None)
+        coroutine = run_randomized_mst(graph, seed=0, max_phases=max_phases)
+        array = run_randomized_mst(
+            graph, seed=0, max_phases=max_phases, engine="array"
+        )
+        assert coroutine.phases == array.phases == max_phases
+        assert json.dumps(
+            coroutine.metrics.summary(), sort_keys=True
+        ) == json.dumps(array.metrics.summary(), sort_keys=True)
+
+    def test_verify_accepts_array_output(self):
+        graph = GRAPH_FAMILIES["grid"](25, 0, None)
+        result = run_randomized_mst(graph, seed=0, engine="array", verify=True)
+        assert result.is_correct_mst(graph)
+
+
+class TestCongestParity:
+    def test_lenient_violation_counts_match(self):
+        graph = GRAPH_FAMILIES["gnp"](16, 0, None)
+        coroutine, array = run_both(
+            graph, seed=0, strict_congest=False, congest_factor=0.001
+        )
+        assert coroutine.metrics.congest_violations > 0
+        assert (
+            coroutine.metrics.congest_violations
+            == array.metrics.congest_violations
+        )
+
+    def test_strict_raises_on_both_engines(self):
+        graph = GRAPH_FAMILIES["gnp"](16, 0, None)
+        with pytest.raises(CongestViolation):
+            run_randomized_mst(graph, seed=0, congest_factor=0.001)
+        with pytest.raises(CongestViolation):
+            run_randomized_mst(
+                graph, seed=0, congest_factor=0.001, engine="array"
+            )
+
+    def test_congest_universe_override_identical(self):
+        graph = GRAPH_FAMILIES["path"](8, 0, None)
+        assert_identical(*run_both(graph, seed=0, congest_universe=10**6))
+
+
+class TestOrchestratorFingerprint:
+    def test_record_fingerprints_match_through_rewrap(self):
+        # ``engine`` enters the spec options (so the key differs), but the
+        # *measurements* must be indistinguishable: re-wrapping the array
+        # cell's metrics under the coroutine spec must reproduce that
+        # record's fingerprint byte for byte.
+        spec = JobSpec.create("randomized", "grid", 16, 0)
+        array_spec = JobSpec.create(
+            "randomized", "grid", 16, 0, options={"engine": "array"}
+        )
+        coroutine_record = RunRecord.ok(spec, execute_job(spec))
+        rewrapped = RunRecord.ok(spec, execute_job(array_spec))
+        assert rewrapped.fingerprint() == coroutine_record.fingerprint()
+
+
+class TestUnsupportedFeatures:
+    def test_deterministic_algorithm_rejected(self):
+        graph = GRAPH_FAMILIES["ring"](8, 0, None)
+        with pytest.raises(UnsupportedFeatureError, match="Deterministic-MST"):
+            run_deterministic_mst(graph, engine="array")
+
+    def test_comparator_runners_rejected(self):
+        from repro.orchestrator import algorithm_runner
+
+        graph = GRAPH_FAMILIES["ring"](8, 0, None)
+        for name in ("traditional", "pipelined"):
+            with pytest.raises(UnsupportedFeatureError):
+                algorithm_runner(name)(graph, 0, engine="array")
+
+    @pytest.mark.parametrize(
+        "kwargs, feature",
+        [
+            ({"trace": True}, "event tracing"),
+            ({"max_trace_events": 10}, "event tracing"),
+            ({"observe": True}, "observability spans"),
+            ({"track_knowledge": True}, "knowledge tracking"),
+        ],
+    )
+    def test_sim_kwargs_rejected(self, kwargs, feature):
+        graph = GRAPH_FAMILIES["ring"](8, 0, None)
+        with pytest.raises(UnsupportedFeatureError, match=feature):
+            run_randomized_mst(graph, seed=0, engine="array", **kwargs)
+
+    def test_monitors_rejected(self):
+        from repro.invariants import build_monitor_set
+
+        graph = GRAPH_FAMILIES["ring"](8, 0, None)
+        with pytest.raises(UnsupportedFeatureError, match="invariant monitors"):
+            run_randomized_mst(
+                graph, seed=0, engine="array", monitors=build_monitor_set("all")
+            )
+
+    def test_faulty_channel_rejected(self):
+        graph = GRAPH_FAMILIES["ring"](8, 0, None)
+        with pytest.raises(UnsupportedFeatureError, match="channel"):
+            run_randomized_mst(
+                graph, seed=0, engine="array", channel=DropChannel(0.1)
+            )
+
+    def test_error_message_names_the_fallback(self):
+        graph = GRAPH_FAMILIES["ring"](8, 0, None)
+        with pytest.raises(UnsupportedFeatureError, match="coroutine"):
+            run_randomized_mst(graph, seed=0, engine="array", trace=True)
+
+    def test_unsupported_error_is_catchable_as_simulation_error(self):
+        from repro.sim.errors import SimulationError
+
+        assert issubclass(UnsupportedFeatureError, SimulationError)
