@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""MST vs MIS: two awake-complexity regimes, measured side by side.
+
+The PODC 2022 paper puts distributed MST at ``O(log n)`` awake rounds;
+the companion MIS result (arXiv 2204.08359) gets maximal independent set
+down to ``O(log log n)``.  Both protocols are built on the *same*
+sleeping-model toolbox in this repo — Transmission-Schedule blocks of
+``2n + 2`` rounds, O(1) awake rounds per block — so the gap between the
+bounds is purely algorithmic, and it should be visible in measured
+curves on identical graphs.
+
+This example runs both problem bundles over gnp graphs at
+n in {64, 256, 1024} (three seeds per cell, through the orchestrator's
+``execute_job`` so records match what ``repro-mst batch`` produces),
+then prints, per problem:
+
+* the mean measured awake complexity per size;
+* the curve normalized by the problem's own bound (``log2 n`` for MST,
+  ``log2 log2 n`` for MIS) — flat ratios mean the implementation tracks
+  its theory;
+* the end-to-end growth factor, and the cross-problem verdict: MIS's
+  awake curve must grow strictly slower than MST's.
+
+The committed ``PROBLEMS_compare.json`` at the repo root is this
+script's output at the acceptance sizes; ``repro-mst compare`` is the
+CLI spelling of the same harness.
+
+Run:  python examples/problem_compare.py [output.json]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import (
+    generate_problem_comparison,
+    render_comparison,
+    write_comparison,
+)
+
+SIZES = (64, 256, 1024)
+SEEDS = (0, 1, 2)
+
+
+def main() -> int:
+    payload = generate_problem_comparison(sizes=SIZES, seeds=SEEDS)
+    print(render_comparison(payload))
+    print()
+
+    mst = payload["problems"]["mst"]
+    mis = payload["problems"]["mis"]
+    print(
+        f"awake growth over n={SIZES[0]}..{SIZES[-1]}: "
+        f"MST x{mst['growth']:.2f} ({mst['awake_bound']}) vs "
+        f"MIS x{mis['growth']:.2f} ({mis['awake_bound']})"
+    )
+    ratio = mst["curve"][-1]["mean_max_awake"] / max(
+        mis["curve"][-1]["mean_max_awake"], 1e-9
+    )
+    print(
+        f"at n={SIZES[-1]} the MIS protocol is awake {ratio:.0f}x fewer "
+        f"rounds than MST on the same graphs"
+    )
+
+    if len(sys.argv) > 1:
+        path = write_comparison(payload, sys.argv[1])
+        print(f"artifact written: {path}")
+
+    if not payload["mis_grows_slower"]:
+        print("FAILED: MIS awake did not grow slower than MST awake")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

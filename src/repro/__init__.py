@@ -40,6 +40,7 @@ Subpackages
 from .core import (
     MSTNodeOutput,
     MSTRunResult,
+    RunResult,
     run_deterministic_mst,
     run_randomized_mst,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "MSTNodeOutput",
     "MSTRunResult",
     "NodeContext",
+    "RunResult",
     "SleepingSimulator",
     "WeightedGraph",
     "__version__",

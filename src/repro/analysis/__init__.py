@@ -1,6 +1,13 @@
 """Analysis and experiment harness: fits, tables, ablations, energy model."""
 
 from .ablation import PhaseStats, boruvka_merge_structure, worst_merge_diameter
+from .compare import (
+    COMPARE_SCHEMA,
+    generate_problem_comparison,
+    load_comparison,
+    render_comparison,
+    write_comparison,
+)
 from .complexity import (
     MODELS,
     ScalingFit,
@@ -45,6 +52,7 @@ from .walkthrough import (
 
 __all__ = [
     "ALGORITHMS",
+    "COMPARE_SCHEMA",
     "FAMILIES",
     "ContractionReport",
     "EnergyModel",
@@ -69,10 +77,13 @@ __all__ = [
     "doubling_ratios",
     "fit_scaling",
     "fit_sweep",
+    "generate_problem_comparison",
     "generate_table1",
     "geometric_mean",
+    "load_comparison",
     "phase_history",
     "points_from_records",
+    "render_comparison",
     "render_table",
     "run_merging_walkthrough",
     "run_sweep",
@@ -81,4 +92,5 @@ __all__ = [
     "to_csv",
     "to_markdown",
     "worst_merge_diameter",
+    "write_comparison",
 ]

@@ -1,0 +1,188 @@
+"""Side-by-side awake-complexity comparison across problem bundles.
+
+The problem registry's headline artifact: run every registered problem's
+default algorithm over the same ``(family, n, seed)`` grid through
+:func:`repro.orchestrator.execute_job`, average the measured awake
+complexity per size, normalize each problem's curve by *its own*
+theoretical bound (``log2 n`` for MST, ``log2 log2 n`` for MIS), and
+certify that MIS's measured curve grows strictly slower than MST's —
+the empirical content of the O(log log n)-awake MIS result
+(arXiv 2204.08359) sitting next to the paper's O(log n)-awake MST.
+
+``repro-mst compare`` renders the table; ``examples/problem_compare.py``
+and the ``problem-zoo-smoke`` CI job regenerate and upload the JSON
+artifact (``PROBLEMS_compare.json`` at the repo root is the committed
+copy at the acceptance-criteria sizes n in {64, 256, 1024}).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.orchestrator import JobSpec, execute_job
+from repro.problems import problem_bundle, problem_names
+
+#: Version tag for the comparison artifact's JSON schema.
+COMPARE_SCHEMA = "repro-problems-compare/1"
+
+#: The acceptance-criteria grid: awake growth must separate by n=1024.
+DEFAULT_SIZES = (64, 256, 1024)
+DEFAULT_SEEDS = (0, 1, 2)
+
+
+def _problem_options(problem: str) -> Dict[str, Any]:
+    # MST rides the vectorized array backend — byte-identical metrics to
+    # the coroutine engine (pinned by the equivalence suite) at a fraction
+    # of the wall clock, which is what makes n=1024 cells affordable in
+    # CI.  MIS has no array implementation (see docs/performance.md).
+    if problem == "mst":
+        return {"engine": "array"}
+    return {}
+
+
+def generate_problem_comparison(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    family: str = "gnp",
+    problems: Optional[Sequence[str]] = None,
+    monitors: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Measure every problem's awake curve on a shared grid.
+
+    Returns the artifact payload: per problem, the raw per-cell records,
+    the per-size mean awake curve with the bundle's normalizer ratio, and
+    the end-to-end growth factor ``mean(max n) / mean(min n)``; plus the
+    cross-problem verdict ``mis_grows_slower`` when both bundles ran.
+    ``monitors`` (e.g. ``"all"``) attaches each problem's invariant
+    monitors to every cell, and per-cell violation counts enter the
+    records — the zero-violation assertion CI makes.
+    """
+    sizes = sorted(set(int(n) for n in sizes))
+    seeds = list(seeds)
+    selected = list(problems) if problems is not None else list(problem_names())
+    payload: Dict[str, Any] = {
+        "schema": COMPARE_SCHEMA,
+        "family": family,
+        "sizes": sizes,
+        "seeds": seeds,
+        "problems": {},
+    }
+    for problem in selected:
+        bundle = problem_bundle(problem)
+        options = _problem_options(bundle.name)
+        if monitors is not None:
+            options = {**options, "monitors": monitors}
+            # The array engine rejects monitor attachment; monitored MST
+            # cells fall back to the coroutine engine.
+            options.pop("engine", None)
+        cells: List[Dict[str, Any]] = []
+        curve: List[Dict[str, Any]] = []
+        for n in sizes:
+            awakes: List[int] = []
+            for seed in seeds:
+                spec = JobSpec.create(
+                    bundle.default_algorithm,
+                    family,
+                    n,
+                    seed,
+                    options=options or None,
+                    problem=bundle.name,
+                )
+                record = execute_job(spec)
+                cells.append(record)
+                awakes.append(record["max_awake"])
+            mean_awake = sum(awakes) / len(awakes)
+            normalizer = bundle.awake_normalizer(n)
+            curve.append(
+                {
+                    "n": n,
+                    "mean_max_awake": round(mean_awake, 3),
+                    "normalizer": round(normalizer, 3),
+                    "ratio": round(mean_awake / normalizer, 3),
+                }
+            )
+        growth = curve[-1]["mean_max_awake"] / max(
+            curve[0]["mean_max_awake"], 1e-9
+        )
+        payload["problems"][bundle.name] = {
+            "title": bundle.title,
+            "algorithm": bundle.default_algorithm,
+            "awake_bound": bundle.awake_bound,
+            "normalizer_label": bundle.normalizer_label,
+            "curve": curve,
+            "growth": round(growth, 3),
+            "correct_cells": sum(bool(c.get("correct")) for c in cells),
+            "total_cells": len(cells),
+            "violations": sum(c.get("violations") or 0 for c in cells),
+            "cells": cells,
+        }
+    if {"mst", "mis"} <= set(payload["problems"]):
+        payload["mis_grows_slower"] = (
+            payload["problems"]["mis"]["growth"]
+            < payload["problems"]["mst"]["growth"]
+        )
+    return payload
+
+
+def render_comparison(payload: Dict[str, Any]) -> str:
+    """Render a comparison payload as a fixed-width text table."""
+    lines: List[str] = []
+    lines.append(
+        f"Awake-complexity comparison  (family={payload['family']}, "
+        f"seeds={payload['seeds']})"
+    )
+    header = (
+        f"{'problem':<9} {'algorithm':<18} {'bound':<14} "
+        f"{'n':>6} {'mean awake':>11} {'normalizer':>16} {'ratio':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, data in payload["problems"].items():
+        for i, point in enumerate(data["curve"]):
+            prefix = (
+                f"{name:<9} {data['algorithm']:<18} {data['awake_bound']:<14}"
+                if i == 0
+                else f"{'':<9} {'':<18} {'':<14}"
+            )
+            normalizer = (
+                f"{point['normalizer']:.2f} ({data['normalizer_label']})"
+            )
+            lines.append(
+                f"{prefix} {point['n']:>6} {point['mean_max_awake']:>11.2f} "
+                f"{normalizer:>16} {point['ratio']:>7.2f}"
+            )
+        lines.append(
+            f"{'':<9} growth x{data['growth']:.2f} over n="
+            f"{data['curve'][0]['n']}..{data['curve'][-1]['n']}, "
+            f"{data['correct_cells']}/{data['total_cells']} cells correct, "
+            f"{data['violations']} invariant violations"
+        )
+    if "mis_grows_slower" in payload:
+        verdict = "yes" if payload["mis_grows_slower"] else "NO"
+        lines.append(
+            f"MIS awake grows slower than MST awake across the grid: {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def write_comparison(
+    payload: Dict[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write the artifact JSON (stable formatting for clean diffs)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_comparison(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a comparison artifact, checking the schema tag."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != COMPARE_SCHEMA:
+        raise ValueError(
+            f"unexpected comparison schema {schema!r} in {path} "
+            f"(wanted {COMPARE_SCHEMA!r})"
+        )
+    return payload

@@ -25,6 +25,12 @@ Tiers
     (:mod:`repro.invariants`): probe buffering, group checking, and span
     forwarding on top of the general loop.  Compared against the ``e2e``
     twins, the ratio *is* the monitoring overhead.
+``mis``
+    Full ``Sleeping-MIS`` runs (the second problem bundle,
+    :mod:`repro.problems.mis`), bare and monitored.  Not smoke — the
+    committed ``BENCH_engine.json`` baselines predate the problem
+    registry and pin the smoke suite; CI times this tier in the
+    ``problem-zoo-smoke`` job instead.
 ``scale``
     Large-``n`` MST runs pitting the vectorized array backend
     (``engine="array"``, :mod:`repro.core.array_ops`) against the
@@ -57,7 +63,7 @@ class Benchmark:
     """One registered benchmark: metadata plus a thunk factory."""
 
     name: str
-    tier: str  # "micro" | "e2e" | "fault" | "monitors" | "scale"
+    tier: str  # "micro" | "e2e" | "fault" | "monitors" | "mis" | "scale"
     smoke: bool
     params: Mapping[str, Any]
     make: Callable[[], Callable[[], Any]] = field(repr=False)
@@ -247,6 +253,24 @@ def _make_mst_deterministic(n: int) -> Callable[[], Any]:
 
 
 # ----------------------------------------------------------------------
+# MIS tier: the second problem bundle (Sleeping-MIS)
+# ----------------------------------------------------------------------
+
+def _make_mis_sleeping(n: int, monitored: bool = False) -> Callable[[], Any]:
+    from repro.invariants import build_monitor_set
+    from repro.orchestrator import GRAPH_FAMILIES
+    from repro.problems import run_sleeping_mis
+
+    graph = GRAPH_FAMILIES["gnp"](n, 0, None)
+
+    def run() -> None:
+        monitors = build_monitor_set("all", problem="mis") if monitored else None
+        run_sleeping_mis(graph, seed=0, monitors=monitors)
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # Scale tier: array vs coroutine backend at large n
 # ----------------------------------------------------------------------
 
@@ -330,6 +354,38 @@ BENCHMARKS: Tuple[Benchmark, ...] = (
         params={"family": "gnp", "n": 64, "seed": 0, "monitors": "all"},
         make=lambda: _make_mst_monitored("deterministic", 64),
     ),
+    # MIS tier is deliberately not smoke (like scale): the per-push bench
+    # gate compares against BENCH_engine.json baselines recorded before
+    # the problem registry existed, and a smoke-flagged addition would
+    # change the smoke suite those baselines pin.  CI runs it in the
+    # separate problem-zoo-smoke job.
+    Benchmark(
+        name="mis_sleeping_e2e_n64",
+        tier="mis",
+        smoke=False,
+        params={"problem": "mis", "family": "gnp", "n": 64, "seed": 0},
+        make=lambda: _make_mis_sleeping(64),
+    ),
+    Benchmark(
+        name="mis_sleeping_e2e_n256",
+        tier="mis",
+        smoke=False,
+        params={"problem": "mis", "family": "gnp", "n": 256, "seed": 0},
+        make=lambda: _make_mis_sleeping(256),
+    ),
+    Benchmark(
+        name="mis_sleeping_monitored_n64",
+        tier="mis",
+        smoke=False,
+        params={
+            "problem": "mis",
+            "family": "gnp",
+            "n": 64,
+            "seed": 0,
+            "monitors": "all",
+        },
+        make=lambda: _make_mis_sleeping(64, monitored=True),
+    ),
     Benchmark(
         name="mst_randomized_array_scale_n4096",
         tier="scale",
@@ -373,7 +429,7 @@ def select_benchmarks(
 
     ``names`` wins when non-empty; otherwise ``suite`` is one of
     ``smoke`` (CI subset), ``micro``, ``e2e``, ``fault``, ``monitors``,
-    ``scale``, or ``full``.
+    ``mis``, ``scale``, or ``full``.
     """
     if names:
         return [get_benchmark(name) for name in names]
@@ -381,9 +437,9 @@ def select_benchmarks(
         return list(BENCHMARKS)
     if suite == "smoke":
         return [b for b in BENCHMARKS if b.smoke]
-    if suite in ("micro", "e2e", "fault", "monitors", "scale"):
+    if suite in ("micro", "e2e", "fault", "monitors", "mis", "scale"):
         return [b for b in BENCHMARKS if b.tier == suite]
     raise ValueError(
         f"unknown suite {suite!r}; use smoke, micro, e2e, fault, monitors, "
-        "scale, or full"
+        "mis, scale, or full"
     )

@@ -32,6 +32,10 @@ Subcommands
     held; with ``--faults`` the report names the *first* invariant the
     injected faults broke.  ``--sweep`` runs a small perfect-channel
     grid and asserts that no monitor fires anywhere.
+``compare``
+    Run every registered problem bundle (MST's O(log n)-awake protocol,
+    MIS's O(log log n)-awake protocol) over the same grid and print the
+    normalized awake-complexity table — the problem-zoo artifact.
 ``table1``
     Regenerate Table 1 across sizes and print the fitted constants.
 ``experiments``
@@ -43,6 +47,8 @@ Subcommands
 Examples::
 
     python -m repro.cli run --algorithm randomized --graph ring --n 64
+    python -m repro.cli run --problem mis --n 64 --monitors all
+    python -m repro.cli compare --sizes 64 256 --seeds 2
     python -m repro.cli check --algorithm randomized --n 24 \
         --faults drop:0.02 --json
     python -m repro.cli check --sweep --sizes 8 16 --seed-range 2
@@ -77,7 +83,28 @@ def _run_algorithm(args: argparse.Namespace, **sim_kwargs):
     return graph, _dispatch_algorithm(args, graph, **sim_kwargs)
 
 
+def _effective_problem(args: argparse.Namespace) -> str:
+    """Resolve the problem axis: ``--problem``, or ``--algorithm mis``.
+
+    ``--algorithm mis`` implies ``--problem mis`` so the short spelling
+    works; everything else defaults to the MST problem the CLI has always
+    dispatched.
+    """
+    if getattr(args, "algorithm", None) == "mis":
+        return "mis"
+    return getattr(args, "problem", "mst") or "mst"
+
+
 def _dispatch_algorithm(args: argparse.Namespace, graph, **sim_kwargs):
+    if _effective_problem(args) == "mis":
+        from repro.problems import run_sleeping_mis
+
+        mis_engine = getattr(args, "engine", None)
+        if mis_engine is not None and mis_engine != "coroutine":
+            # Routed through the runner so the rejection names the
+            # Sleeping-MIS feature and the coroutine fallback.
+            sim_kwargs["engine"] = mis_engine
+        return run_sleeping_mis(graph, seed=args.seed, **sim_kwargs)
     engine = getattr(args, "engine", None)
     if engine is not None and engine != "coroutine":
         if args.algorithm not in ("randomized", "deterministic"):
@@ -134,7 +161,7 @@ def _monitors_sim_kwargs(args: argparse.Namespace, sim_kwargs: dict):
         return None
     from repro.invariants import build_monitor_set
 
-    monitor_set = build_monitor_set(spec)
+    monitor_set = build_monitor_set(spec, problem=_effective_problem(args))
     if monitor_set is not None:
         sim_kwargs["monitors"] = monitor_set
     return monitor_set
@@ -234,7 +261,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_events = save_trace(result.simulation, args.save_trace)
 
     metrics = result.metrics
-    if args.algorithm in ("randomized", "deterministic", "traditional"):
+    problem = _effective_problem(args)
+    if problem != "mst":
+        from repro.problems import problem_bundle
+
+        ok = result.is_correct(graph)
+        check = problem_bundle(problem).check_label
+    elif args.algorithm in ("randomized", "deterministic", "traditional"):
         ok = result.is_correct_mst(graph)
         check = "correct MST"
     else:
@@ -260,6 +293,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "metrics": metrics.summary(),
             "correct": ok,
         }
+        if problem != "mst":
+            payload["problem"] = problem
         if faults is not None:
             payload["faults"] = faults
             payload["outcome"] = outcome
@@ -452,7 +487,15 @@ def _check_single(args: argparse.Namespace, spec: str) -> int:
     from repro.graphs import verify_or_diagnose
     from repro.invariants import build_monitor_set
 
-    monitor_set = build_monitor_set(spec)
+    problem = _effective_problem(args)
+    algorithm_label = args.algorithm
+    if problem != "mst":
+        from repro.problems import problem_bundle
+
+        # --problem mis dispatches the bundle's protocol regardless of
+        # --algorithm; report the canonical name it actually ran.
+        algorithm_label = problem_bundle(problem).default_algorithm
+    monitor_set = build_monitor_set(spec, problem=problem)
     sim_kwargs = {"monitors": monitor_set}
     try:
         faults = _faults_sim_kwargs(args, sim_kwargs)
@@ -468,7 +511,7 @@ def _check_single(args: argparse.Namespace, spec: str) -> int:
     )
     report = monitor_set.report
     payload = {
-        "algorithm": args.algorithm,
+        "algorithm": algorithm_label,
         "graph": {
             "family": args.graph,
             "n": graph.n,
@@ -479,6 +522,7 @@ def _check_single(args: argparse.Namespace, spec: str) -> int:
         "faults": faults,
         "monitors": list(monitor_set.names),
         "outcome": diagnosis.outcome,
+        **({} if problem == "mst" else {"problem": problem}),
         "error": diagnosis.error,
         "correct": diagnosis.outcome == "correct",
         "checks_run": report.checks_run,
@@ -491,7 +535,7 @@ def _check_single(args: argparse.Namespace, spec: str) -> int:
     _emit_check_payload(args, payload)
     perfect_ok = diagnosis.outcome == "correct" and report.ok()
     if not args.json:
-        print(f"algorithm        : {args.algorithm}")
+        print(f"algorithm        : {algorithm_label}")
         print(
             f"graph            : {args.graph} n={graph.n} m={graph.m} "
             f"N={graph.max_id} seed={args.seed}"
@@ -532,6 +576,12 @@ def _check_sweep(args: argparse.Namespace, spec: str) -> int:
     """
     from repro.invariants import build_monitor_set
 
+    problem = getattr(args, "problem", "mst") or "mst"
+    algorithms = list(args.algorithms)
+    if problem == "mis" and algorithms == ["randomized", "deterministic"]:
+        # The MST default algorithm pair makes no sense on the MIS axis;
+        # sweep the one MIS protocol unless the user picked explicitly.
+        algorithms = ["mis"]
     cells = []
     failed = 0
     total_checks = 0
@@ -539,20 +589,22 @@ def _check_sweep(args: argparse.Namespace, spec: str) -> int:
     for family in args.families:
         for n in args.sizes:
             for seed in range(args.seed_range):
-                for algorithm in args.algorithms:
-                    monitor_set = build_monitor_set(spec)
+                for algorithm in algorithms:
+                    cell_problem = "mis" if algorithm == "mis" else problem
+                    monitor_set = build_monitor_set(spec, problem=cell_problem)
                     graph = GRAPH_FAMILIES[family](n, seed, None)
                     cell_args = argparse.Namespace(
                         algorithm=algorithm,
                         seed=seed,
                         termination="adaptive",
                         coloring=args.coloring,
+                        problem=cell_problem,
                     )
                     result = _dispatch_algorithm(
                         cell_args, graph, monitors=monitor_set
                     )
                     report = monitor_set.finalize()
-                    correct = result.is_correct_mst(graph)
+                    correct = result.is_correct(graph)
                     ok = correct and report.ok() and report.checks_run > 0
                     failed += 0 if ok else 1
                     total_checks += report.checks_run
@@ -598,6 +650,46 @@ def _check_sweep(args: argparse.Namespace, spec: str) -> int:
     return 0 if failed == 0 else 1
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Side-by-side awake-complexity table across the problem registry.
+
+    Exit code: non-zero when any cell was wrong, any monitor fired, or —
+    with both bundles on the grid — MIS's awake curve failed to grow
+    slower than MST's (the acceptance criterion of the problem zoo).
+    """
+    from repro.analysis import (
+        generate_problem_comparison,
+        render_comparison,
+        write_comparison,
+    )
+
+    try:
+        payload = generate_problem_comparison(
+            sizes=args.sizes,
+            seeds=range(args.seeds),
+            family=args.family,
+            problems=args.problems,
+            monitors=args.monitors,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.output:
+        write_comparison(payload, args.output)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(render_comparison(payload))
+        if args.output:
+            print(f"artifact json    : {args.output}")
+    ok = payload.get("mis_grows_slower", True) and all(
+        data["violations"] == 0
+        and data["correct_cells"] == data["total_cells"]
+        for data in payload["problems"].values()
+    )
+    return 0 if ok else 1
+
+
 def _grid_payload(args: argparse.Namespace) -> dict:
     """Grid payload shared by ``batch`` and ``submit`` (and ``--spec``).
 
@@ -616,6 +708,7 @@ def _grid_payload(args: argparse.Namespace) -> dict:
         "faults": args.faults,
         "monitors": args.monitors,
         "engine": getattr(args, "engine", None),
+        "problem": getattr(args, "problem", None),
     }
     if args.spec:
         with open(args.spec, "r", encoding="utf-8") as handle:
@@ -1029,6 +1122,11 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
         "historical hashes (array = vectorized numpy backend)",
     )
     parser.add_argument(
+        "--problem", choices=("mst", "mis"), default=None,
+        help="problem bundle for every cell (default mst; MST-only grids "
+        "keep their historical JobSpec hashes)",
+    )
+    parser.add_argument(
         "--spec", default=None, metavar="PATH",
         help="JSON grid spec file; its keys override the grid flags",
     )
@@ -1044,8 +1142,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one algorithm")
     run_parser.add_argument(
         "--algorithm",
-        choices=("randomized", "deterministic", "traditional", "spanning-tree"),
+        choices=(
+            "randomized", "deterministic", "traditional", "spanning-tree",
+            "mis",
+        ),
         default="randomized",
+    )
+    run_parser.add_argument(
+        "--problem", choices=("mst", "mis"), default="mst",
+        help="problem bundle to dispatch (mis ignores --algorithm and runs "
+        "the O(log log n)-awake Sleeping-MIS protocol)",
     )
     run_parser.add_argument("--graph", choices=sorted(GRAPH_FAMILIES), default="gnp")
     run_parser.add_argument("--n", type=int, default=64)
@@ -1091,8 +1197,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_parser.add_argument(
         "--algorithm",
-        choices=("randomized", "deterministic"),
+        choices=("randomized", "deterministic", "mis"),
         default="randomized",
+    )
+    check_parser.add_argument(
+        "--problem", choices=("mst", "mis"), default="mst",
+        help="problem bundle: selects the monitor set 'all' expands to "
+        "and the validator the outcome is judged by",
     )
     check_parser.add_argument(
         "--graph", choices=sorted(GRAPH_FAMILIES), default="gnp"
@@ -1123,7 +1234,7 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--algorithms", nargs="+",
         default=["randomized", "deterministic"],
-        choices=("randomized", "deterministic"),
+        choices=("randomized", "deterministic", "mis"),
         help="(--sweep) algorithms to grid over",
     )
     check_parser.add_argument(
@@ -1301,8 +1412,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument(
         "--algorithm",
-        choices=("randomized", "deterministic", "traditional", "spanning-tree"),
+        choices=(
+            "randomized", "deterministic", "traditional", "spanning-tree",
+            "mis",
+        ),
         default="randomized",
+    )
+    trace_parser.add_argument(
+        "--problem", choices=("mst", "mis"), default="mst",
+        help="problem bundle to dispatch (mis runs Sleeping-MIS)",
     )
     trace_parser.add_argument(
         "--graph", choices=sorted(GRAPH_FAMILIES), default="gnp"
@@ -1337,10 +1455,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--suite",
-        choices=("smoke", "micro", "e2e", "fault", "monitors", "scale", "full"),
+        choices=(
+            "smoke", "micro", "e2e", "fault", "monitors", "mis", "scale",
+            "full",
+        ),
         default="smoke",
         help="which benchmark tier to run (default: the CI smoke subset; "
-        "scale = array-vs-coroutine speedup tier at n>=4096)",
+        "scale = array-vs-coroutine speedup tier at n>=4096; mis = the "
+        "Sleeping-MIS end-to-end tier)",
     )
     bench_parser.add_argument(
         "--names", nargs="+", default=None, metavar="NAME",
@@ -1385,6 +1507,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--quiet", action="store_true")
     bench_parser.set_defaults(func=_cmd_bench)
+
+    compare_parser = subparsers.add_parser(
+        "compare",
+        help="side-by-side awake-complexity table across problem bundles "
+        "(MST vs MIS)",
+    )
+    compare_parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[64, 256, 1024],
+        help="graph sizes per problem (the acceptance grid by default)",
+    )
+    compare_parser.add_argument(
+        "--seeds", type=int, default=3, help="seeds 0..N-1 per (problem, n)"
+    )
+    compare_parser.add_argument(
+        "--family", choices=sorted(GRAPH_FAMILIES), default="gnp"
+    )
+    compare_parser.add_argument(
+        "--problems", nargs="+", default=None, choices=("mst", "mis"),
+        help="problem bundles to compare (default: every registered one)",
+    )
+    compare_parser.add_argument(
+        "--monitors", default=None, metavar="SPEC",
+        help="attach each problem's invariant monitors to every cell "
+        "('all' expands per problem); violation counts enter the artifact",
+    )
+    compare_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the comparison artifact JSON "
+        "(schema repro-problems-compare/1)",
+    )
+    compare_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the artifact payload as one JSON object",
+    )
+    compare_parser.set_defaults(func=_cmd_compare)
 
     table_parser = subparsers.add_parser("table1", help="regenerate Table 1")
     table_parser.add_argument("--sizes", type=int, nargs="+", default=[16, 32, 64])

@@ -11,7 +11,12 @@ from .mst_randomized import (
     randomized_mst_session,
     randomized_phase_count,
 )
-from .runner import MSTRunResult, run_deterministic_mst, run_randomized_mst
+from .runner import (
+    MSTRunResult,
+    RunResult,
+    run_deterministic_mst,
+    run_randomized_mst,
+)
 from .schedule import (
     Block,
     BlockClock,
@@ -43,6 +48,7 @@ __all__ = [
     "MSTRunResult",
     "NOTHING",
     "PHASE_BLOCKS",
+    "RunResult",
     "block_span",
     "check_fldt",
     "cv_iterations",

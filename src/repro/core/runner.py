@@ -37,23 +37,20 @@ from repro.sim.errors import UnsupportedFeatureError
 from .mst_randomized import MSTNodeOutput, randomized_mst_protocol
 
 
-@dataclass
-class MSTRunResult:
-    """Outcome of one distributed-MST execution."""
+class RunResult:
+    """Problem-agnostic outcome of one sleeping-model execution.
 
-    #: Which algorithm produced this result.
-    algorithm: str
-    #: Globally claimed MST edge set (union of per-node outputs, validated
-    #: for endpoint agreement).
-    mst_weights: Set[int]
-    #: Per-node outputs keyed by node ID.
-    node_outputs: Dict[int, MSTNodeOutput]
-    #: Simulation metrics (awake complexity, round complexity, messages...).
-    metrics: Metrics
-    #: Maximum number of phases executed by any node.
-    phases: int
-    #: The raw simulation result (trace/knowledge when enabled).
-    simulation: SimulationResult
+    Concrete problems subclass this with their own output fields
+    (:class:`MSTRunResult` here, ``MISRunResult`` in
+    :mod:`repro.problems.mis.runner`) and must provide ``algorithm``,
+    ``metrics``, ``phases``, and ``simulation`` attributes plus an
+    :meth:`is_correct` check against the problem's reference output.
+    Generic drivers — ``verify_or_diagnose``, ``execute_job``, the CLI —
+    only touch this surface.
+    """
+
+    #: Which registered problem this result answers.
+    problem: str = "generic"
 
     @property
     def max_awake(self) -> int:
@@ -87,9 +84,38 @@ class MSTRunResult:
         when none were attached)."""
         return self.simulation.violations
 
+    def is_correct(self, graph: WeightedGraph) -> bool:
+        """Check the output against the problem's reference solution."""
+        raise NotImplementedError
+
+
+@dataclass
+class MSTRunResult(RunResult):
+    """Outcome of one distributed-MST execution."""
+
+    #: Which algorithm produced this result.
+    algorithm: str
+    #: Globally claimed MST edge set (union of per-node outputs, validated
+    #: for endpoint agreement).
+    mst_weights: Set[int]
+    #: Per-node outputs keyed by node ID.
+    node_outputs: Dict[int, MSTNodeOutput]
+    #: Simulation metrics (awake complexity, round complexity, messages...).
+    metrics: Metrics
+    #: Maximum number of phases executed by any node.
+    phases: int
+    #: The raw simulation result (trace/knowledge when enabled).
+    simulation: SimulationResult
+
+    problem = "mst"
+
     def is_correct_mst(self, graph: WeightedGraph) -> bool:
         """Check against the (unique) reference MST."""
         return self.mst_weights == mst_weight_set(graph)
+
+    def is_correct(self, graph: WeightedGraph) -> bool:
+        """Problem-generic alias for :meth:`is_correct_mst`."""
+        return self.is_correct_mst(graph)
 
 
 def _package(

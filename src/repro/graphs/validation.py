@@ -171,9 +171,10 @@ def verify_or_diagnose(
     past a simulation limit (``hung``), or — worst — terminate cleanly
     with a tree that is not the MST (``silent_wrong``).
 
-    ``run`` must return an object exposing ``is_correct_mst(graph)``
-    (e.g. :class:`repro.core.runner.MSTRunResult`).  Exceptions raised by
-    ``run`` are classified, not propagated — except for
+    ``run`` must return an object exposing ``is_correct(graph)`` (any
+    :class:`repro.core.RunResult` — the problem-generic surface) or the
+    legacy ``is_correct_mst(graph)``.  Exceptions raised by ``run`` are
+    classified, not propagated — except for
     ``KeyboardInterrupt``/``SystemExit``.
 
     When the run was executed with an attached
@@ -209,7 +210,13 @@ def verify_or_diagnose(
         )
     metrics = getattr(result, "metrics", None)
     crashed = tuple(sorted(getattr(metrics, "crashed_nodes", None) or {}))
-    outcome = "correct" if result.is_correct_mst(graph) else "silent_wrong"
+    # Duck-typed so non-MST RunResults (e.g. MISRunResult) diagnose the
+    # same way; every result since the problem registry exposes
+    # ``is_correct``, with ``is_correct_mst`` kept as the legacy spelling.
+    check = getattr(result, "is_correct", None)
+    if check is None:
+        check = result.is_correct_mst
+    outcome = "correct" if check(graph) else "silent_wrong"
     return MSTDiagnosis(
         outcome=outcome,
         result=result,

@@ -29,6 +29,8 @@ from .checks import (
     check_coloring_legal,
     check_congest_budget,
     check_fldt_wellformed,
+    check_mis_independence,
+    check_mis_maximality,
     check_moe_sparsification,
     check_mst_subforest,
     check_star_merge,
@@ -36,6 +38,7 @@ from .checks import (
 from .monitors import (
     MONITOR_NAMES,
     MONITOR_REGISTRY,
+    PROBLEM_MONITORS,
     AwakeBudgetMonitor,
     ColoringMonitor,
     CongestBudgetMonitor,
@@ -43,6 +46,8 @@ from .monitors import (
     FinalizeContext,
     FragmentCountMonitor,
     InvariantMonitor,
+    MISIndependenceMonitor,
+    MISMaximalityMonitor,
     MonitorSet,
     MonitorView,
     MOESparsificationMonitor,
@@ -63,6 +68,7 @@ __all__ = [
     "DEFAULT_BLOCK_AWAKE_BUDGET",
     "MONITOR_NAMES",
     "MONITOR_REGISTRY",
+    "PROBLEM_MONITORS",
     "AwakeBudgetMonitor",
     "ColoringMonitor",
     "CongestBudgetMonitor",
@@ -71,6 +77,8 @@ __all__ = [
     "FragmentCountMonitor",
     "InvariantMonitor",
     "InvariantViolation",
+    "MISIndependenceMonitor",
+    "MISMaximalityMonitor",
     "MOESparsificationMonitor",
     "MSTSubforestMonitor",
     "MonitorSet",
@@ -83,6 +91,8 @@ __all__ = [
     "check_coloring_legal",
     "check_congest_budget",
     "check_fldt_wellformed",
+    "check_mis_independence",
+    "check_mis_maximality",
     "check_moe_sparsification",
     "check_mst_subforest",
     "check_star_merge",

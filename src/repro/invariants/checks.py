@@ -20,6 +20,9 @@ Snapshot shapes (all values are plain ints/tuples so snapshots serialize):
     ``{"phase", "fragment", "nbr_info", "selected"}``
 ``coloring`` (deterministic, after the 5-coloring subroutine)
     ``{"phase", "fragment", "color", "nbr_colors", "nbr_fragments"}``
+``mis_decided`` (Sleeping-MIS, once per node at its in/out decision;
+deliberately phase-free so the group completes when all ``n`` decide)
+    ``{"in_mis", "decided_phase", "degree"}``
 """
 
 from __future__ import annotations
@@ -63,6 +66,10 @@ BLOCK_AWAKE_BUDGETS: Dict[str, int] = {
     # variant's Cole-Vishkin iterations + interlude + relabel stages stay
     # under the same roof for any feasible N.
     "block:coloring": 96,
+    # Sleeping-MIS: each phase is one contend + one announce block, a
+    # single transmit_adjacent awake round apiece.
+    "block:mis_contend": 2,
+    "block:mis_announce": 2,
 }
 
 #: Budget for block spans not named above (single toolbox procedures).
@@ -550,4 +557,70 @@ def check_congest_budget(metrics: Any, budget: int) -> List[Violation]:
                 ),
             )
         )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# mis-independence / mis-no-uncovered-node (arXiv 2204.08359)
+# ----------------------------------------------------------------------
+
+def check_mis_independence(
+    graph: Any, phase: Optional[int], snapshots: Dict[int, Dict[str, Any]]
+) -> List[Violation]:
+    """No two adjacent nodes both decided *in* (independence)."""
+    if graph is None or not hasattr(graph, "edges"):
+        return []
+    in_mis = {
+        node for node, state in snapshots.items() if state.get("in_mis")
+    }
+    violations: List[Violation] = []
+    for edge in graph.edges():
+        if edge.u in in_mis and edge.v in in_mis:
+            violations.append(
+                Violation(
+                    invariant="mis-independence",
+                    lemma="MIS independence (arXiv 2204.08359, Lemma 1)",
+                    message=(
+                        f"adjacent nodes {edge.u} and {edge.v} both "
+                        f"decided to join the MIS"
+                    ),
+                    phase=phase,
+                    snapshot=snapshot_states(
+                        {
+                            node: snapshots[node]
+                            for node in (edge.u, edge.v)
+                        }
+                    ),
+                )
+            )
+    return violations
+
+
+def check_mis_maximality(
+    graph: Any, phase: Optional[int], snapshots: Dict[int, Dict[str, Any]]
+) -> List[Violation]:
+    """Every *out* node has an *in* neighbour (no uncovered node)."""
+    if graph is None or not hasattr(graph, "neighbors"):
+        return []
+    in_mis = {
+        node for node, state in snapshots.items() if state.get("in_mis")
+    }
+    violations: List[Violation] = []
+    for node, state in sorted(snapshots.items()):
+        if state.get("in_mis"):
+            continue
+        if not any(nbr in in_mis for nbr in graph.neighbors(node)):
+            violations.append(
+                Violation(
+                    invariant="mis-no-uncovered-node",
+                    lemma="MIS maximality (arXiv 2204.08359, Lemma 2)",
+                    message=(
+                        f"node {node} decided out of the MIS but none of "
+                        f"its neighbours joined"
+                    ),
+                    phase=phase,
+                    node=node,
+                    snapshot=snapshot_states({node: state}),
+                )
+            )
     return violations

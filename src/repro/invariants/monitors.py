@@ -33,6 +33,8 @@ from .checks import (
     check_coloring_legal,
     check_congest_budget,
     check_fldt_wellformed,
+    check_mis_independence,
+    check_mis_maximality,
     check_moe_sparsification,
     check_mst_subforest,
     check_star_merge,
@@ -267,6 +269,34 @@ class CongestBudgetMonitor(InvariantMonitor):
         return check_congest_budget(ctx.metrics, ctx.congest_budget)
 
 
+class MISIndependenceMonitor(InvariantMonitor):
+    """No two adjacent nodes both join the MIS."""
+
+    name = "mis-independence"
+    lemma = "MIS independence (arXiv 2204.08359, Lemma 1)"
+    points = ("mis_decided",)
+
+    def reset(self, view: MonitorView) -> None:
+        self._view = view
+
+    def check_group(self, point, phase, snapshots):
+        return check_mis_independence(self._view.graph, phase, snapshots)
+
+
+class MISMaximalityMonitor(InvariantMonitor):
+    """Every node out of the MIS is dominated by an MIS neighbour."""
+
+    name = "mis-no-uncovered-node"
+    lemma = "MIS maximality (arXiv 2204.08359, Lemma 2)"
+    points = ("mis_decided",)
+
+    def reset(self, view: MonitorView) -> None:
+        self._view = view
+
+    def check_group(self, point, phase, snapshots):
+        return check_mis_maximality(self._view.graph, phase, snapshots)
+
+
 #: Registry order is also the finalize/check ordering for same-instant hits.
 MONITOR_REGISTRY: Dict[str, type] = {
     monitor.name: monitor
@@ -279,10 +309,30 @@ MONITOR_REGISTRY: Dict[str, type] = {
         FragmentCountMonitor,
         AwakeBudgetMonitor,
         CongestBudgetMonitor,
+        MISIndependenceMonitor,
+        MISMaximalityMonitor,
     )
 }
 
-MONITOR_NAMES: Tuple[str, ...] = tuple(MONITOR_REGISTRY)
+#: The MST monitor names — the original, stable public tuple.  Kept as the
+#: first eight registry entries (and the :class:`MonitorSet` default) for
+#: backwards compatibility; per-problem expansion of ``--monitors all``
+#: goes through :data:`PROBLEM_MONITORS` instead.
+MONITOR_NAMES: Tuple[str, ...] = tuple(MONITOR_REGISTRY)[:8]
+
+#: What ``--monitors all`` expands to, per problem.  Mirrored by each
+#: :class:`repro.problems.ProblemBundle.monitors`; kept here (not in the
+#: bundles) so :mod:`repro.invariants` stays import-independent of
+#: :mod:`repro.problems`.
+PROBLEM_MONITORS: Dict[str, Tuple[str, ...]] = {
+    "mst": MONITOR_NAMES,
+    "mis": (
+        "mis-independence",
+        "mis-no-uncovered-node",
+        "block-awake-budget",
+        "congest-bit-budget",
+    ),
+}
 
 #: Spec values meaning "no monitors".
 _OFF_SPECS = ("", "off", "none", "null")
@@ -306,21 +356,28 @@ def resolve_monitor_spec(spec: Optional[str]) -> Optional[str]:
     unknown = [name for name in requested if name not in MONITOR_REGISTRY]
     if unknown:
         raise ValueError(
-            f"unknown monitor(s) {unknown}; available: {', '.join(MONITOR_NAMES)}"
+            f"unknown monitor(s) {unknown}; available: "
+            f"{', '.join(MONITOR_REGISTRY)}"
         )
-    ordered = [name for name in MONITOR_NAMES if name in set(requested)]
+    ordered = [name for name in MONITOR_REGISTRY if name in set(requested)]
     return ",".join(ordered)
 
 
 def build_monitor_set(
-    spec: Optional[str] = "all", mode: str = "record"
+    spec: Optional[str] = "all", mode: str = "record", problem: str = "mst"
 ) -> Optional["MonitorSet"]:
-    """Build a :class:`MonitorSet` from a spec string (``None`` when off)."""
+    """Build a :class:`MonitorSet` from a spec string (``None`` when off).
+
+    ``"all"`` expands per problem through :data:`PROBLEM_MONITORS` —
+    deliberately at *build* time, not spec-resolution time, so grid spec
+    strings (and therefore :class:`~repro.orchestrator.jobs.JobSpec`
+    hashes) stay problem-independent.
+    """
     canonical = resolve_monitor_spec(spec)
     if canonical is None:
         return None
     if canonical == "all":
-        names: Iterable[str] = MONITOR_NAMES
+        names: Iterable[str] = PROBLEM_MONITORS.get(problem, MONITOR_NAMES)
     else:
         names = canonical.split(",")
     return MonitorSet([MONITOR_REGISTRY[name]() for name in names], mode=mode)

@@ -42,6 +42,7 @@ from .registry import (
     resolve_algorithm,
     resolve_channel_spec,
     resolve_family,
+    resolve_problem,
 )
 from .store import (
     SCHEMA_VERSION,
@@ -82,5 +83,6 @@ __all__ = [
     "resolve_algorithm",
     "resolve_channel_spec",
     "resolve_family",
+    "resolve_problem",
     "run_jobs",
 ]

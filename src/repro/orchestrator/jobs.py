@@ -29,6 +29,7 @@ from .registry import (
     resolve_algorithm,
     resolve_channel_spec,
     resolve_family,
+    resolve_problem,
 )
 
 #: Awake-event cap applied to fault-injected jobs that don't set their own:
@@ -55,6 +56,10 @@ class JobSpec:
     #: Extra keyword arguments for the runner (e.g. ``termination``,
     #: ``coloring``), stored as a sorted tuple so the spec stays hashable.
     options: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    #: Which problem bundle resolves the algorithm (``repro.problems``).
+    #: The default problem is omitted from :meth:`payload`, so MST-only
+    #: specs hash identically to before the problem axis existed.
+    problem: str = "mst"
 
     @classmethod
     def create(
@@ -65,20 +70,27 @@ class JobSpec:
         seed: int,
         id_range: Optional[int] = None,
         options: Optional[Mapping[str, Any]] = None,
+        problem: Optional[str] = None,
     ) -> "JobSpec":
         """Build a validated spec; alias names resolve to canonical ones."""
+        problem = resolve_problem(problem)
         return cls(
-            algorithm=resolve_algorithm(algorithm),
+            algorithm=resolve_algorithm(algorithm, problem),
             family=resolve_family(family),
             n=int(n),
             seed=int(seed),
             id_range=None if id_range is None else int(id_range),
             options=tuple(sorted((options or {}).items())),
+            problem=problem,
         )
 
     def payload(self) -> Dict[str, Any]:
-        """The hashable content of this spec, as plain JSON types."""
-        return {
+        """The hashable content of this spec, as plain JSON types.
+
+        The ``problem`` key appears only off the default, keeping MST
+        hashes (and therefore caches and stores) byte-stable.
+        """
+        payload = {
             "algorithm": self.algorithm,
             "family": self.family,
             "n": self.n,
@@ -86,6 +98,9 @@ class JobSpec:
             "id_range": self.id_range,
             "options": {key: value for key, value in self.options},
         }
+        if self.problem != "mst":
+            payload["problem"] = self.problem
+        return payload
 
     @property
     def key(self) -> str:
@@ -104,6 +119,7 @@ class JobSpec:
             payload["seed"],
             id_range=payload.get("id_range"),
             options=payload.get("options") or {},
+            problem=payload.get("problem"),
         )
 
     def label(self) -> str:
@@ -121,6 +137,7 @@ def expand_grid(
     faults: Optional[Sequence[Optional[str]]] = None,
     monitors: Optional[str] = None,
     engine: Optional[str] = None,
+    problem: Optional[str] = None,
 ) -> List[JobSpec]:
     """Expand a grid into one :class:`JobSpec` per cell.
 
@@ -138,8 +155,11 @@ def expand_grid(
     :func:`repro.core.run_randomized_mst`); the default coroutine engine
     stores nothing — only ``engine="array"`` enters the options — so
     default grids keep their historical hashes and warm caches.
+    ``problem`` selects the bundle every cell's algorithm resolves in
+    (``"mst"`` when omitted, following the same stability convention).
     """
-    canonical = [resolve_algorithm(name) for name in algorithms]
+    problem = resolve_problem(problem)
+    canonical = [resolve_algorithm(name, problem) for name in algorithms]
     resolved_families = [resolve_family(name) for name in families]
     fault_axis = [resolve_channel_spec(spec) for spec in (faults or [None])]
     engine = resolve_engine(engine)
@@ -167,6 +187,7 @@ def expand_grid(
                         seed,
                         id_range=id_range,
                         options=cell_options,
+                        problem=problem,
                     )
                 )
     return specs
@@ -185,6 +206,7 @@ GRID_PAYLOAD_KEYS = (
     "faults",
     "monitors",
     "engine",
+    "problem",
 )
 
 
@@ -228,6 +250,7 @@ def grid_from_payload(payload: Mapping[str, Any]) -> List[JobSpec]:
         faults=payload.get("faults") or None,
         monitors=payload.get("monitors") or None,
         engine=payload.get("engine") or None,
+        problem=payload.get("problem") or None,
     )
 
 
@@ -254,7 +277,7 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
     to before the transport layer existed.
     """
     graph = graph_factory(spec.family)(spec.n, spec.seed, spec.id_range)
-    runner = algorithm_runner(spec.algorithm)
+    runner = algorithm_runner(spec.algorithm, spec.problem)
     options = dict(spec.options)
     faults = options.pop("faults", None)
     monitors_spec = options.pop("monitors", None)
@@ -271,7 +294,7 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
         # state and are not meant to cross process boundaries.
         from repro.invariants import build_monitor_set
 
-        monitor_set = build_monitor_set(monitors_spec)
+        monitor_set = build_monitor_set(monitors_spec, problem=spec.problem)
         if monitor_set is not None:
             options["monitors"] = monitor_set
 
@@ -286,10 +309,12 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
             "first_invariant": report.first_invariant,
         }
 
+    problem_fields = {} if spec.problem == "mst" else {"problem": spec.problem}
     if faults is None:
         result = runner(graph, spec.seed, **options)
         metrics = result.metrics
         record = {
+            **problem_fields,
             "algorithm": spec.algorithm,
             "family": spec.family,
             "n": graph.n,
@@ -303,7 +328,7 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
             "awake_round_product": metrics.awake_round_product,
             "messages": metrics.messages_delivered,
             "bits": metrics.total_bits,
-            "correct": result.is_correct_mst(graph),
+            "correct": result.is_correct(graph),
         }
         record.update(monitor_fields())
         return record
@@ -319,6 +344,7 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
         monitors=monitor_set,
     )
     record: Dict[str, Any] = {
+        **problem_fields,
         "algorithm": spec.algorithm,
         "family": spec.family,
         "n": graph.n,

@@ -6,8 +6,12 @@ the set of runnable things is defined exactly once.  Canonical algorithm
 names are the Table 1 names (``Randomized-MST``, ...); lowercase CLI-style
 aliases (``randomized``, ...) resolve to them.
 
+Since the problem-registry refactor the algorithm tables live in problem
+bundles (:mod:`repro.problems`); this module re-exports the MST bundle's
+tables (the *same* dict objects, so they cannot drift) and grows a
+``problem=`` axis on :func:`resolve_algorithm` / :func:`algorithm_runner`.
 Runners all share the signature ``runner(graph, seed, **options)`` and
-return an :class:`repro.core.MSTRunResult`; graph factories share
+return a :class:`repro.core.RunResult`; graph factories share
 ``factory(n, seed, id_range)`` and return a connected
 :class:`repro.graphs.WeightedGraph`.
 """
@@ -15,11 +19,14 @@ return an :class:`repro.core.MSTRunResult`; graph factories share
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Optional
+from typing import Callable, Dict, Optional
 
-from repro.baselines import run_pipelined_ghs, run_traditional_ghs
-from repro.core import run_deterministic_mst, run_randomized_mst
-from repro.sim.array_engine import resolve_engine
+from repro.problems import AlgorithmRunner, problem_bundle, resolve_problem
+from repro.problems.mst import (
+    ALGORITHM_ALIASES,
+    ALGORITHMS,
+    DIAGNOSTIC_ALGORITHMS,
+)
 from repro.sim.transport import (
     CHANNEL_SPEC_EXAMPLES,
     parse_channel_spec,
@@ -37,7 +44,6 @@ from repro.graphs import (
 )
 
 GraphFactory = Callable[[int, int, Optional[int]], WeightedGraph]
-AlgorithmRunner = Callable[..., Any]
 
 #: Graph families available everywhere (CLI ``run``/``sweep``/``batch``,
 #: :mod:`repro.analysis.sweep`, the orchestrator).
@@ -61,95 +67,19 @@ GRAPH_FAMILIES: Dict[str, GraphFactory] = {
 }
 
 
-def _run_randomized(graph: WeightedGraph, seed: int, **options: Any):
-    return run_randomized_mst(graph, seed=seed, **options)
+def resolve_algorithm(name: str, problem: Optional[str] = None) -> str:
+    """Return the canonical name for ``name`` within ``problem``.
 
-
-def _run_deterministic(graph: WeightedGraph, seed: int, **options: Any):
-    return run_deterministic_mst(graph, seed=seed, **options)
-
-
-def _run_logstar(graph: WeightedGraph, seed: int, **options: Any):
-    options.setdefault("coloring", "log-star")
-    return run_deterministic_mst(graph, seed=seed, **options)
-
-
-def _reject_array_engine(algorithm: str, options: Dict[str, Any]) -> None:
-    """Comparator runners have no vectorized implementation.
-
-    The MST runners validate ``engine=`` themselves; here we strip the
-    default value and fail loudly on ``"array"`` instead of letting an
-    unknown keyword reach the traditional runners.
+    ``problem`` defaults to ``"mst"`` — the pre-registry behaviour.
     """
-    engine = options.pop("engine", None)
-    if resolve_engine(engine) == "array":
-        from repro.sim.errors import UnsupportedFeatureError
-
-        raise UnsupportedFeatureError(
-            algorithm, "only Randomized-MST is vectorized"
-        )
+    return problem_bundle(problem).resolve_algorithm(name)
 
 
-def _run_traditional(graph: WeightedGraph, seed: int, **options: Any):
-    _reject_array_engine("Traditional-GHS", options)
-    return run_traditional_ghs(graph, seed=seed, **options)
-
-
-def _run_pipelined(graph: WeightedGraph, seed: int, **options: Any):
-    _reject_array_engine("Pipelined-GHS", options)
-    return run_pipelined_ghs(graph, seed=seed, **options)
-
-
-#: The runners behind each Table 1 row (+ the traditional comparators).
-ALGORITHMS: Dict[str, AlgorithmRunner] = {
-    "Randomized-MST": _run_randomized,
-    "Deterministic-MST": _run_deterministic,
-    "LogStar-MST": _run_logstar,
-    "Traditional-GHS": _run_traditional,
-    "Pipelined-GHS": _run_pipelined,
-}
-
-
-def _run_crashing(graph: WeightedGraph, seed: int, **options: Any):
-    raise RuntimeError(
-        f"Crashing-MST always fails (n={graph.n}, seed={seed})"
-    )
-
-
-#: Diagnostic runners resolvable by the orchestrator but deliberately not
-#: part of :data:`ALGORITHMS` (so table/sweep consumers never iterate into
-#: them).  ``Crashing-MST`` exercises crash isolation and resume paths.
-DIAGNOSTIC_ALGORITHMS: Dict[str, AlgorithmRunner] = {
-    "Crashing-MST": _run_crashing,
-}
-
-#: Lowercase CLI-style aliases for the canonical algorithm names.
-ALGORITHM_ALIASES: Dict[str, str] = {
-    "randomized": "Randomized-MST",
-    "deterministic": "Deterministic-MST",
-    "logstar": "LogStar-MST",
-    "log-star": "LogStar-MST",
-    "traditional": "Traditional-GHS",
-    "pipelined": "Pipelined-GHS",
-    "crashing": "Crashing-MST",
-}
-
-
-def resolve_algorithm(name: str) -> str:
-    """Return the canonical name for ``name`` (alias or canonical)."""
-    canonical = ALGORITHM_ALIASES.get(name.lower(), name)
-    if canonical not in ALGORITHMS and canonical not in DIAGNOSTIC_ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)} "
-            f"or aliases {sorted(ALGORITHM_ALIASES)}"
-        )
-    return canonical
-
-
-def algorithm_runner(name: str) -> AlgorithmRunner:
-    """Return the runner for ``name`` (canonical or alias)."""
-    canonical = resolve_algorithm(name)
-    return ALGORITHMS.get(canonical) or DIAGNOSTIC_ALGORITHMS[canonical]
+def algorithm_runner(
+    name: str, problem: Optional[str] = None
+) -> AlgorithmRunner:
+    """Return the runner for ``name`` (canonical or alias) in ``problem``."""
+    return problem_bundle(problem).runner(name)
 
 
 def resolve_family(name: str) -> str:

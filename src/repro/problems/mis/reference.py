@@ -1,0 +1,31 @@
+"""Reference MIS solver: the sequential greedy baseline.
+
+Unlike MST (unique under distinct weights), a graph usually has many
+maximal independent sets, so the reference output is *a* certificate of
+feasibility, not the expected protocol output.  The validator therefore
+checks independence + maximality of the protocol's own set; the greedy
+set is used for sanity anchors (size bounds, docs examples, tests).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.graphs import WeightedGraph
+
+
+def greedy_mis(graph: WeightedGraph) -> FrozenSet[int]:
+    """The lexicographically-first MIS: scan IDs ascending, take if free.
+
+    Deterministic, so tests can pin exact sets; it is also exactly the
+    fixed point the protocol's final-slots stage converges to when every
+    random phase declines to mark (smaller IDs win their slots first).
+    """
+    in_mis: set = set()
+    dominated: set = set()
+    for node in sorted(graph.node_ids):
+        if node in dominated:
+            continue
+        in_mis.add(node)
+        dominated.update(graph.neighbors(node))
+    return frozenset(in_mis)

@@ -1,0 +1,99 @@
+"""The cross-problem comparison artifact: generation, rendering, golden copy."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    COMPARE_SCHEMA,
+    generate_problem_comparison,
+    load_comparison,
+    render_comparison,
+    write_comparison,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+ARTIFACT = REPO_ROOT / "PROBLEMS_compare.json"
+
+
+class TestGenerate:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return generate_problem_comparison(
+            sizes=[8, 16], seeds=[0], monitors="all"
+        )
+
+    def test_covers_every_registered_problem(self, payload):
+        assert payload["schema"] == COMPARE_SCHEMA
+        assert set(payload["problems"]) == {"mst", "mis"}
+
+    def test_curves_carry_normalized_ratios(self, payload):
+        for data in payload["problems"].values():
+            assert [point["n"] for point in data["curve"]] == [8, 16]
+            for point in data["curve"]:
+                assert point["ratio"] == pytest.approx(
+                    point["mean_max_awake"] / point["normalizer"], rel=1e-3
+                )
+
+    def test_monitored_cells_record_zero_violations(self, payload):
+        for data in payload["problems"].values():
+            assert data["violations"] == 0
+            assert data["correct_cells"] == data["total_cells"] == 2
+            # monitors="all" forces every cell off the array engine, so
+            # each record carries a monitor verdict.
+            assert all(
+                cell["monitor_checks"] > 0 for cell in data["cells"]
+            )
+
+    def test_render_names_both_bounds(self, payload):
+        table = render_comparison(payload)
+        assert "O(log n)" in table
+        assert "O(log log n)" in table
+        assert "Sleeping-MIS" in table
+
+    def test_roundtrip_and_schema_gate(self, payload, tmp_path):
+        path = write_comparison(payload, tmp_path / "compare.json")
+        assert load_comparison(path) == payload
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/9"}')
+        with pytest.raises(ValueError, match="unexpected comparison schema"):
+            load_comparison(bad)
+
+    def test_problem_subset(self):
+        payload = generate_problem_comparison(
+            sizes=[8], seeds=[0], problems=["mis"]
+        )
+        assert set(payload["problems"]) == {"mis"}
+        assert "mis_grows_slower" not in payload
+
+
+class TestCommittedArtifact:
+    """The acceptance criteria, asserted against the committed JSON."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        assert ARTIFACT.exists(), "PROBLEMS_compare.json must be committed"
+        return load_comparison(ARTIFACT)
+
+    def test_acceptance_grid(self, artifact):
+        assert artifact["sizes"] == [64, 256, 1024]
+        assert len(artifact["seeds"]) >= 3
+
+    def test_mis_grows_strictly_slower(self, artifact):
+        assert artifact["mis_grows_slower"] is True
+        mis = artifact["problems"]["mis"]
+        mst = artifact["problems"]["mst"]
+        assert mis["growth"] < mst["growth"]
+        # And in absolute terms: by n=1024 the curves are separated by
+        # an order of magnitude.
+        assert (
+            10 * mis["curve"][-1]["mean_max_awake"]
+            < mst["curve"][-1]["mean_max_awake"]
+        )
+
+    def test_every_cell_correct(self, artifact):
+        for data in artifact["problems"].values():
+            assert data["correct_cells"] == data["total_cells"]
+            assert data["violations"] == 0

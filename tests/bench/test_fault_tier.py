@@ -38,5 +38,5 @@ class TestFaultTier:
 
     def test_benchmark_tiers_are_known(self):
         assert {b.tier for b in BENCHMARKS} == {
-            "micro", "e2e", "fault", "monitors", "scale"
+            "micro", "e2e", "fault", "monitors", "mis", "scale"
         }

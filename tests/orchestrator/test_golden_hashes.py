@@ -1,0 +1,118 @@
+"""Golden-hash regression: the problem registry must not move MST bytes.
+
+The problem-bundle refactor threaded a ``problem`` axis through
+``JobSpec``, ``execute_job``, and the run store.  Its hard compatibility
+contract: every MST-only spec hashes and fingerprints exactly as it did
+before the axis existed, so content-addressed caches, ``--resume``
+stores, and committed BENCH baselines all stay valid.  The constants
+below were recorded from the pre-refactor tree; if any of them moves,
+the cache key space silently forked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.orchestrator import (
+    JobSpec,
+    RunRecord,
+    execute_job,
+    expand_grid,
+    grid_key,
+)
+
+#: Pre-refactor ``JobSpec.create(alg, "ring", 8, seed).key`` values.
+GOLDEN_SPEC_KEYS = {
+    ("randomized", 0):
+        "26c22253ac64ab2a7c166324f80ab30c8edac0f00d5359291e8550912f79864b",
+    ("deterministic", 0):
+        "4dc2aa64f454cca7813fb737a05d9c1a74fd703469b519c93b7ce45943e9c67a",
+    ("traditional", 0):
+        "2c09494d6eed4272c92f1645801346c13476ae1bd455156a1dbd8dbfa2926a93",
+    ("randomized", 1):
+        "b945226657660a9955832aaa62b127d2a78b23878df7a21ab9311acbe7297960",
+    ("deterministic", 1):
+        "9b067dbd69671dd401964109dbb1aac315b17435fce44e0f3a4fa43477f2801d",
+    ("traditional", 1):
+        "1d85917463a1eea94576e3dd99b8a1defa5c1f3cab69c1909abc32e1120e372a",
+}
+
+#: Pre-refactor ``grid_key`` of the canonical 3-algorithm smoke grid.
+GOLDEN_GRID_KEY = (
+    "b251d966a9f33bce73291ecbde2f358418d08dbc774eb8606d691af652b9b542"
+)
+
+#: Optioned cells: faults/monitors/engine all ride the options dict.
+GOLDEN_OPTIONED_KEY = (
+    "23a5eb80b62d50c2cb40e21870b8d0e1673e1b3e9d6ec581e8810f7e01bd37ea"
+)
+GOLDEN_ARRAY_KEY = (
+    "858ab03d80e25869db587e65eac99dff4a205dae5169996ddd8d6a71a70d627a"
+)
+
+#: sha256 of the full serialized RunRecord (spec + metrics + schema) for
+#: two executed cells — pins record *content*, not just spec identity.
+GOLDEN_FINGERPRINTS = {
+    "randomized":
+        "d9db5046177ff444ef0cdf5ebb6a671113160222c10fe386641bcfd285cf0cef",
+    "deterministic":
+        "d46c201e0d314fb5511da3a52df32c948108204180ac28b1e372db8f55fbc1ae",
+}
+
+
+class TestGoldenSpecKeys:
+    def test_single_cell_keys_unchanged(self):
+        for (algorithm, seed), expected in GOLDEN_SPEC_KEYS.items():
+            spec = JobSpec.create(algorithm, "ring", 8, seed)
+            assert spec.key == expected, (algorithm, seed)
+
+    def test_explicit_mst_problem_hashes_identically(self):
+        # problem="mst" must be a no-op on the payload: same key as the
+        # pre-refactor spec that had no problem axis at all.
+        legacy = JobSpec.create("randomized", "ring", 8, 0)
+        explicit = JobSpec.create("randomized", "ring", 8, 0, problem="mst")
+        assert explicit.key == legacy.key
+        assert "problem" not in explicit.payload()
+
+    def test_grid_key_unchanged(self):
+        specs = expand_grid(
+            ["randomized", "deterministic", "traditional"],
+            ["ring", "gnp"],
+            [8, 16],
+            [0, 1],
+        )
+        assert grid_key(specs) == GOLDEN_GRID_KEY
+
+    def test_optioned_spec_keys_unchanged(self):
+        optioned = JobSpec.create(
+            "randomized", "gnp", 16, 0,
+            options={
+                "faults": "drop:0.05", "monitors": "all", "engine": "array"
+            },
+        )
+        assert optioned.key == GOLDEN_OPTIONED_KEY
+        array = JobSpec.create(
+            "randomized", "grid", 64, 3, options={"engine": "array"}
+        )
+        assert array.key == GOLDEN_ARRAY_KEY
+
+
+class TestGoldenFingerprints:
+    def test_executed_record_fingerprints_unchanged(self):
+        for algorithm, expected in GOLDEN_FINGERPRINTS.items():
+            spec = JobSpec.create(algorithm, "ring", 8, 0)
+            record = RunRecord.ok(spec, execute_job(spec))
+            digest = hashlib.sha256(record.fingerprint()).hexdigest()
+            assert digest == expected, algorithm
+
+    def test_mis_spec_hashes_apart(self):
+        # The new axis must hash *differently* — an MIS cell can never
+        # collide with an MST cell in the result cache.
+        mst = JobSpec.create("randomized", "ring", 8, 0)
+        mis = JobSpec.create("randomized", "ring", 8, 0, problem="mis")
+        assert mis.algorithm == "Sleeping-MIS"
+        assert mis.payload()["problem"] == "mis"
+        assert mis.key != mst.key
+        assert mis.key == (
+            "12a618db2add8d6a504d435ab8b1c51faf2053003936fa9e9e584f86edbb1839"
+        )

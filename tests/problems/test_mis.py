@@ -1,0 +1,197 @@
+"""Sleeping-MIS end to end: protocol, validation, reference, awake bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import WeightedGraph
+from repro.invariants import build_monitor_set
+from repro.orchestrator import GRAPH_FAMILIES
+from repro.problems import (
+    MISNodeOutput,
+    MISRunResult,
+    greedy_mis,
+    run_sleeping_mis,
+)
+from repro.problems.mis import (
+    MISOutputError,
+    check_local_mis_outputs,
+    is_independent_set,
+    is_maximal_independent_set,
+    mis_phase_plan,
+)
+from repro.sim.errors import UnsupportedFeatureError
+
+
+def _graph(family: str, n: int, seed: int) -> WeightedGraph:
+    return GRAPH_FAMILIES[family](n, seed, None)
+
+
+class TestPhasePlan:
+    def test_loglog_length(self):
+        # Theta(log log n): squaring n doubles K = log2 n, which adds one
+        # halving phase and one finishing phase — never more.
+        assert len(mis_phase_plan(2 ** 20)) <= len(mis_phase_plan(2 ** 10)) + 2
+        assert len(mis_phase_plan(2 ** 32)) <= len(mis_phase_plan(2 ** 16)) + 2
+
+    def test_ends_at_exponent_one(self):
+        plan = mis_phase_plan(1024)
+        assert plan[-1] == 1
+        assert all(exponent >= 1 for exponent in plan)
+
+    def test_trivial_graph_has_no_phases(self):
+        assert mis_phase_plan(1) == ()
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("family", ["ring", "path", "gnp", "star"])
+    @pytest.mark.parametrize("n", [3, 8, 33])
+    def test_produces_maximal_independent_set(self, family, n):
+        graph = _graph(family, n, seed=1)
+        result = run_sleeping_mis(graph, seed=1, verify=True)
+        assert isinstance(result, MISRunResult)
+        assert result.is_correct(graph)
+        assert is_maximal_independent_set(graph, result.mis_nodes)
+
+    def test_deterministic_under_seed(self):
+        graph = _graph("gnp", 24, seed=3)
+        first = run_sleeping_mis(graph, seed=7)
+        second = run_sleeping_mis(graph, seed=7)
+        assert first.mis_nodes == second.mis_nodes
+        assert first.metrics.max_awake == second.metrics.max_awake
+
+    def test_out_nodes_carry_domination_witnesses(self):
+        graph = _graph("gnp", 16, seed=0)
+        result = run_sleeping_mis(graph, seed=0)
+        for node, output in result.node_outputs.items():
+            if not output.in_mis:
+                ports = graph.ports_of(node)
+                assert any(
+                    ports[port][0] in result.mis_nodes
+                    for port in output.mis_ports
+                )
+
+    def test_single_node_graph(self):
+        graph = WeightedGraph([1], [])
+        result = run_sleeping_mis(graph, seed=0)
+        assert result.mis_nodes == frozenset({1})
+        assert result.phases == 0
+
+    def test_max_phases_truncation_stays_correct(self):
+        # The deterministic final-slots stage certifies correctness even
+        # when every random phase is cut.
+        graph = _graph("gnp", 16, seed=2)
+        result = run_sleeping_mis(graph, seed=2, max_phases=0, verify=True)
+        assert result.is_correct(graph)
+
+    @pytest.mark.parametrize("n", [64, 1024])
+    def test_awake_bounded_by_phase_plan(self, n):
+        # The structural O(log log n) claim: every node is awake O(1)
+        # rounds per phase (contend + announce) plus an O(1) final-slots
+        # stage, so max awake <= 2 * |plan| + O(1).
+        result = run_sleeping_mis(_graph("gnp", n, seed=0), seed=0)
+        assert result.metrics.max_awake <= 2 * len(mis_phase_plan(n)) + 4
+
+    def test_array_engine_rejected_with_fallback_hint(self):
+        # Satellite: the rejection names the unsupported feature AND the
+        # coroutine fallback so the error is self-serviceable.
+        graph = _graph("ring", 8, seed=0)
+        with pytest.raises(UnsupportedFeatureError) as excinfo:
+            run_sleeping_mis(graph, seed=0, engine="array")
+        message = str(excinfo.value)
+        assert "Sleeping-MIS" in message
+        assert "only Randomized-MST is vectorized" in message
+        assert 'engine="coroutine"' in message
+
+
+class TestMonitors:
+    @pytest.mark.parametrize("n", [8, 24, 64])
+    def test_all_monitors_stay_silent(self, n):
+        graph = _graph("gnp", n, seed=1)
+        monitor_set = build_monitor_set("all", problem="mis")
+        assert monitor_set.names == (
+            "mis-independence",
+            "mis-no-uncovered-node",
+            "block-awake-budget",
+            "congest-bit-budget",
+        )
+        result = run_sleeping_mis(graph, seed=1, monitors=monitor_set)
+        report = monitor_set.finalize()
+        assert result.is_correct(graph)
+        assert report.ok()
+        assert report.checks_run > 0
+        assert not report.incomplete_groups
+
+
+class TestReference:
+    @pytest.mark.parametrize("family", ["ring", "gnp"])
+    def test_greedy_mis_is_maximal_independent(self, family):
+        graph = _graph(family, 20, seed=4)
+        reference = greedy_mis(graph)
+        assert is_maximal_independent_set(graph, reference)
+
+    def test_greedy_prefers_smallest_ids(self):
+        graph = WeightedGraph([1, 2, 3], [(1, 2, 10), (2, 3, 20)])
+        assert greedy_mis(graph) == frozenset({1, 3})
+
+
+class TestValidation:
+    def _outputs(self, graph, in_set):
+        outputs = {}
+        for node in graph.node_ids:
+            ports = graph.ports_of(node)
+            witnesses = frozenset(
+                port for port, (nbr, _, _) in ports.items() if nbr in in_set
+            )
+            outputs[node] = MISNodeOutput(
+                node_id=node,
+                in_mis=node in in_set,
+                phases=1,
+                decided_phase=1,
+                mis_ports=frozenset() if node in in_set else witnesses,
+            )
+        return outputs
+
+    def test_accepts_valid_outputs(self):
+        graph = WeightedGraph([1, 2, 3], [(1, 2, 10), (2, 3, 20)])
+        certified = check_local_mis_outputs(
+            graph, self._outputs(graph, {1, 3})
+        )
+        assert certified == frozenset({1, 3})
+
+    def test_missing_node_raises_with_missing_list(self):
+        graph = WeightedGraph([1, 2], [(1, 2, 10)])
+        outputs = self._outputs(graph, {1})
+        del outputs[2]
+        with pytest.raises(MISOutputError, match="without MIS output") as exc:
+            check_local_mis_outputs(graph, outputs)
+        assert exc.value.missing == (2,)
+
+    def test_adjacent_members_rejected(self):
+        graph = WeightedGraph([1, 2], [(1, 2, 10)])
+        with pytest.raises(MISOutputError, match="independence violated"):
+            check_local_mis_outputs(graph, self._outputs(graph, {1, 2}))
+
+    def test_uncovered_out_node_rejected(self):
+        graph = WeightedGraph([1, 2, 3], [(1, 2, 10), (2, 3, 20)])
+        with pytest.raises(MISOutputError, match="maximality violated"):
+            check_local_mis_outputs(graph, self._outputs(graph, {1}))
+
+    def test_bad_witness_port_rejected(self):
+        graph = WeightedGraph([1, 2, 3], [(1, 2, 10), (2, 3, 20)])
+        outputs = self._outputs(graph, {1, 3})
+        outputs[2] = MISNodeOutput(
+            node_id=2,
+            in_mis=False,
+            phases=1,
+            decided_phase=1,
+            mis_ports=frozenset({99}),
+        )
+        with pytest.raises(MISOutputError, match="domination"):
+            check_local_mis_outputs(graph, outputs)
+
+    def test_independence_helpers(self):
+        graph = WeightedGraph([1, 2, 3], [(1, 2, 10), (2, 3, 20)])
+        assert is_independent_set(graph, frozenset({1, 3}))
+        assert not is_independent_set(graph, frozenset({1, 2}))
+        assert not is_maximal_independent_set(graph, frozenset({1}))
