@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Regenerate ``CAMPAIGN_crossover.json`` and print the fitted curves.
+
+Runs the committed ``examples/campaigns/crossover.toml`` campaign
+end to end — two dense awake curves (randomized MST on the array
+engine, Sleeping-MIS), the sleeping-vs-always-awake bisection, and the
+drop-rate threshold scan — then:
+
+* prints the bisection's audit trail: every probed size, the two means
+  compared, and the crossover — the smallest n where the sleeping
+  algorithm's max awake time beats Pipelined-GHS's round count.  The
+  binary search spends ⌈log2(range)⌉-scale probes, not a full sweep.
+* prints both fitted awake curves with their seed-level bootstrap
+  confidence bands: MST against ``c * log2 n``, MIS against
+  ``c * log2 log2 n`` — the two regimes the paper pair separates.
+* writes the full ``repro-campaign/1`` report to
+  ``CAMPAIGN_crossover.json`` at the repo root (the committed artifact;
+  stable formatting, deterministic content, so regeneration diffs
+  clean).
+
+The campaign ledger lands under ``.repro-campaigns/crossover/`` — a
+second invocation resumes from it and reproduces the artifact
+byte-for-byte without re-running finished cells.
+
+Run:  PYTHONPATH=src python examples/adaptive_crossover.py [output.json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.campaigns import (
+    CampaignSpec,
+    LocalGridExecutor,
+    ledger_path,
+    render_report,
+    run_campaign,
+    validate_campaign_report,
+    write_report,
+)
+from repro.orchestrator import ResultCache
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SPEC = REPO_ROOT / "examples" / "campaigns" / "crossover.toml"
+DEFAULT_OUTPUT = REPO_ROOT / "CAMPAIGN_crossover.json"
+
+
+def main() -> int:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUTPUT
+    spec = CampaignSpec.load(SPEC)
+    executor = LocalGridExecutor(
+        store=ledger_path(REPO_ROOT / ".repro-campaigns", spec.name),
+        cache=ResultCache(REPO_ROOT / ".repro-cache"),
+        log=lambda message: print(f"  {message}", file=sys.stderr),
+    )
+    print(f"running campaign {spec.name!r} from {SPEC.name} ...", file=sys.stderr)
+    report = run_campaign(spec, executor, log=lambda m: None)
+    validate_campaign_report(report)
+
+    print(render_report(report))
+
+    bisect = next(d for d in report["drivers"] if d["kind"] == "bisect")
+    span = bisect["range"][1] - bisect["range"][0] + 1
+    print(
+        f"\ncrossover located at n={bisect['crossover']} with "
+        f"{bisect['probe_count']} probes over a {span}-size range "
+        f"(binary search, budget {bisect['budget']})"
+    )
+
+    write_report(report, output)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,12 +17,21 @@ from .complexity import (
     geometric_mean,
 )
 from .energy import EnergyModel
+from .fits import FitBand, PointBand, fit_records, render_fit, seed_level_fit
 from .phase_history import PhaseSnapshot, contraction_ratios, phase_history
 from .randomized_stats import (
     ContractionReport,
     SuccessReport,
     contraction_statistics,
     fixed_mode_success_rate,
+)
+from .stats import (
+    SummaryStats,
+    bootstrap_mean_interval,
+    mean,
+    percentile,
+    sample_std,
+    summarize,
 )
 from .sweep import (
     FAMILIES,
@@ -56,7 +65,10 @@ __all__ = [
     "FAMILIES",
     "ContractionReport",
     "EnergyModel",
+    "FitBand",
+    "PointBand",
     "SuccessReport",
+    "SummaryStats",
     "Timeline",
     "awake_timeline",
     "contraction_ratios",
@@ -72,11 +84,19 @@ __all__ = [
     "Table1",
     "Walkthrough",
     "best_model",
+    "bootstrap_mean_interval",
     "boruvka_merge_structure",
     "build_walkthrough_instance",
     "doubling_ratios",
+    "fit_records",
     "fit_scaling",
     "fit_sweep",
+    "mean",
+    "percentile",
+    "render_fit",
+    "sample_std",
+    "seed_level_fit",
+    "summarize",
     "generate_problem_comparison",
     "generate_table1",
     "geometric_mean",

@@ -24,6 +24,8 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.orchestrator import JobSpec, execute_job
 from repro.problems import problem_bundle, problem_names
 
+from .stats import mean
+
 #: Version tag for the comparison artifact's JSON schema.
 COMPARE_SCHEMA = "repro-problems-compare/1"
 
@@ -93,7 +95,7 @@ def generate_problem_comparison(
                 record = execute_job(spec)
                 cells.append(record)
                 awakes.append(record["max_awake"])
-            mean_awake = sum(awakes) / len(awakes)
+            mean_awake = mean(awakes)
             normalizer = bundle.awake_normalizer(n)
             curve.append(
                 {

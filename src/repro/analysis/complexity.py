@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 MODELS: Dict[str, Callable[[float], float]] = {
     "const": lambda n: 1.0,
     "log": lambda n: math.log2(max(2.0, n)),
+    "loglog": lambda n: math.log2(max(2.0, math.log2(max(2.0, n)))),
     "linear": lambda n: float(n),
     "nlog": lambda n: n * math.log2(max(2.0, n)),
     "n2log": lambda n: n * n * math.log2(max(2.0, n)),

@@ -23,6 +23,7 @@ from repro.graphs import WeightedGraph, mst_weight_set
 
 from .ablation import boruvka_merge_structure
 from .complexity import geometric_mean
+from .stats import mean
 
 
 @dataclass(frozen=True)
@@ -37,9 +38,7 @@ class ContractionReport:
     @property
     def mean_ratio(self) -> float:
         """Arithmetic mean of per-phase contraction factors."""
-        if not self.ratios:
-            return 0.0
-        return sum(self.ratios) / len(self.ratios)
+        return mean(list(self.ratios))
 
     @property
     def geometric_mean_ratio(self) -> float:

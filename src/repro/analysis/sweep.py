@@ -28,6 +28,7 @@ from repro.orchestrator import (
 )
 
 from .complexity import ScalingFit, fit_scaling
+from .stats import mean
 
 #: Graph families available to sweeps (and the CLI).  Re-exported from the
 #: orchestrator registry — the single source of truth.
@@ -158,6 +159,6 @@ def fit_sweep(
         sizes = sorted(by_size)
         if len(sizes) < 2:
             continue
-        values = [sum(by_size[n]) / len(by_size[n]) for n in sizes]
+        values = [mean(by_size[n]) for n in sizes]
         fits[key] = fit_scaling(sizes, values, model)
     return fits

@@ -35,6 +35,7 @@ from repro.orchestrator import (
 )
 
 from .complexity import fit_scaling
+from .stats import mean
 
 __all__ = [
     "ALGORITHMS",
@@ -127,17 +128,18 @@ def table1_from_records(
     table = Table1()
     for algorithm, n in keys:
         cells = grouped[(algorithm, n)]
-        count = len(cells)
         table.rows.append(
             MeasuredRow(
                 algorithm=algorithm,
                 n=n,
                 max_id=cells[0]["max_id"],
-                max_awake=sum(cell["max_awake"] for cell in cells) / count,
-                rounds=sum(cell["rounds"] for cell in cells) / count,
-                product=sum(cell["awake_round_product"] for cell in cells) / count,
+                max_awake=mean([cell["max_awake"] for cell in cells]),
+                rounds=mean([cell["rounds"] for cell in cells]),
+                product=mean(
+                    [cell["awake_round_product"] for cell in cells]
+                ),
                 correct_runs=sum(1 for cell in cells if cell["correct"]),
-                total_runs=count,
+                total_runs=len(cells),
             )
         )
     return table

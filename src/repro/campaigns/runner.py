@@ -1,0 +1,253 @@
+"""Campaign execution: one resumable ledger per campaign, three executors.
+
+Everything a campaign measures — dense grid cells and adaptive driver
+probes alike — flows through one *executor* into one append-only
+:class:`~repro.orchestrator.store.RunStore` ledger at
+``<root>/<campaign>/runs.jsonl``.  The ledger doubles as the resume
+journal: :func:`run_campaign` always passes it as both ``store`` and
+``resume`` to :func:`~repro.orchestrator.run_jobs`, so a campaign killed
+mid-grid (even one that left a torn trailing JSONL line) re-runs exactly
+the missing cells on the next invocation and nothing else.  Driver
+probes resume the same way — drivers are deterministic, so a resumed
+bisection proposes the same sizes and finds its measurements already in
+the ledger.
+
+Executors:
+
+* :class:`LocalGridExecutor` — in-process :func:`run_jobs` with the
+  shared ledger and an optional cross-campaign result cache;
+* :class:`ServiceGridExecutor` — submits grids to a ``repro serve``
+  daemon via :class:`repro.service.ServiceClient` (the ``--via-service``
+  path) and mirrors the returned records into the local ledger so
+  ``campaign report``/``resume`` work identically afterwards;
+* :class:`StoreReplayExecutor` — never runs anything: it answers every
+  grid from a finished ledger, which is how ``campaign report`` rebuilds
+  a byte-identical report without touching a simulator.
+
+The report lists records in canonical grid-expansion order regardless of
+the executor or the grid section's execution ``order``, which is half of
+the byte-identity story (the other half is
+:func:`repro.campaigns.report.deterministic_record`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.orchestrator import (
+    JobSpec,
+    ResultCache,
+    RunRecord,
+    RunStore,
+    grid_from_payload,
+    run_jobs,
+)
+
+from .drivers import build_driver
+from .report import build_report
+from .spec import CampaignSpec, GridSection
+
+
+class CampaignError(RuntimeError):
+    """A campaign could not produce a complete report."""
+
+
+class MissingRecordsError(CampaignError):
+    """A replay executor found cells absent from the ledger."""
+
+    def __init__(self, message: str, missing: Sequence[str]):
+        super().__init__(message)
+        #: Labels of the missing cells.
+        self.missing = list(missing)
+
+
+def campaign_root(root: Union[str, Path], name: str) -> Path:
+    return Path(root) / name
+
+
+def ledger_path(root: Union[str, Path], name: str) -> Path:
+    return campaign_root(root, name) / "runs.jsonl"
+
+
+def report_path(root: Union[str, Path], name: str) -> Path:
+    return campaign_root(root, name) / "report.json"
+
+
+class LocalGridExecutor:
+    """Run grids in-process through the orchestrator pool."""
+
+    def __init__(
+        self,
+        store: Union[RunStore, str, Path],
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        self.cache = cache
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.log = log or (lambda message: None)
+
+    def _run(self, specs: Sequence[JobSpec], label: str) -> List[RunRecord]:
+        report = run_jobs(
+            specs,
+            workers=self.workers,
+            cache=self.cache,
+            store=self.store,
+            resume=self.store,
+            timeout=self.timeout,
+            retries=self.retries,
+        )
+        self.log(
+            f"{label}: {report.total} cells "
+            f"({report.executed} executed, {report.cached} cached, "
+            f"{report.resumed} resumed, {report.failed} failed)"
+        )
+        return list(report.records)
+
+    def run_section(
+        self, section: GridSection, campaign: str
+    ) -> List[RunRecord]:
+        specs = section.specs()
+        ordered = section.execution_order(specs, campaign)
+        return self._run(ordered, f"grid {section.name}")
+
+    def run_grid(
+        self, payload: Mapping[str, Any], label: str
+    ) -> List[RunRecord]:
+        return self._run(grid_from_payload(payload), label)
+
+
+class ServiceGridExecutor:
+    """Run grids through a ``repro serve`` daemon (``--via-service``).
+
+    Each grid becomes one ``POST /jobs`` submission; identical in-flight
+    grids coalesce server-side and the daemon's own cache/store serve
+    warm cells.  Returned records are mirrored into the campaign's local
+    ledger (skipping keys already present) so later ``resume``/``report``
+    invocations work offline.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        store: Union[RunStore, str, Path],
+        timeout: Optional[float] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        self.client = client
+        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        self.timeout = timeout
+        self.log = log or (lambda message: None)
+
+    def _run_payload(
+        self, payload: Mapping[str, Any], label: str
+    ) -> List[RunRecord]:
+        job = self.client.submit(dict(payload))["job"]
+        self.client.wait(job, timeout_s=self.timeout)
+        result = self.client.fetch(job)
+        records = [
+            RunRecord.from_dict(record) for record in result["records"]
+        ]
+        known = set(self.store.latest_by_key())
+        for record in records:
+            if record.key not in known:
+                self.store.append(record)
+        self.log(f"{label}: {len(records)} cells via service job {job}")
+        return records
+
+    def run_section(
+        self, section: GridSection, campaign: str
+    ) -> List[RunRecord]:
+        # Execution ordering is the daemon's concern; submit the payload.
+        return self._run_payload(section.payload, f"grid {section.name}")
+
+    def run_grid(
+        self, payload: Mapping[str, Any], label: str
+    ) -> List[RunRecord]:
+        return self._run_payload(payload, label)
+
+
+class StoreReplayExecutor:
+    """Answer every grid from a finished ledger; never run a simulation.
+
+    Raises :class:`MissingRecordsError` naming the absent cells if the
+    ledger is incomplete — the caller should suggest ``campaign resume``.
+    """
+
+    def __init__(self, store: Union[RunStore, str, Path]):
+        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        self._latest = self.store.latest_by_key()
+
+    def _lookup(self, specs: Sequence[JobSpec], label: str) -> List[RunRecord]:
+        missing = [
+            spec.label() for spec in specs if spec.key not in self._latest
+        ]
+        if missing:
+            raise MissingRecordsError(
+                f"{label}: ledger {self.store.path} is missing "
+                f"{len(missing)}/{len(specs)} cells (first: {missing[0]}); "
+                f"run 'campaign resume' to fill them in",
+                missing,
+            )
+        return [self._latest[spec.key] for spec in specs]
+
+    def run_section(
+        self, section: GridSection, campaign: str
+    ) -> List[RunRecord]:
+        return self._lookup(section.specs(), f"grid {section.name}")
+
+    def run_grid(
+        self, payload: Mapping[str, Any], label: str
+    ) -> List[RunRecord]:
+        return self._lookup(grid_from_payload(payload), label)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    executor: Any,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Execute a campaign end to end; returns the report payload.
+
+    Grid sections run first (in spec order, each in its declared
+    execution order), then the adaptive drivers, then the report is
+    assembled — records re-sorted into canonical expansion order and the
+    spec's fits computed over them.  Works identically with every
+    executor, which is what makes ``run``, ``resume``, and ``report``
+    the same code path.
+    """
+    log = log or (lambda message: None)
+    grid_records: Dict[str, List[RunRecord]] = {}
+    for section in spec.grids:
+        records = executor.run_section(section, spec.name)
+        by_key = {record.key: record for record in records}
+        # Canonical expansion order for the report, independent of the
+        # execution order the section requested.
+        grid_records[section.name] = [
+            by_key[job.key] for job in section.specs()
+        ]
+
+    def driver_grid(
+        payload: Mapping[str, Any], label: str
+    ) -> List[Dict[str, Any]]:
+        return [
+            record.metrics
+            for record in executor.run_grid(payload, label)
+            if record.metrics is not None
+        ]
+
+    driver_results: List[Dict[str, Any]] = []
+    for config in spec.drivers:
+        driver = build_driver(config, source=spec.source)
+        log(f"driver {driver.name} ({driver.kind}) starting")
+        result = driver.run(driver_grid)
+        driver_results.append(result)
+        log(f"driver {driver.name} done after {result['probe_count']} probes")
+
+    return build_report(spec, grid_records, driver_results)

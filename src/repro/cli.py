@@ -11,6 +11,14 @@ Subcommands
     worker-pool parallelism (``--workers``), a content-addressed result
     cache (re-running a grid only executes new cells), an append-only
     JSONL run store, and ``--resume`` to finish an interrupted grid.
+``campaign``
+    Run a declarative campaign spec (:mod:`repro.campaigns`): dense
+    grids, adaptive drivers (bisection crossover search, fault-rate
+    threshold scan), and statistical fits with bootstrap bands, all
+    into one resumable ledger and a byte-reproducible
+    ``repro-campaign/1`` report.  ``campaign resume`` finishes an
+    interrupted run; ``campaign report`` rebuilds the report from the
+    ledger without running anything.
 ``serve``
     Run the simulation service daemon: a stdlib HTTP job API
     (``POST /jobs`` / ``GET /jobs/<hash>`` / ``/result`` / ``/healthz``
@@ -59,6 +67,8 @@ Examples::
     python -m repro.cli table1 --sizes 16 32 64
     python -m repro.cli batch --algorithms randomized deterministic \
         --families ring gnp --sizes 16 32 --seeds 3 --workers 4
+    python -m repro.cli campaign run examples/campaigns/crossover.toml \
+        --workers 4
     python -m repro.cli serve --port 8732 --root /tmp/repro-service
     python -m repro.cli submit --url http://127.0.0.1:8732 \
         --families ring --sizes 16 --seeds 3 --wait
@@ -789,6 +799,75 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.failed == 0 else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.campaigns import (
+        CampaignSpec,
+        CampaignSpecError,
+        LocalGridExecutor,
+        MissingRecordsError,
+        ServiceGridExecutor,
+        StoreReplayExecutor,
+        ledger_path,
+        render_report,
+        report_path,
+        run_campaign,
+        write_report,
+    )
+    from repro.orchestrator import ResultCache
+
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except CampaignSpecError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    ledger = ledger_path(args.root, spec.name)
+    log = (
+        (lambda message: None)
+        if args.quiet
+        else (lambda message: print(message, file=sys.stderr))
+    )
+    if args.action == "report":
+        # Replay-only: rebuild the report from the ledger, run nothing.
+        executor = StoreReplayExecutor(ledger)
+    elif args.via_service:
+        from repro.service import ServiceClient
+
+        executor = ServiceGridExecutor(
+            ServiceClient(args.via_service),
+            store=ledger,
+            timeout=args.timeout,
+            log=log,
+        )
+    else:
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        executor = LocalGridExecutor(
+            store=ledger,
+            cache=cache,
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            log=log,
+        )
+    try:
+        payload = run_campaign(spec, executor, log=log)
+    except MissingRecordsError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+
+    output = Path(args.output) if args.output else report_path(args.root, spec.name)
+    write_report(payload, output)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(render_report(payload))
+        print(f"report : {output}")
+        print(f"ledger : {ledger}")
+    return 0 if payload["summary"]["failed"] == 0 else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
     from pathlib import Path
@@ -1293,6 +1372,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
     batch_parser.set_defaults(func=_cmd_batch)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run a declarative campaign spec: dense grids + adaptive "
+        "drivers + statistical fits, into one resumable report",
+    )
+    campaign_parser.add_argument(
+        "action", choices=("run", "resume", "report"),
+        help="run executes the campaign (resuming any prior ledger); "
+        "resume is an explicit alias of run; report rebuilds report.json "
+        "from the ledger without running anything",
+    )
+    campaign_parser.add_argument(
+        "spec", metavar="SPEC",
+        help="campaign spec file (.toml or .json; see docs/campaigns.md)",
+    )
+    campaign_parser.add_argument(
+        "--root", default=".repro-campaigns",
+        help="campaign state directory: ledger at <root>/<name>/runs.jsonl, "
+        "report at <root>/<name>/report.json",
+    )
+    campaign_parser.add_argument("--workers", type=int, default=1)
+    campaign_parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="content-addressed result cache shared with 'batch'",
+    )
+    campaign_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    campaign_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job seconds budget"
+    )
+    campaign_parser.add_argument(
+        "--retries", type=int, default=0, help="retries per failed job"
+    )
+    campaign_parser.add_argument(
+        "--via-service", default=None, metavar="URL",
+        help="execute grids through a running 'serve' daemon instead of "
+        "in-process (records are mirrored into the local ledger)",
+    )
+    campaign_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report here instead of <root>/<name>/report.json",
+    )
+    campaign_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report payload as one JSON object",
+    )
+    campaign_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-grid progress lines on stderr",
+    )
+    campaign_parser.set_defaults(func=_cmd_campaign)
 
     serve_parser = subparsers.add_parser(
         "serve",

@@ -158,6 +158,23 @@ def expand_grid(
     ``problem`` selects the bundle every cell's algorithm resolves in
     (``"mst"`` when omitted, following the same stability convention).
     """
+    for axis_name, axis in (
+        ("algorithms", algorithms),
+        ("families", families),
+        ("sizes", sizes),
+        ("seeds", seeds),
+    ):
+        if len(axis) == 0:
+            raise ValueError(
+                f"empty grid axis {axis_name!r}: every axis needs a "
+                "non-empty list (an empty axis would silently expand to "
+                "zero jobs)"
+            )
+    if faults is not None and len(faults) == 0:
+        raise ValueError(
+            "empty grid axis 'faults': pass None for the perfect channel "
+            "or a non-empty list of channel specs"
+        )
     problem = resolve_problem(problem)
     canonical = [resolve_algorithm(name, problem) for name in algorithms]
     resolved_families = [resolve_family(name) for name in families]
@@ -224,10 +241,14 @@ def grid_from_payload(payload: Mapping[str, Any]) -> List[JobSpec]:
     algorithms = list(payload.get("algorithms") or [])
     families = list(payload.get("families") or [])
     sizes = [int(n) for n in payload.get("sizes") or []]
-    if not algorithms or not families or not sizes:
-        raise ValueError(
-            "grid needs non-empty algorithms, families, and sizes"
-        )
+    for axis_name, axis in (
+        ("algorithms", algorithms), ("families", families), ("sizes", sizes)
+    ):
+        if not axis:
+            raise ValueError(
+                f"empty grid axis {axis_name!r}: the grid needs a "
+                f"non-empty {axis_name} list"
+            )
     seeds = payload.get("seeds", 1)
     if isinstance(seeds, bool):
         raise ValueError(f"seeds must be an int or a list, got {seeds!r}")
@@ -236,7 +257,9 @@ def grid_from_payload(payload: Mapping[str, Any]) -> List[JobSpec]:
     else:
         seed_list = [int(seed) for seed in seeds]
     if not seed_list:
-        raise ValueError("grid needs at least one seed")
+        raise ValueError(
+            "empty grid axis 'seeds': the grid needs at least one seed"
+        )
     id_range_factor = payload.get("id_range_factor")
     return expand_grid(
         algorithms,

@@ -1,0 +1,107 @@
+"""Seed-level bootstrap fits (repro.analysis.fits)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import fit_records, render_fit, seed_level_fit
+from repro.analysis.complexity import MODELS
+
+
+def synthetic_values(constant=25.0, sizes=(16, 64, 256), seeds=(0, 1, 2, 3)):
+    """Per-seed measurements of ``constant * log2 n`` with seed jitter."""
+    return {
+        n: {
+            seed: constant * math.log2(n) * (1.0 + 0.02 * (seed - 1.5))
+            for seed in seeds
+        }
+        for n in sizes
+    }
+
+
+class TestSeedLevelFit:
+    def test_recovers_the_planted_constant(self):
+        fit = seed_level_fit(synthetic_values(25.0), model="log")
+        assert fit.constant == pytest.approx(25.0, rel=0.05)
+        assert fit.constant_low <= fit.constant <= fit.constant_high
+
+    def test_deterministic_for_fixed_seed(self):
+        values = synthetic_values()
+        first = seed_level_fit(values, resamples=100, seed=3)
+        second = seed_level_fit(values, resamples=100, seed=3)
+        assert first == second
+
+    def test_point_bands_bracket_observed_means(self):
+        fit = seed_level_fit(synthetic_values())
+        for point in fit.points:
+            assert point.low <= point.mean <= point.high
+            assert point.samples == 4
+
+    def test_loglog_model_registered_and_fittable(self):
+        assert "loglog" in MODELS
+        values = {
+            n: {seed: 4.0 * math.log2(math.log2(n)) for seed in (0, 1)}
+            for n in (16, 256, 4096)
+        }
+        fit = seed_level_fit(values, model="loglog")
+        assert fit.constant == pytest.approx(4.0, rel=0.05)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            seed_level_fit(synthetic_values(), model="cubic")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="at least one size"):
+            seed_level_fit({})
+
+    def test_to_dict_shape(self):
+        payload = seed_level_fit(synthetic_values()).to_dict()
+        assert {"metric", "model", "constant", "constant_low",
+                "constant_high", "points"} <= set(payload)
+        assert all(
+            {"n", "mean", "low", "high", "samples"} == set(point)
+            for point in payload["points"]
+        )
+
+
+class TestFitRecords:
+    @staticmethod
+    def records(algorithm="A", metric_value=lambda n, s: 10.0 * math.log2(n)):
+        return [
+            {"algorithm": algorithm, "n": n, "seed": seed,
+             "max_awake": metric_value(n, seed)}
+            for n in (16, 64, 256)
+            for seed in (0, 1)
+        ]
+
+    def test_groups_records_by_size_and_seed(self):
+        fit = fit_records(self.records(), metric="max_awake", model="log")
+        assert fit.constant == pytest.approx(10.0, rel=0.01)
+        assert [point.n for point in fit.points] == [16, 64, 256]
+
+    def test_algorithm_filter(self):
+        mixed = self.records("A") + self.records(
+            "B", lambda n, s: 99.0 * math.log2(n)
+        )
+        fit = fit_records(mixed, algorithm="B", model="log")
+        assert fit.constant == pytest.approx(99.0, rel=0.01)
+
+    def test_skips_records_missing_the_metric(self):
+        records = self.records()
+        records.append({"algorithm": "A", "n": 512, "seed": 0,
+                        "max_awake": None})
+        fit = fit_records(records)
+        assert [point.n for point in fit.points] == [16, 64, 256]
+
+    def test_no_usable_records_rejected(self):
+        with pytest.raises(ValueError, match="no usable records"):
+            fit_records([], metric="max_awake")
+
+    def test_render_fit_mentions_constant_and_bands(self):
+        fit = fit_records(self.records())
+        text = render_fit("awake", fit.to_dict())
+        assert "awake: max_awake" in text
+        assert "log(n)" in text
+        assert "n=" in text and "band [" in text

@@ -1,0 +1,271 @@
+"""Driver logic: the pure bisection core and both sim-backed drivers.
+
+The drivers talk to simulations only through the ``(payload, label) ->
+records`` callable, so everything here runs against synthetic records —
+no simulator in the loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.campaigns import (
+    BisectDriver,
+    BisectSearch,
+    CampaignSpecError,
+    DriverBudgetError,
+    ThresholdDriver,
+    build_driver,
+    default_budget,
+)
+
+
+def run_search(lo: int, hi: int, threshold) -> BisectSearch:
+    """Drive a search against the monotone predicate ``n >= threshold``.
+
+    ``threshold=None`` means the predicate is false everywhere.
+    """
+    search = BisectSearch(lo, hi)
+    while (value := search.propose()) is not None:
+        search.feed(value, threshold is not None and value >= threshold)
+    return search
+
+
+class TestBisectSearch:
+    def test_finds_interior_threshold(self):
+        search = run_search(4, 512, 37)
+        assert search.found == 37
+
+    def test_predicate_never_true_returns_none(self):
+        assert run_search(4, 512, None).found is None
+
+    def test_predicate_always_true_returns_lo(self):
+        assert run_search(4, 512, 0).found == 4
+
+    def test_single_point_range(self):
+        assert run_search(7, 7, 7).found == 7
+        assert run_search(7, 7, None).found is None
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            BisectSearch(10, 4)
+
+    def test_budget_enforced(self):
+        search = BisectSearch(0, 1023, budget=3)
+        with pytest.raises(DriverBudgetError, match="budget of 3"):
+            while (value := search.propose()) is not None:
+                search.feed(value, False)
+
+    def test_known_crossover_trace(self):
+        # The committed CAMPAIGN_crossover.json fact: bisecting [4, 512]
+        # with the threshold at 5 takes exactly ceil(log2(509)) probes.
+        search = run_search(4, 512, 5)
+        assert search.found == 5
+        assert [value for value, _ in search.probes] == [
+            258, 131, 67, 35, 19, 11, 7, 5, 4
+        ]
+        assert len(search.probes) == math.ceil(math.log2(512 - 4 + 1))
+
+    @given(
+        bounds=st.tuples(
+            st.integers(min_value=-1000, max_value=1000),
+            st.integers(min_value=0, max_value=2000),
+        ),
+        offset=st.integers(min_value=-1, max_value=2001),
+    )
+    def test_monotone_predicates_converge_within_log_budget(
+        self, bounds, offset
+    ):
+        """Property: on any monotone predicate over any range, the search
+        probes at most ceil(log2(range)) + 1 values, stays inside the
+        range, and returns the exact threshold (or None)."""
+        lo, span = bounds
+        hi = lo + span
+        threshold = lo + offset  # may sit below, inside, or above range
+        search = BisectSearch(lo, hi)
+        while (value := search.propose()) is not None:
+            assert lo <= value <= hi
+            search.feed(value, value >= threshold)
+        assert len(search.probes) <= math.ceil(math.log2(hi - lo + 1)) + 1
+        assert len(search.probes) <= default_budget(lo, hi)
+        if threshold <= lo:
+            assert search.found == lo
+        elif threshold > hi:
+            assert search.found is None
+        else:
+            assert search.found == threshold
+
+
+def fake_runner(means, calls=None):
+    """Grid runner returning constant-metric records per algorithm.
+
+    ``means`` maps algorithm -> callable(n) -> value (or a constant).
+    """
+
+    def run(payload, label):
+        if calls is not None:
+            calls.append(payload)
+        algorithm = payload["algorithms"][0]
+        n = payload["sizes"][0]
+        value = means[algorithm]
+        value = value(n) if callable(value) else value
+        return [
+            {"algorithm": algorithm, "n": n, "seed": seed,
+             "max_awake": value, "rounds": value, "correct": True}
+            for seed in payload["seeds"]
+        ]
+
+    return run
+
+
+class TestBisectDriver:
+    CONFIG = {
+        "kind": "bisect",
+        "name": "cross",
+        "family": "gnp",
+        "seeds": [0, 1],
+        "lo": 4,
+        "hi": 64,
+        "left": {"algorithm": "sleepy", "metric": "max_awake"},
+        "right": {"algorithm": "awake", "metric": "rounds"},
+    }
+
+    def test_finds_crossover_and_audits_probes(self):
+        driver = build_driver(self.CONFIG)
+        calls = []
+        # sleepy costs 10*log2(n), awake costs n: on [4, 64] the
+        # predicate 10*log2(n) < n first holds at n = 59.
+        runner = fake_runner(
+            {"sleepy": lambda n: 10 * math.log2(n), "awake": lambda n: n},
+            calls,
+        )
+        result = driver.run(runner)
+        assert result["crossover"] == 59
+        assert result["kind"] == "bisect"
+        assert result["probe_count"] == len(result["probes"])
+        assert result["probe_count"] <= default_budget(4, 64)
+        # Every probe ran both sides over the configured seeds.
+        assert all(call["seeds"] == [0, 1] for call in calls)
+        assert len(calls) == 2 * result["probe_count"]
+        first = result["probes"][0]
+        assert set(first) == {"n", "left", "right", "verdict"}
+
+    def test_no_crossover_reports_none(self):
+        driver = build_driver(self.CONFIG)
+        runner = fake_runner({"sleepy": 100.0, "awake": 1.0})
+        assert driver.run(runner)["crossover"] is None
+
+    def test_missing_metric_raises(self):
+        driver = build_driver(self.CONFIG)
+
+        def runner(payload, label):
+            return [{"algorithm": payload["algorithms"][0], "n": 8,
+                     "seed": 0, "max_awake": None, "rounds": None}]
+
+        with pytest.raises(RuntimeError, match="no 'max_awake' measurements"):
+            driver.run(runner)
+
+    def test_side_payload_carries_engine_and_problem(self):
+        config = dict(self.CONFIG)
+        config["left"] = {
+            "algorithm": "mis", "metric": "max_awake", "problem": "mis"
+        }
+        config["right"] = {
+            "algorithm": "randomized", "metric": "rounds", "engine": "array"
+        }
+        driver = build_driver(config)
+        left = driver.left.payload("gnp", 8, [0])
+        right = driver.right.payload("gnp", 8, [0])
+        assert left["problem"] == "mis" and "engine" not in left
+        assert right["engine"] == "array" and "problem" not in right
+
+    @pytest.mark.parametrize(
+        "broken, match",
+        [
+            ({"lo": 10, "hi": 4}, "empty range"),
+            ({"op": "~"}, "unknown op"),
+            ({"seeds": []}, "at least one seed"),
+            ({"left": {"metric": "rounds"}}, "at least 'algorithm'"),
+            ({"extra": 1}, "unknown keys"),
+        ],
+    )
+    def test_config_validation(self, broken, match):
+        config = {**self.CONFIG, **broken}
+        with pytest.raises(CampaignSpecError, match=match):
+            build_driver(config, source="spec.toml")
+
+
+class TestThresholdDriver:
+    CONFIG = {
+        "kind": "threshold",
+        "name": "tolerance",
+        "algorithm": "randomized",
+        "family": "ring",
+        "n": 8,
+        "seeds": [0, 1],
+        "fault": "drop",
+        "rates": [0.0, 0.01, 0.05],
+        "monitors": "all",
+    }
+
+    @staticmethod
+    def runner(breaking_rate, via="correct"):
+        def run(payload, label):
+            rate = float(payload["faults"][0].split(":")[1])
+            broken = rate >= breaking_rate
+            return [
+                {
+                    "correct": not (broken and via == "correct"),
+                    "violations": 2 if broken and via == "monitor" else 0,
+                    "outcome": "detected_wrong" if broken else "correct",
+                }
+                for _ in payload["seeds"]
+            ]
+
+        return run
+
+    def test_stops_at_first_breaking_rate(self):
+        driver = build_driver(self.CONFIG)
+        result = driver.run(self.runner(0.01))
+        assert result["threshold"] == 0.01
+        # The scan never probes rates past the break.
+        assert [probe["rate"] for probe in result["probes"]] == [0.0, 0.01]
+
+    def test_monitor_violations_also_break(self):
+        driver = build_driver(self.CONFIG)
+        result = driver.run(self.runner(0.05, via="monitor"))
+        assert result["threshold"] == 0.05
+        assert result["probes"][-1]["violations"] > 0
+
+    def test_surviving_all_rates_reports_none(self):
+        driver = build_driver(self.CONFIG)
+        result = driver.run(self.runner(1.0))
+        assert result["threshold"] is None
+        assert len(result["probes"]) == 3
+
+    def test_payload_carries_fault_spec_and_monitors(self):
+        driver = build_driver(self.CONFIG)
+        payload = driver._payload(0.01)
+        assert payload["faults"] == ["drop:0.01"]
+        assert payload["monitors"] == "all"
+
+    @pytest.mark.parametrize(
+        "broken, match",
+        [
+            ({"rates": []}, "non-empty 'rates'"),
+            ({"rates": [0.1, 0.05]}, "ascending"),
+            ({"n": None}, None),
+            ({"extra": 1}, "unknown keys"),
+        ],
+    )
+    def test_config_validation(self, broken, match):
+        config = {**self.CONFIG, **broken}
+        if match is None:
+            with pytest.raises((CampaignSpecError, TypeError)):
+                build_driver(config)
+        else:
+            with pytest.raises(CampaignSpecError, match=match):
+                build_driver(config)

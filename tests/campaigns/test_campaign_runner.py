@@ -1,0 +1,167 @@
+"""Campaign execution: resume-after-kill, replay, and report identity."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    LocalGridExecutor,
+    MissingRecordsError,
+    StoreReplayExecutor,
+    ledger_path,
+    run_campaign,
+    validate_campaign_report,
+    write_report,
+)
+from repro.orchestrator import RunStore
+
+PAYLOAD = {
+    "campaign": {"name": "resume-test", "description": "kill/resume harness"},
+    "grids": [
+        {
+            "name": "g",
+            "algorithms": ["randomized"],
+            "families": ["ring"],
+            "sizes": [8, 10, 12],
+            "seeds": 2,
+            "monitors": "all",
+        }
+    ],
+    "drivers": [
+        {
+            "kind": "bisect",
+            "name": "cross",
+            "family": "ring",
+            "seeds": [0],
+            "lo": 4,
+            "hi": 16,
+            "left": {"algorithm": "randomized", "metric": "max_awake"},
+            "right": {"algorithm": "pipelined", "metric": "rounds"},
+        }
+    ],
+    "fits": [
+        {
+            "name": "awake",
+            "grid": "g",
+            "metric": "max_awake",
+            "model": "log",
+            "resamples": 50,
+        }
+    ],
+}
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec.from_payload(PAYLOAD, source="<test>")
+
+
+def fresh_run(spec, root):
+    ledger = ledger_path(root, spec.name)
+    executor = LocalGridExecutor(store=ledger)
+    return run_campaign(spec, executor), ledger
+
+
+class TestRunAndReplay:
+    def test_full_run_produces_valid_report(self, spec, tmp_path):
+        report, _ = fresh_run(spec, tmp_path)
+        validate_campaign_report(report)
+        assert report["summary"]["cells"] == 6
+        assert report["summary"]["failed"] == 0
+        assert report["grids"]["g"]["violations"] == 0
+        assert report["drivers"][0]["crossover"] is not None
+        assert "awake" in report["fits"]
+
+    def test_replay_from_ledger_is_byte_identical(self, spec, tmp_path):
+        report, ledger = fresh_run(spec, tmp_path)
+        replay = run_campaign(spec, StoreReplayExecutor(ledger))
+        assert json.dumps(replay, sort_keys=True) == json.dumps(
+            report, sort_keys=True
+        )
+
+    def test_replay_with_missing_cells_names_them(self, spec, tmp_path):
+        report, ledger = fresh_run(spec, tmp_path)
+        # Rebuild the ledger with the last two records dropped.
+        records = RunStore(ledger).load()
+        truncated = tmp_path / "truncated.jsonl"
+        RunStore(truncated).extend(records[:-2])
+        with pytest.raises(MissingRecordsError) as excinfo:
+            run_campaign(spec, StoreReplayExecutor(truncated))
+        assert excinfo.value.missing
+        assert "campaign resume" in str(excinfo.value)
+
+
+class TestKillAndResume:
+    def kill_mid_grid(self, spec, root, keep, tear=False):
+        """Simulate a campaign killed mid-grid: run it fully into a
+        scratch ledger, then build the 'interrupted' ledger holding only
+        the first ``keep`` records — optionally plus a torn trailing
+        line, as left by a writer killed mid-append."""
+        full_report, full_ledger = fresh_run(spec, root / "scratch")
+        records = RunStore(full_ledger).load()
+        assert len(records) > keep
+        interrupted = ledger_path(root / "real", spec.name)
+        RunStore(interrupted).extend(records[:keep])
+        if tear:
+            with open(interrupted, "a", encoding="utf-8") as handle:
+                handle.write('{"key": "torn-mid-wri')
+        return full_report, interrupted
+
+    def test_resume_runs_exactly_the_missing_cells(self, spec, tmp_path):
+        full_report, interrupted = self.kill_mid_grid(spec, tmp_path, keep=3)
+        labels = []
+        executor = LocalGridExecutor(store=interrupted, log=labels.append)
+        resumed = run_campaign(spec, executor)
+        # The dense grid re-ran only the 3 missing cells...
+        grid_line = next(line for line in labels if line.startswith("grid g"))
+        assert "3 executed" in grid_line and "3 resumed" in grid_line
+        # ...and the report is byte-identical to the uninterrupted run.
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            full_report, sort_keys=True
+        )
+
+    def test_resume_tolerates_torn_trailing_line(self, spec, tmp_path):
+        full_report, interrupted = self.kill_mid_grid(
+            spec, tmp_path, keep=4, tear=True
+        )
+        store = RunStore(interrupted)
+        store.load()
+        assert store.skipped_lines == 1  # the torn line is skipped, not fatal
+        resumed = run_campaign(spec, LocalGridExecutor(store=interrupted))
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            full_report, sort_keys=True
+        )
+
+    def test_driver_probes_resume_from_ledger_too(self, spec, tmp_path):
+        _, ledger = fresh_run(spec, tmp_path)
+        labels = []
+        executor = LocalGridExecutor(store=ledger, log=labels.append)
+        run_campaign(spec, executor)
+        # Second run over a complete ledger executes nothing anywhere —
+        # dense grid and every driver probe alike.
+        assert labels and all("0 executed" in line for line in labels)
+
+
+class TestReportArtifact:
+    def test_write_report_is_byte_stable(self, spec, tmp_path):
+        report, _ = fresh_run(spec, tmp_path / "a")
+        first = tmp_path / "r1.json"
+        second = tmp_path / "r2.json"
+        write_report(report, first)
+        write_report(json.loads(first.read_text()), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_validate_rejects_tampered_summary(self, spec, tmp_path):
+        report, _ = fresh_run(spec, tmp_path)
+        tampered = json.loads(json.dumps(report))
+        tampered["summary"]["cells"] += 1
+        with pytest.raises(ValueError, match="summary.cells"):
+            validate_campaign_report(tampered)
+
+    def test_validate_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_campaign_report({"schema": "repro-campaign/0"})

@@ -149,6 +149,27 @@ class TestGridFromPayload:
                  "sizes": [8], "seeds": 0}
             )
 
+    def test_empty_axis_error_names_the_axis(self):
+        base = {
+            "algorithms": ["randomized"], "families": ["ring"], "sizes": [8]
+        }
+        for axis in ("algorithms", "families", "sizes"):
+            with pytest.raises(ValueError, match=f"empty grid axis '{axis}'"):
+                grid_from_payload({**base, axis: []})
+        with pytest.raises(ValueError, match="empty grid axis 'seeds'"):
+            grid_from_payload({**base, "seeds": []})
+
+    def test_expand_grid_empty_axis_error_names_the_axis(self):
+        for index, axis in enumerate(
+            ("algorithms", "families", "sizes", "seeds")
+        ):
+            axes = [["randomized"], ["ring"], [8], [0]]
+            axes[index] = []
+            with pytest.raises(ValueError, match=f"empty grid axis '{axis}'"):
+                expand_grid(*axes)
+        with pytest.raises(ValueError, match="empty grid axis 'faults'"):
+            expand_grid(["randomized"], ["ring"], [8], [0], faults=[])
+
     def test_fault_and_monitor_axes_forwarded(self):
         payload = {
             "algorithms": ["randomized"],
